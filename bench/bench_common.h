@@ -1,0 +1,67 @@
+// bench_common.h — shared helpers for the experiment binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/request.h"
+#include "sim/runner.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace minrej::bench {
+
+/// log2(x) clamped to >= 1, the convention used throughout the paper's
+/// bounds.
+inline double clog2(double x) { return std::max(1.0, std::log2(x)); }
+
+/// Analytic offline optimum of a single-edge burst: keep the `capacity`
+/// most expensive requests, reject the rest.
+inline double burst_opt(const AdmissionInstance& instance) {
+  std::vector<double> costs;
+  costs.reserve(instance.request_count());
+  for (const Request& r : instance.requests()) costs.push_back(r.cost);
+  std::sort(costs.begin(), costs.end());
+  const auto capacity =
+      static_cast<std::size_t>(instance.graph().capacity(0));
+  double rejected = 0.0;
+  if (costs.size() > capacity) {
+    for (std::size_t i = 0; i + capacity < costs.size(); ++i) {
+      rejected += costs[i];
+    }
+  }
+  return rejected;
+}
+
+/// Prints a table to stdout and, when csv_dir is non-empty, writes
+/// <csv_dir>/<slug>.csv next to it.
+inline void emit(const Table& table, const std::string& slug,
+                 const std::string& csv_dir) {
+  std::cout << table << '\n';
+  if (!csv_dir.empty()) {
+    std::ofstream out(csv_dir + "/" + slug + ".csv");
+    out << table.to_csv();
+  }
+}
+
+/// Formats "a ± b" for mean/CI columns.
+inline std::string pm(double mean, double ci, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f ±%.*f", precision, mean, precision,
+                ci);
+  return buf;
+}
+
+/// One-line fit report: "slope=.. intercept=.. R2=..".
+inline std::string fit_line(const LinearFit& fit) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "slope=%.3f intercept=%.3f R2=%.3f",
+                fit.slope, fit.intercept, fit.r_squared);
+  return buf;
+}
+
+}  // namespace minrej::bench

@@ -1,0 +1,116 @@
+// E10 — systems performance of the implementation: arrival-processing
+// throughput of each algorithm as instance size grows, plus the parallel
+// sweep scaling of the harness (the "systems table" a SPAA-style
+// implementation paper would include).
+#include <benchmark/benchmark.h>
+
+#include "core/bicriteria_setcover.h"
+#include "core/fractional_engine.h"
+#include "core/online_setcover.h"
+#include "core/randomized_admission.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace minrej {
+namespace {
+
+void BM_FractionalEngineArrivals(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  AdmissionInstance inst = make_line_workload(
+      m, 4, 8 * m, 1, std::max<std::size_t>(2, m / 8),
+      CostModel::unit_costs(), rng);
+  for (auto _ : state) {
+    FractionalEngine engine(inst.graph(), 0.25);
+    for (const Request& r : inst.requests()) {
+      benchmark::DoNotOptimize(engine.arrive(r.edges, 1.0, 1.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.request_count()));
+}
+BENCHMARK(BM_FractionalEngineArrivals)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RandomizedAdmissionArrivals(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  AdmissionInstance inst = make_line_workload(
+      m, 4, 8 * m, 1, std::max<std::size_t>(2, m / 8),
+      CostModel::unit_costs(), rng);
+  for (auto _ : state) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = 3;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    for (const Request& r : inst.requests()) {
+      benchmark::DoNotOptimize(alg.process(r));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(inst.request_count()));
+}
+BENCHMARK(BM_RandomizedAdmissionArrivals)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ReductionSetCoverArrivals(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  SetSystem sys = random_uniform_system(n, n, 6, 3, rng);
+  const auto arrivals = arrivals_each_k_times(n, 2, true, rng);
+  for (auto _ : state) {
+    RandomizedConfig cfg;
+    cfg.seed = 5;
+    ReductionSetCover alg(sys, cfg);
+    for (ElementId j : arrivals) benchmark::DoNotOptimize(alg.on_element(j));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arrivals.size()));
+}
+BENCHMARK(BM_ReductionSetCoverArrivals)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BicriteriaArrivals(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  SetSystem sys = random_uniform_system(n, n, 6, 3, rng);
+  const auto arrivals = arrivals_each_k_times(n, 2, true, rng);
+  for (auto _ : state) {
+    BicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+    for (ElementId j : arrivals) benchmark::DoNotOptimize(alg.on_element(j));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arrivals.size()));
+}
+BENCHMARK(BM_BicriteriaArrivals)->Arg(16)->Arg(32)->Arg(64);
+
+/// Monte-Carlo sweep scaling over the thread pool: the same 64 trials at
+/// 1, 2, 4, ... threads.  Near-linear scaling expected (trials are
+/// independent).
+void BM_ParallelSweepScaling(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  AdmissionInstance inst = make_line_workload(
+      32, 4, 192, 1, 6, CostModel::unit_costs(), rng);
+  for (auto _ : state) {
+    const auto results = parallel_trials(
+        64,
+        [&](std::size_t s) {
+          RandomizedConfig cfg;
+          cfg.unit_costs = true;
+          cfg.seed = s;
+          RandomizedAdmission alg(inst.graph(), cfg);
+          return run_admission(alg, inst).rejected_cost;
+        },
+        threads);
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ParallelSweepScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace minrej
+
+BENCHMARK_MAIN();

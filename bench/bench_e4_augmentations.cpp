@@ -1,0 +1,139 @@
+// E4 — Lemma 1 and Lemma 5: the number of weight augmentations is
+// O(α·log(gc)) for the admission engine and O(α·log m) for the bicriteria
+// set cover algorithm.
+//
+// Instruments the augmentation counters over growing instances and
+// reports augmentations / (α · log) — a flat column confirms the lemma's
+// shape.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/bicriteria_setcover.h"
+#include "core/fractional_admission.h"
+#include "lp/covering_lp.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+void lemma1_sweep(std::size_t trials, const std::string& csv_dir) {
+  Table table("E4a — Lemma 1: engine augmentations vs α·log2(2gc) "
+              "(unit-cost bursts, g=1)",
+              {"c", "alpha", "augmentations (mean±ci)", "alpha·log2(2c)",
+               "augs/(alpha·log)"});
+  std::vector<double> xs, ys;
+  for (std::int64_t c : {2, 4, 8, 16, 32, 64}) {
+    RunningStats augs;
+    double alpha = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(8000 + 3 * t + static_cast<std::uint64_t>(c));
+      AdmissionInstance inst = make_single_edge_burst(
+          c, static_cast<std::size_t>(4 * c), CostModel::unit_costs(), rng);
+      alpha = burst_opt(inst);
+      FractionalConfig cfg;
+      cfg.unit_costs = true;
+      FractionalAdmission alg(inst.graph(), cfg);
+      for (const Request& r : inst.requests()) alg.on_request(r);
+      augs.add(static_cast<double>(alg.augmentations()));
+    }
+    const double bound = alpha * clog2(2.0 * static_cast<double>(c));
+    table.add_row({static_cast<long long>(c), Cell(alpha, 0),
+                   pm(augs.mean(), augs.ci95_half_width(), 1),
+                   Cell(bound, 1), Cell(augs.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(augs.mean());
+  }
+  emit(table, "e4a_lemma1", csv_dir);
+  std::cout << "fit augs ~ alpha·log2(2c): " << fit_line(fit_linear(xs, ys))
+            << "\n\n";
+}
+
+void lemma1_weighted(std::size_t trials, const std::string& csv_dir) {
+  Table table("E4b — Lemma 1 weighted: augmentations vs α·log2(2gc) on "
+              "line workloads (g≤2mc)",
+              {"m", "lp_alpha", "augmentations (mean±ci)",
+               "alpha·log2(4mc²)", "augs/bound"});
+  const std::int64_t c = 2;
+  for (std::size_t m : {4u, 8u, 16u, 32u}) {
+    RunningStats augs, alphas;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(9000 + 5 * t + m);
+      AdmissionInstance inst = make_line_workload(
+          m, c, 5 * m, 1, std::max<std::size_t>(2, m / 4),
+          CostModel::spread(1.0, 16.0), rng);
+      const LpSolution lp = solve_admission_lp(inst);
+      if (!lp.optimal() || lp.objective <= 1e-9) continue;
+      FractionalAdmission alg(inst.graph());
+      for (const Request& r : inst.requests()) alg.on_request(r);
+      augs.add(static_cast<double>(alg.augmentations()));
+      alphas.add(lp.objective);
+    }
+    if (augs.count() == 0) continue;
+    // g ≤ 2mc after normalization, so log2(2gc) ≤ log2(4mc²).
+    const double bound =
+        alphas.mean() * clog2(4.0 * static_cast<double>(m) *
+                              static_cast<double>(c) *
+                              static_cast<double>(c));
+    table.add_row({m, Cell(alphas.mean(), 1),
+                   pm(augs.mean(), augs.ci95_half_width(), 1),
+                   Cell(bound, 1), Cell(augs.mean() / bound, 3)});
+  }
+  emit(table, "e4b_lemma1_weighted", csv_dir);
+}
+
+void lemma5_sweep(std::size_t trials, const std::string& csv_dir) {
+  Table table("E4c — Lemma 5: bicriteria augmentations vs α·log m "
+              "(random systems, ε=0.5)",
+              {"n=m", "opt", "augmentations (mean±ci)", "alpha·log2(m)",
+               "augs/bound"});
+  std::vector<double> xs, ys;
+  for (std::size_t nm : {8u, 12u, 16u, 24u, 32u}) {
+    RunningStats augs, opts;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(10000 + 11 * t + nm);
+      SetSystem sys = random_uniform_system(nm, nm, 4, 3, rng);
+      const auto arrivals = arrivals_each_k_times(nm, 2, true, rng);
+      CoverInstance inst(sys, arrivals);
+      const MulticoverResult opt = solve_multicover_opt(inst, 5'000'000);
+      if (!opt.exact) continue;
+      BicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+      for (ElementId j : arrivals) alg.on_element(j);
+      augs.add(static_cast<double>(alg.augmentations()));
+      opts.add(opt.cost);
+    }
+    if (augs.count() == 0) continue;
+    const double bound = opts.mean() * clog2(static_cast<double>(nm));
+    table.add_row({nm, Cell(opts.mean(), 1),
+                   pm(augs.mean(), augs.ci95_half_width(), 1),
+                   Cell(bound, 1), Cell(augs.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(augs.mean());
+  }
+  emit(table, "e4c_lemma5", csv_dir);
+  if (xs.size() >= 2) {
+    std::cout << "fit augs ~ alpha·log2(m): " << fit_line(fit_linear(xs, ys))
+              << "\n\n";
+  }
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"trials", "csv_dir"});
+  const auto trials = static_cast<std::size_t>(flags.get_int("trials", 8));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E4: Lemmas 1 & 5 — weight augmentation counts ===\n\n";
+  lemma1_sweep(trials, csv_dir);
+  lemma1_weighted(trials, csv_dir);
+  lemma5_sweep(trials, csv_dir);
+  return EXIT_SUCCESS;
+}

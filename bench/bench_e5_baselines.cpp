@@ -1,0 +1,129 @@
+// E5 — the separation that motivates the paper (§1): deterministic
+// baselines without the primal-dual weight accounting degrade polynomially
+// on adversarial inputs, while the §2/§3 algorithms stay polylogarithmic.
+//
+// Table (a): the greedy-killer family (OPT = c).  The no-preempt baseline
+// pays Ω(m)·OPT; the randomized algorithm pays O(log m log c)·OPT — the
+// crossover the paper's open question (Blum–Kalai–Kleinberg) asked to
+// beat.  Table (b): the same algorithms on benign random workloads, where
+// the baselines are fine — showing the separation is adversarial, not
+// universal.
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "core/baselines.h"
+#include "core/fractional_admission.h"
+#include "core/randomized_admission.h"
+#include "lp/covering_lp.h"
+#include "offline/admission_opt.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+double randomized_mean_cost(const AdmissionInstance& inst, std::size_t seeds,
+                            bool unit) {
+  RunningStats stats;
+  const auto costs = parallel_trials(seeds, [&](std::size_t s) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = unit;
+    cfg.seed = 0xE5 + 7 * s;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    return run_admission(alg, inst).rejected_cost;
+  });
+  for (double c : costs) stats.add(c);
+  return stats.mean();
+}
+
+void killer_sweep(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E5a — greedy-killer family (unit costs, OPT = c): rejected "
+              "cost by algorithm",
+              {"m", "c", "opt", "no-preempt", "preempt-cheap",
+               "preempt-rand", "randomized(mean)", "fractional",
+               "logm·logc"});
+  for (std::size_t m : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const std::int64_t c = 2;
+    AdmissionInstance inst = make_greedy_killer(m, c);
+    const double opt = static_cast<double>(c);
+
+    GreedyNoPreempt greedy(inst.graph());
+    const double greedy_cost = run_admission(greedy, inst).rejected_cost;
+
+    PreemptCheapest cheap(inst.graph());
+    const double cheap_cost = run_admission(cheap, inst).rejected_cost;
+
+    PreemptRandom random(inst.graph(), 11);
+    const double random_cost = run_admission(random, inst).rejected_cost;
+
+    const double randomized = randomized_mean_cost(inst, seeds, true);
+
+    FractionalConfig fcfg;
+    fcfg.unit_costs = true;
+    FractionalAdmission frac(inst.graph(), fcfg);
+    for (const Request& r : inst.requests()) frac.on_request(r);
+
+    table.add_row({m, static_cast<long long>(c), Cell(opt, 0),
+                   Cell(greedy_cost, 0), Cell(cheap_cost, 0),
+                   Cell(random_cost, 0), Cell(randomized, 1),
+                   Cell(frac.fractional_cost(), 1),
+                   Cell(clog2(static_cast<double>(m)) *
+                            clog2(static_cast<double>(c)),
+                        2)});
+  }
+  emit(table, "e5a_killer", csv_dir);
+  std::cout << "reading: no-preempt grows linearly in m (ratio m/c·OPT); "
+               "the paper's algorithms track logm·logc.\n\n";
+}
+
+void benign_sweep(std::size_t seeds, const std::string& csv_dir) {
+  // Denominator: the fractional LP (<= integral OPT), so every ratio is a
+  // conservative over-estimate and the sweep scales past what the exact
+  // solver can certify.
+  Table table("E5b — benign random line workloads (weighted): ratio vs "
+              "fractional LP",
+              {"m", "lp_opt", "no-preempt", "preempt-cheap", "preempt-rand",
+               "randomized(mean)", "fractional"});
+  for (std::size_t m : {8u, 16u, 32u, 64u}) {
+    Rng rng(11000 + m);
+    AdmissionInstance inst = make_line_workload(
+        m, 2, 5 * m, 1, 4, CostModel::spread(1.0, 16.0), rng);
+    const LpSolution lp = solve_admission_lp(inst);
+    if (!lp.optimal() || lp.objective <= 1e-9) continue;
+    const double o = lp.objective;
+
+    GreedyNoPreempt greedy(inst.graph());
+    PreemptCheapest cheap(inst.graph());
+    PreemptRandom random(inst.graph(), 13);
+    FractionalAdmission frac(inst.graph());
+    for (const Request& r : inst.requests()) frac.on_request(r);
+
+    table.add_row(
+        {m, Cell(o, 1),
+         Cell(run_admission(greedy, inst).rejected_cost / o, 2),
+         Cell(run_admission(cheap, inst).rejected_cost / o, 2),
+         Cell(run_admission(random, inst).rejected_cost / o, 2),
+         Cell(randomized_mean_cost(inst, seeds, false) / o, 2),
+         Cell(frac.fractional_cost() / o, 2)});
+  }
+  emit(table, "e5b_benign", csv_dir);
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"seeds", "csv_dir"});
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 8));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E5: baselines vs the paper's algorithms ===\n\n";
+  killer_sweep(seeds, csv_dir);
+  benign_sweep(seeds, csv_dir);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,200 @@
+// E6 — the O(log m log n) randomized online set cover with repetitions
+// (§4 reduction + Theorem 4), matching the Feige–Korman Ω(log m log n)
+// lower bound.
+//
+// Tables: (a) sweep n=m on random systems against exact OPT;
+// (b) repetition depth k sweep; (c) planted-cover instances at sizes the
+// exact solver cannot reach, using the planted optimum as the
+// denominator's upper bound; (d) the adaptive adversary on the dyadic
+// family.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/online_setcover.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+RunningStats ratio_over_seeds(const SetSystem& sys,
+                              const std::vector<ElementId>& arrivals,
+                              double opt, std::size_t seeds) {
+  RunningStats stats;
+  const auto ratios = parallel_trials(seeds, [&](std::size_t s) {
+    RandomizedConfig cfg;
+    cfg.seed = 0xE6 + 13 * s;
+    ReductionSetCover alg(sys, cfg);
+    return competitive_ratio(run_setcover(alg, arrivals).cost, opt);
+  });
+  for (double r : ratios) stats.add(r);
+  return stats;
+}
+
+void size_sweep(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E6a — OSCR randomized, sweep n=m (random systems, k=2): "
+              "ratio vs exact OPT",
+              {"n", "m", "opt", "ratio (mean±ci)", "logm·logn",
+               "ratio/bound"});
+  std::vector<double> xs, ys;
+  for (std::size_t nm : {8u, 12u, 16u, 24u, 32u}) {
+    Rng rng(12000 + nm);
+    SetSystem sys = random_uniform_system(nm, nm, 4, 3, rng);
+    const auto arrivals = arrivals_each_k_times(nm, 2, true, rng);
+    CoverInstance inst(sys, arrivals);
+    const MulticoverResult opt = solve_multicover_opt(inst, 10'000'000);
+    if (!opt.exact || opt.cost <= 0) continue;
+    const RunningStats stats =
+        ratio_over_seeds(sys, arrivals, opt.cost, seeds);
+    const double bound = clog2(static_cast<double>(nm)) *
+                         clog2(static_cast<double>(nm));
+    table.add_row({nm, nm, Cell(opt.cost, 0),
+                   pm(stats.mean(), stats.ci95_half_width()),
+                   Cell(bound, 2), Cell(stats.mean() / bound, 3)});
+    xs.push_back(bound);
+    ys.push_back(stats.mean());
+  }
+  emit(table, "e6a_size", csv_dir);
+  if (xs.size() >= 2) {
+    std::cout << "fit ratio ~ logm·logn: " << fit_line(fit_linear(xs, ys))
+              << "\n\n";
+  }
+}
+
+void repetition_sweep(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E6b — OSCR randomized, repetition depth sweep (n=m=16)",
+              {"k", "opt", "ratio (mean±ci)", "chosen/|S| (mean)"});
+  const std::size_t nm = 16;
+  for (std::size_t k : {1u, 2u, 4u, 6u}) {
+    Rng rng(13000 + k);
+    SetSystem sys = random_uniform_system(nm, nm, 4,
+                                          std::max<std::size_t>(3, k), rng);
+    const auto arrivals = arrivals_each_k_times(nm, k, true, rng);
+    CoverInstance inst(sys, arrivals);
+    const MulticoverResult opt = solve_multicover_opt(inst, 10'000'000);
+    if (!opt.exact || opt.cost <= 0) continue;
+    const RunningStats ratio =
+        ratio_over_seeds(sys, arrivals, opt.cost, seeds);
+    RunningStats frac_chosen;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      RandomizedConfig cfg;
+      cfg.seed = 0xE6B + s;
+      ReductionSetCover alg(sys, cfg);
+      run_setcover(alg, arrivals);
+      frac_chosen.add(static_cast<double>(alg.chosen_count()) /
+                      static_cast<double>(sys.set_count()));
+    }
+    table.add_row({k, Cell(opt.cost, 0),
+                   pm(ratio.mean(), ratio.ci95_half_width()),
+                   Cell(frac_chosen.mean(), 2)});
+  }
+  emit(table, "e6b_repetitions", csv_dir);
+}
+
+void planted_sweep(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E6c — OSCR randomized, planted instances (OPT ≤ planted): "
+              "large sizes",
+              {"n", "m", "planted_opt", "ratio-vs-planted (mean±ci)",
+               "logm·logn"});
+  for (std::size_t n : {32u, 64u, 128u, 256u}) {
+    const std::size_t m = n;
+    const std::size_t k_opt = std::max<std::size_t>(2, n / 16);
+    Rng rng(14000 + n);
+    SetSystem sys = planted_cover_system(n, m, k_opt, 2, 4, rng);
+    const auto arrivals = arrivals_each_k_times(n, 2, true, rng);
+    // Planted guarantee: the 2 copies of each of the k_opt blocks cover
+    // demand 2 exactly, so OPT <= 2·k_opt.
+    const double planted = 2.0 * static_cast<double>(k_opt);
+    const RunningStats stats = ratio_over_seeds(sys, arrivals, planted, seeds);
+    table.add_row({n, m, Cell(planted, 0),
+                   pm(stats.mean(), stats.ci95_half_width()),
+                   Cell(clog2(static_cast<double>(m)) *
+                            clog2(static_cast<double>(n)),
+                        2)});
+  }
+  emit(table, "e6c_planted", csv_dir);
+}
+
+void weighted_sweep(std::size_t seeds, const std::string& csv_dir) {
+  // The paper: the reduction "implies an O(log²(mn))-competitive
+  // randomized algorithm for the online set cover with repetitions
+  // problem" in the weighted case.
+  Table table("E6e — weighted OSCR via reduction: ratio vs exact OPT and "
+              "O(log²(mn))",
+              {"n=m", "opt", "ratio (mean±ci)", "log²(mn)", "ratio/bound"});
+  for (std::size_t nm : {8u, 12u, 16u, 24u}) {
+    Rng rng(15000 + nm);
+    SetSystem sys = with_random_costs(
+        random_uniform_system(nm, nm, 4, 3, rng), 1.0, 16.0, rng);
+    const auto arrivals = arrivals_each_k_times(nm, 2, true, rng);
+    CoverInstance inst(sys, arrivals);
+    const MulticoverResult opt = solve_multicover_opt(inst, 10'000'000);
+    if (!opt.exact || opt.cost <= 0) continue;
+    const RunningStats stats =
+        ratio_over_seeds(sys, arrivals, opt.cost, seeds);
+    const double lognm = clog2(static_cast<double>(nm) *
+                               static_cast<double>(nm));
+    table.add_row({nm, Cell(opt.cost, 1),
+                   pm(stats.mean(), stats.ci95_half_width()),
+                   Cell(lognm * lognm, 2),
+                   Cell(stats.mean() / (lognm * lognm), 3)});
+  }
+  emit(table, "e6e_weighted", csv_dir);
+}
+
+void adversarial(std::size_t seeds, const std::string& csv_dir) {
+  Table table("E6d — OSCR randomized vs adaptive adversary (dyadic family)",
+              {"n", "m", "arrivals", "opt", "ratio (mean±ci)",
+               "logm·logn"});
+  for (std::size_t n : {8u, 16u, 32u}) {
+    const std::size_t m = 2 * n - 1;
+    RunningStats ratios;
+    double opt_cost = 0.0;
+    std::size_t played_count = 0;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      SetSystem sys = dyadic_interval_system(n);
+      RandomizedConfig cfg;
+      cfg.seed = 0xE6D + 3 * s;
+      ReductionSetCover alg(sys, cfg);
+      const auto played =
+          run_adaptive_adversary(alg, 2 * n);
+      if (played.empty()) continue;
+      CoverInstance inst(sys, played);
+      const MulticoverResult opt = solve_multicover_opt(inst, 10'000'000);
+      if (!opt.exact || opt.cost <= 0) continue;
+      ratios.add(competitive_ratio(alg.cost(), opt.cost));
+      opt_cost = opt.cost;
+      played_count = played.size();
+    }
+    if (ratios.count() == 0) continue;
+    table.add_row({n, m, played_count, Cell(opt_cost, 0),
+                   pm(ratios.mean(), ratios.ci95_half_width()),
+                   Cell(clog2(static_cast<double>(m)) *
+                            clog2(static_cast<double>(n)),
+                        2)});
+  }
+  emit(table, "e6d_adversarial", csv_dir);
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(argc, argv, {"seeds", "csv_dir"});
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 12));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+
+  std::cout << "=== E6: OSCR randomized — O(log m log n), matching "
+               "Feige–Korman ===\n\n";
+  size_sweep(seeds, csv_dir);
+  repetition_sweep(seeds, csv_dir);
+  planted_sweep(seeds, csv_dir);
+  adversarial(seeds, csv_dir);
+  weighted_sweep(seeds, csv_dir);
+  return EXIT_SUCCESS;
+}

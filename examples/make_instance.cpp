@@ -1,0 +1,91 @@
+// make_instance — generate any workload family to an instance file.
+//
+// Pairs with `replay_instance`: generate once, share the file, replay
+// anywhere.  Families mirror the experiment workloads (DESIGN.md §5).
+//
+//   $ ./make_instance --family line --out line.minrej --edges 16
+//         (more: --capacity 2 --requests 80 --cost-spread 16 --seed 7)
+//   $ ./make_instance --family killer --out killer.minrej --edges 64
+//   $ ./make_instance --family setcover --out cover.minrej --elements 24
+//         (more: --sets 20 --repetitions 2)
+//   $ ./make_instance --family dyadic --out dyadic.minrej --elements 16
+#include <iostream>
+
+#include "io/instance_io.h"
+#include "setcover/generators.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  const CliFlags flags = CliFlags::parse(
+      argc, argv,
+      {"family", "out", "seed", "edges", "capacity", "requests",
+       "cost-spread", "elements", "sets", "set-size", "repetitions",
+       "rows", "cols"});
+
+  const std::string family = flags.get_string("family", "line");
+  const std::string out = flags.get_string("out", "");
+  if (out.empty()) {
+    std::cerr << "usage: make_instance --family "
+                 "line|star|grid|burst|killer|setcover|dyadic|planted "
+                 "--out FILE [options]\n";
+    return 2;
+  }
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  const auto edges = static_cast<std::size_t>(flags.get_int("edges", 16));
+  const auto capacity = flags.get_int("capacity", 2);
+  const auto requests =
+      static_cast<std::size_t>(flags.get_int("requests", 5 * static_cast<std::int64_t>(edges)));
+  const double spread = flags.get_double("cost-spread", 1.0);
+  const CostModel costs = spread <= 1.0 ? CostModel::unit_costs()
+                                        : CostModel::spread(1.0, spread);
+  const auto n = static_cast<std::size_t>(flags.get_int("elements", 16));
+  const auto m = static_cast<std::size_t>(flags.get_int("sets", 16));
+  const auto set_size =
+      static_cast<std::size_t>(flags.get_int("set-size", 4));
+  const auto reps =
+      static_cast<std::size_t>(flags.get_int("repetitions", 1));
+
+  if (family == "line") {
+    save_admission_file(
+        out, make_line_workload(edges, capacity, requests, 1,
+                                std::max<std::size_t>(2, edges / 4), costs,
+                                rng));
+  } else if (family == "star") {
+    save_admission_file(out, make_star_workload(edges, capacity, requests,
+                                                3, costs, rng));
+  } else if (family == "grid") {
+    const auto rows = static_cast<std::size_t>(flags.get_int("rows", 4));
+    const auto cols = static_cast<std::size_t>(flags.get_int("cols", 4));
+    save_admission_file(
+        out, make_grid_workload(rows, cols, capacity, requests, costs, rng));
+  } else if (family == "burst") {
+    save_admission_file(out,
+                        make_single_edge_burst(capacity, requests, costs,
+                                               rng));
+  } else if (family == "killer") {
+    save_admission_file(out, make_greedy_killer(edges, capacity));
+  } else if (family == "setcover") {
+    SetSystem sys = random_uniform_system(
+        n, m, set_size, std::max<std::size_t>(2, reps), rng);
+    if (spread > 1.0) sys = with_random_costs(sys, 1.0, spread, rng);
+    const auto arrivals = arrivals_each_k_times(n, reps, true, rng);
+    save_cover_file(out, CoverInstance(std::move(sys), arrivals));
+  } else if (family == "dyadic") {
+    SetSystem sys = dyadic_interval_system(n);
+    const auto arrivals = arrivals_each_k_times(n, reps, true, rng);
+    save_cover_file(out, CoverInstance(std::move(sys), arrivals));
+  } else if (family == "planted") {
+    SetSystem sys = planted_cover_system(
+        n, m, std::max<std::size_t>(2, n / 8), reps, set_size, rng);
+    const auto arrivals = arrivals_each_k_times(n, reps, true, rng);
+    save_cover_file(out, CoverInstance(std::move(sys), arrivals));
+  } else {
+    std::cerr << "unknown family: " << family << '\n';
+    return 2;
+  }
+  std::cout << "wrote " << family << " instance to " << out << '\n';
+  return 0;
+}

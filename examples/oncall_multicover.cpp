@@ -1,0 +1,79 @@
+// oncall_multicover — online set cover with repetitions as a staffing
+// problem.
+//
+// Teams (sets) each cover a group of services (elements).  Incidents
+// arrive online: the k-th incident on a service requires k *distinct*
+// teams engaged on it (the paper's repetition semantics — a team already
+// working the service cannot absorb another concurrent incident).  Teams,
+// once activated, stay on call; we pay per activated team and want to
+// track the offline-optimal activation cost.
+//
+// Compares the randomized algorithm (§4 reduction, O(log m log n)) with
+// the deterministic bicriteria algorithm (§5) at two ε values.
+//
+//   $ ./oncall_multicover [--services N] [--teams N] [--incidents N]
+#include <iostream>
+
+#include "core/bicriteria_setcover.h"
+#include "core/online_setcover.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  const CliFlags flags = CliFlags::parse(
+      argc, argv, {"services", "teams", "incidents", "seed"});
+  const auto services =
+      static_cast<std::size_t>(flags.get_int("services", 24));
+  const auto teams = static_cast<std::size_t>(flags.get_int("teams", 20));
+  const auto incidents =
+      static_cast<std::size_t>(flags.get_int("incidents", 72));
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 11)));
+
+  // Each team covers ~5 services; every service reachable by >= 4 teams so
+  // up to 4 concurrent incidents per service stay feasible.
+  SetSystem skills = random_uniform_system(services, teams, 5, 4, rng);
+  // Zipf incident arrivals: a few hot services get most of the incidents.
+  const auto arrivals = arrivals_zipf(skills, incidents, 1.0, rng);
+  CoverInstance inst(skills, arrivals);
+  std::cout << "staffing instance: " << inst.summary() << "\n\n";
+
+  const MulticoverResult opt = solve_multicover_opt(inst, 30'000'000);
+  std::cout << (opt.exact ? "offline optimal" : "offline incumbent")
+            << " activation cost: " << opt.cost << "\n\n";
+
+  Table table("online staffing policies",
+              {"policy", "teams activated", "ratio vs OPT",
+               "coverage guarantee"});
+
+  {
+    RandomizedConfig cfg;
+    cfg.seed = 3;
+    ReductionSetCover alg(skills, cfg);
+    const CoverRun run = run_setcover(alg, arrivals);
+    table.add_row({alg.name(), Cell(run.cost, 0),
+                   Cell(competitive_ratio(run.cost, opt.cost), 2),
+                   std::string("k of k incidents")});
+  }
+  for (double eps : {0.25, 0.5}) {
+    BicriteriaSetCover alg(skills, BicriteriaConfig{eps});
+    const CoverRun run = run_setcover(alg, arrivals);
+    char guarantee[48];
+    std::snprintf(guarantee, sizeof(guarantee), "ceil(%.2f k) of k",
+                  1.0 - eps);
+    table.add_row({alg.name() + " eps=" + std::to_string(eps).substr(0, 4),
+                   Cell(run.cost, 0),
+                   Cell(competitive_ratio(run.cost, opt.cost), 2),
+                   std::string(guarantee)});
+  }
+
+  std::cout << table;
+  std::cout << "\nnote: bicriteria policies engage fewer teams by design — "
+               "they guarantee ceil((1-eps)k) distinct teams per service "
+               "while OPT is charged for full coverage k (Theorem 7).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// preemption_demo — why preemption is essential (paper §1).
+//
+// The paper notes that "allowing preemption and handling requests with
+// given paths are essential for avoiding trivial lower bounds."  This
+// demo makes that concrete with the greedy-killer stream: `capacity`
+// spanning calls fill a line network, then every edge is hit by
+// `capacity` one-edge calls.  An algorithm that cannot preempt is stuck
+// with the spanning calls and rejects Ω(m) singletons; the paper's
+// randomized algorithm preempts the spanning calls early and pays
+// polylog.
+//
+//   $ ./preemption_demo [--edges N] [--capacity N]
+#include <cmath>
+#include <iostream>
+
+#include "core/baselines.h"
+#include "core/randomized_admission.h"
+#include "offline/admission_opt.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  const CliFlags flags =
+      CliFlags::parse(argc, argv, {"edges", "capacity"});
+  const auto edges = static_cast<std::size_t>(flags.get_int("edges", 64));
+  const auto capacity = flags.get_int("capacity", 2);
+
+  AdmissionInstance inst = make_greedy_killer(edges, capacity);
+  std::cout << "killer stream on a line: " << inst.summary() << '\n'
+            << "  " << capacity << " spanning calls, then " << capacity
+            << " singleton calls per edge (all unit cost)\n\n";
+
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  std::cout << "offline optimum rejects just the spanning calls: cost "
+            << opt.rejected_cost << "\n\n";
+
+  Table table("preemption vs no preemption",
+              {"algorithm", "rejected cost", "ratio vs OPT", "theory"});
+
+  GreedyNoPreempt greedy(inst.graph());
+  const double greedy_cost = run_admission(greedy, inst).rejected_cost;
+  table.add_row({greedy.name(), Cell(greedy_cost, 0),
+                 Cell(greedy_cost / opt.rejected_cost, 1),
+                 std::string("Omega(m) — trivial lower bound")});
+
+  RunningStats randomized;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = seed;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    randomized.add(run_admission(alg, inst).rejected_cost);
+  }
+  const double logm = std::max(1.0, std::log2(static_cast<double>(edges)));
+  const double logc =
+      std::max(1.0, std::log2(static_cast<double>(capacity)));
+  table.add_row({"randomized-unweighted (mean of 8 seeds)",
+                 Cell(randomized.mean(), 1),
+                 Cell(randomized.mean() / opt.rejected_cost, 1),
+                 std::string("O(log m log c) = O(") +
+                     std::to_string(logm * logc).substr(0, 5) + ")"});
+
+  std::cout << table;
+  std::cout << "\nreading: the no-preempt ratio grows linearly with "
+               "--edges; the paper's algorithm stays polylogarithmic.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+
+/// Usage of edge e after removing the already-picked victims.
+std::int64_t usage_minus_victims(const OnlineAdmissionAlgorithm& alg,
+                                 EdgeId e,
+                                 const std::vector<RequestId>& victims,
+                                 const std::vector<const Request*>& requests) {
+  std::int64_t u = alg.edge_usage()[e];
+  for (std::size_t k = 0; k < victims.size(); ++k) {
+    const auto& edges = requests[k]->edges;
+    if (std::binary_search(edges.begin(), edges.end(), e)) --u;
+  }
+  return u;
+}
+
+}  // namespace
+
+ArrivalResult GreedyNoPreempt::handle(RequestId /*id*/,
+                                      const Request& request) {
+  ArrivalResult result;
+  if (request.must_accept) {
+    // Contract: must_accept arrivals have to fit; without preemption this
+    // baseline can only accept if there is room.
+    MINREJ_REQUIRE(!would_overflow(request),
+                   "greedy-no-preempt cannot honour must_accept overflow");
+    result.accepted = true;
+    return result;
+  }
+  result.accepted = !would_overflow(request);
+  return result;
+}
+
+ArrivalResult PreemptCheapest::handle(RequestId id, const Request& request) {
+  ArrivalResult result;
+  if (!would_overflow(request)) {
+    result.accepted = true;
+    return result;
+  }
+
+  // Collect the cheapest victims per overloaded edge.
+  std::vector<RequestId> victims;
+  std::vector<const Request*> victim_requests;
+  double victim_cost = 0.0;
+  for (EdgeId e : request.edges) {
+    while (usage_minus_victims(*this, e, victims, victim_requests) + 1 >
+           graph().capacity(e)) {
+      std::optional<RequestId> cheapest;
+      double best = 0.0;
+      for (RequestId i = 0; i < id; ++i) {
+        if (!is_accepted(i) || stored_request(i).must_accept) continue;
+        if (std::find(victims.begin(), victims.end(), i) != victims.end()) {
+          continue;
+        }
+        const auto& edges = stored_request(i).edges;
+        if (!std::binary_search(edges.begin(), edges.end(), e)) continue;
+        if (!cheapest || stored_request(i).cost < best) {
+          cheapest = i;
+          best = stored_request(i).cost;
+        }
+      }
+      if (!cheapest) {
+        // Edge saturated by must_accept requests: cannot make room.
+        MINREJ_REQUIRE(!request.must_accept,
+                       "preempt-cheapest cannot honour must_accept overflow");
+        result.accepted = false;
+        result.preempted.clear();
+        return result;
+      }
+      victims.push_back(*cheapest);
+      victim_requests.push_back(&stored_request(*cheapest));
+      victim_cost += best;
+    }
+  }
+
+  // Exchange rule: only worth it if the victims are cheaper than the
+  // arrival (must_accept arrivals pay whatever it takes).
+  if (!request.must_accept && victim_cost >= request.cost) {
+    result.accepted = false;
+    return result;
+  }
+  result.accepted = true;
+  result.preempted = std::move(victims);
+  return result;
+}
+
+PreemptRandom::PreemptRandom(const Graph& graph, std::uint64_t seed)
+    : OnlineAdmissionAlgorithm(graph), rng_(seed) {}
+
+ArrivalResult PreemptRandom::handle(RequestId id, const Request& request) {
+  ArrivalResult result;
+  std::vector<RequestId> victims;
+  std::vector<const Request*> victim_requests;
+  for (EdgeId e : request.edges) {
+    while (usage_minus_victims(*this, e, victims, victim_requests) + 1 >
+           graph().capacity(e)) {
+      std::vector<RequestId> candidates;
+      for (RequestId i = 0; i < id; ++i) {
+        if (!is_accepted(i) || stored_request(i).must_accept) continue;
+        if (std::find(victims.begin(), victims.end(), i) != victims.end()) {
+          continue;
+        }
+        const auto& edges = stored_request(i).edges;
+        if (std::binary_search(edges.begin(), edges.end(), e)) {
+          candidates.push_back(i);
+        }
+      }
+      if (candidates.empty()) {
+        MINREJ_REQUIRE(!request.must_accept,
+                       "preempt-random cannot honour must_accept overflow");
+        result.accepted = false;
+        result.preempted.clear();
+        return result;
+      }
+      const RequestId pick = candidates[rng_.index(candidates.size())];
+      victims.push_back(pick);
+      victim_requests.push_back(&stored_request(pick));
+    }
+  }
+  result.accepted = true;
+  result.preempted = std::move(victims);
+  return result;
+}
+
+}  // namespace minrej

@@ -1,0 +1,60 @@
+// baselines.h — deterministic baseline admission algorithms.
+//
+// The paper's comparison points are the Blum–Kalai–Kleinberg deterministic
+// algorithms (O(√m)- and (c+1)-competitive); their pseudocode is not in the
+// reproduced text, so these are the natural deterministic baselines in the
+// same design space (see the substitution note in DESIGN.md §2).  Their job
+// in E5 is to exhibit the polynomial-vs-polylog separation that motivates
+// the paper: each of them is provably bad on some adversarial family that
+// the §3 algorithm handles at polylog cost.
+#pragma once
+
+#include "core/online_admission.h"
+#include "util/rng.h"
+
+namespace minrej {
+
+/// Accepts whenever feasible, never preempts; rejects the arrival
+/// otherwise.  The no-preemption strawman — the paper notes preemption is
+/// necessary for any reasonable bound ("allowing preemption and handling
+/// requests with given paths are essential for avoiding trivial lower
+/// bounds", §1), and E5 shows this concretely.
+class GreedyNoPreempt : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "greedy-no-preempt"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request& request) override;
+};
+
+/// Local-exchange heuristic: if the arrival does not fit, it preempts the
+/// cheapest accepted requests on the overloaded edges, but only if their
+/// total cost is below the arrival's cost; otherwise it rejects the
+/// arrival.  Greedy cost-exchange without the global weight accounting of
+/// §2 — it wins on benign streams and loses polynomially on crafted ones.
+class PreemptCheapest : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "preempt-cheapest"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request& request) override;
+};
+
+/// Always admits the arrival if room can be made, preempting uniformly
+/// random accepted requests on overloaded edges; rejects the arrival only
+/// when an overloaded edge has no preemptable request.
+class PreemptRandom : public OnlineAdmissionAlgorithm {
+ public:
+  PreemptRandom(const Graph& graph, std::uint64_t seed);
+  std::string name() const override { return "preempt-random"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request& request) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace minrej

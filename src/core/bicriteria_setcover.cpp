@@ -1,0 +1,152 @@
+#include "core/bicriteria_setcover.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+BicriteriaSetCover::BicriteriaSetCover(const SetSystem& system,
+                                       BicriteriaConfig config)
+    : OnlineSetCoverAlgorithm(system), config_(config),
+      weight_(system.set_count(),
+              1.0 / (2.0 * static_cast<double>(system.set_count()))),
+      elem_weight_(system.element_count(), 0.0),
+      cover_(system.element_count(), 0),
+      in_cover_(system.set_count(), false) {
+  MINREJ_REQUIRE(config_.epsilon > 0.0 && config_.epsilon < 1.0,
+                 "epsilon must be in (0, 1)");
+  MINREJ_REQUIRE(system.unit_costs(),
+                 "the §5 algorithm assumes unit set costs");
+  // w_j = Σ_{S∋j} w_S with the uniform initial weights.
+  for (std::size_t j = 0; j < system.element_count(); ++j) {
+    elem_weight_[j] =
+        static_cast<double>(system.degree(static_cast<ElementId>(j))) /
+        (2.0 * static_cast<double>(system.set_count()));
+  }
+  log2n_ = std::max(
+      1.0, std::log2(static_cast<double>(system.element_count())));
+}
+
+std::int64_t BicriteriaSetCover::required_coverage(std::int64_t k) const {
+  // ⌈(1−ε)k⌉ with a tolerance so (1−ε)k landing on an integer is not
+  // bumped up by floating-point noise.
+  return static_cast<std::int64_t>(
+      std::ceil((1.0 - config_.epsilon) * static_cast<double>(k) - 1e-9));
+}
+
+long double BicriteriaSetCover::term(ElementId j) const {
+  const long double n = static_cast<long double>(system().element_count());
+  const long double exponent =
+      2.0L * (static_cast<long double>(elem_weight_[j]) -
+              static_cast<long double>(cover_[j]));
+  return std::pow(n, exponent);
+}
+
+double BicriteriaSetCover::potential() const {
+  long double phi = 0.0L;
+  for (std::size_t j = 0; j < system().element_count(); ++j) {
+    phi += term(static_cast<ElementId>(j));
+  }
+  return static_cast<double>(phi);
+}
+
+double BicriteriaSetCover::set_weight(SetId s) const {
+  MINREJ_REQUIRE(s < weight_.size(), "set id out of range");
+  return weight_[s];
+}
+
+double BicriteriaSetCover::element_weight(ElementId j) const {
+  MINREJ_REQUIRE(j < elem_weight_.size(), "element id out of range");
+  return elem_weight_[j];
+}
+
+std::vector<SetId> BicriteriaSetCover::handle_element(ElementId j) {
+  const std::int64_t k = demand(j);  // base already counted this arrival
+  const std::int64_t target =
+      std::min<std::int64_t>(required_coverage(k),
+                             static_cast<std::int64_t>(system().degree(j)));
+
+  std::vector<SetId> added;
+  auto add_set = [&](SetId s) {
+    MINREJ_CHECK(!in_cover_[s], "set added twice");
+    in_cover_[s] = true;
+    added.push_back(s);
+    for (ElementId covered_elem : system().elements_of(s)) {
+      ++cover_[covered_elem];
+    }
+  };
+
+  while (cover_[j] < target) {
+    ++augmentations_;
+    const long double phi_start = potential();
+
+    // (a) multiplicative weight step for the uncovered sets of S_j.
+    std::vector<SetId> candidates;
+    for (SetId s : system().sets_of(j)) {
+      if (in_cover_[s]) continue;
+      candidates.push_back(s);
+      const double before = weight_[s];
+      weight_[s] =
+          before * (1.0 + 1.0 / (2.0 * static_cast<double>(k)));
+      const double delta = weight_[s] - before;
+      // Keep every w_{j'} consistent incrementally.
+      for (ElementId member : system().elements_of(s)) {
+        elem_weight_[member] += delta;
+      }
+    }
+
+    // (b) threshold rule: any set reaching weight 1 joins the cover.
+    for (SetId s : candidates) {
+      if (!in_cover_[s] && weight_[s] >= 1.0) {
+        add_set(s);
+        ++threshold_additions_;
+      }
+    }
+
+    // (c) derandomized rounding: up to 2·log2(n) greedy picks from S_j,
+    // each maximizing the potential decrease, until Φ is back at or below
+    // its pre-augmentation value.  Adding a set never increases Φ (every
+    // term it touches shrinks by n^{-2}), so the loop is monotone; Lemma 6
+    // guarantees 2·log2(n) picks suffice.
+    const auto lemma_picks =
+        static_cast<std::size_t>(std::ceil(2.0 * log2n_));
+    std::size_t picks = 0;
+    while (potential() > phi_start + 1e-9L) {
+      // Greedy pick: maximize Σ_{j'∈S} term(j') — the exact decrease of Φ
+      // from adding S is (1 − n^{-2})·Σ_{j'∈S} term(j').
+      SetId best = 0;
+      long double best_gain = -1.0L;
+      bool found = false;
+      for (SetId s : system().sets_of(j)) {
+        if (in_cover_[s]) continue;
+        long double gain = 0.0L;
+        for (ElementId member : system().elements_of(s)) {
+          gain += term(member);
+        }
+        if (gain > best_gain) {
+          best_gain = gain;
+          best = s;
+          found = true;
+        }
+      }
+      if (!found) break;  // every set of S_j is already in the cover
+      add_set(best);
+      ++rounding_additions_;
+      ++picks;
+      // Lemma 6 guarantees SOME ≤ 2·log n picks restore Φ ≤ Φ_start; the
+      // greedy is only (1−1/e)-optimal per prefix, so keep going if it
+      // needs more (adding all of S_j always suffices: every inflated term
+      // gains a factor ≤ n^{2δ−2} ≤ n^{-1}).  Overshoots are counted and
+      // asserted rare by the tests.
+      if (picks > lemma_picks) ++rounding_overshoot_;
+    }
+    MINREJ_CHECK(potential() <= phi_start + 1e-6L,
+                 "potential not restored even after exhausting S_j — "
+                 "Lemma 6 invariant broken");
+  }
+  return added;
+}
+
+}  // namespace minrej

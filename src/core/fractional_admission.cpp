@@ -1,0 +1,351 @@
+#include "core/fractional_admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+constexpr double kUnitCostTolerance = 1e-9;
+}
+
+FractionalAdmission::FractionalAdmission(const Graph& graph,
+                                         FractionalConfig config)
+    : graph_(graph), config_(config), preload_(graph.edge_count(), 0) {
+  MINREJ_REQUIRE(config_.guard_factor > 0.0, "guard_factor must be positive");
+  MINREJ_REQUIRE(graph_.edge_count() >= 1, "graph has no edges");
+  if (config_.unit_costs) {
+    // Unweighted mode: g = 1, no classification, no α machinery; the
+    // engine runs from the start with zero-weight floor 1/(g·c) = 1/c.
+    phase_count_ = 1;
+    engine_ = std::make_unique<FractionalEngine>(
+        graph_, 1.0 / static_cast<double>(std::max<std::int64_t>(
+                          1, graph_.max_capacity())));
+  } else if (config_.fixed_alpha) {
+    MINREJ_REQUIRE(*config_.fixed_alpha > 0.0, "fixed_alpha must be positive");
+    alpha_ = *config_.fixed_alpha;
+    start_phase();
+  }
+}
+
+double FractionalAdmission::mc() const {
+  return static_cast<double>(graph_.edge_count()) *
+         static_cast<double>(
+             std::max<std::int64_t>(1, graph_.max_capacity()));
+}
+
+double FractionalAdmission::log_mc() const {
+  return std::max(1.0, std::log2(2.0 * mc()));
+}
+
+double FractionalAdmission::guard_threshold() const {
+  return config_.guard_factor * alpha_ * log_mc();
+}
+
+double FractionalAdmission::normalized_cost(double cost) const {
+  MINREJ_CHECK(alpha_ > 0.0, "normalization requires α > 0");
+  // Classification guarantees cost ∈ [α/(mc), 2α], so the normalized cost
+  // lies in [1, 2mc]; clamp for numerical safety at the boundaries.
+  return std::clamp(cost * mc() / alpha_, 1.0, 2.0 * mc());
+}
+
+void FractionalAdmission::classify_and_register(RequestId id,
+                                                double carried_weight) {
+  Record& rec = records_[id];
+  MINREJ_CHECK(engine_ != nullptr, "no engine to register with");
+  rec.engine_id = kInvalidId;
+  if (rec.fully_rejected || rec.cost_class == CostClass::kAutoRejected) {
+    return;
+  }
+  if (rec.cost_class == CostClass::kMustAccept) {
+    rec.engine_id = engine_->pin(rec.edges);
+    engine_map_.push_back(id);
+    return;
+  }
+  if (rec.cost_class == CostClass::kAutoAccepted) {
+    // Classification is relative to the *current* α: once α has grown so
+    // that cost <= 2α, the request is no longer "big" and rejoins the
+    // engine as an ordinary (preemptible) request.
+    if (!config_.unit_costs && rec.cost > 2.0 * alpha_) {
+      rec.engine_id = engine_->pin(rec.edges);
+      engine_map_.push_back(id);
+      return;
+    }
+    rec.cost_class = CostClass::kEngine;
+  }
+  if (!config_.unit_costs) {
+    if (rec.cost < alpha_ / mc()) {
+      // R_small: rejecting every such request is 2-competitive (§2).
+      rec.cost_class = CostClass::kAutoRejected;
+      rec.fully_rejected = true;
+      paid_auto_rejected_ += rec.cost;
+      return;
+    }
+    if (rec.cost > 2.0 * alpha_) {
+      // R_big: accept permanently; it occupies capacity from now on.
+      rec.cost_class = CostClass::kAutoAccepted;
+      rec.engine_id = engine_->pin(rec.edges);
+      engine_map_.push_back(id);
+      return;
+    }
+  }
+  rec.engine_id = engine_->admit_existing(
+      rec.edges, config_.unit_costs ? 1.0 : normalized_cost(rec.cost),
+      rec.cost, carried_weight);
+  engine_map_.push_back(id);
+}
+
+void FractionalAdmission::start_phase() {
+  MINREJ_CHECK(alpha_ > 0.0, "start_phase requires α > 0");
+  ++phase_count_;
+  // Carry every surviving request's weight into the new phase: §2 states
+  // the weights only ever increase over the run.  "Forgetting" on a
+  // doubling applies to the phase's cost accounting (moved into
+  // paid_past_phases_), not to the weights themselves.
+  std::vector<double> carried(records_.size(), 0.0);
+  if (engine_) {
+    paid_past_phases_ += engine_->fractional_cost();
+    past_augmentations_ += engine_->augmentations();
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& rec = records_[i];
+      if (rec.cost_class == CostClass::kEngine &&
+          rec.engine_id != kInvalidId && !rec.fully_rejected) {
+        carried[i] = std::min(engine_->weight(rec.engine_id),
+                              1.0 - 1e-12);
+      }
+    }
+  }
+  const double g = 2.0 * mc();  // normalized cost spread (paper: g ≤ 2mc)
+  const double c = static_cast<double>(
+      std::max<std::int64_t>(1, graph_.max_capacity()));
+  engine_ = std::make_unique<FractionalEngine>(graph_,
+                                               std::min(1.0, 1.0 / (g * c)));
+  engine_map_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    classify_and_register(static_cast<RequestId>(i), carried[i]);
+  }
+}
+
+std::vector<FractionalEngine::Delta> FractionalAdmission::translate_deltas(
+    const std::vector<FractionalEngine::Delta>& deltas) {
+  std::vector<FractionalEngine::Delta> out;
+  out.reserve(deltas.size());
+  for (const FractionalEngine::Delta& d : deltas) {
+    MINREJ_CHECK(d.id < engine_map_.size(), "engine id unmapped");
+    const RequestId wrapper_id = engine_map_[d.id];
+    out.push_back({wrapper_id, d.delta});
+    if (engine_->fully_rejected(d.id)) {
+      records_[wrapper_id].fully_rejected = true;
+    }
+  }
+  return out;
+}
+
+void FractionalAdmission::resolve_saturation(
+    const std::vector<EdgeId>& edges, Arrival& arrival) {
+  if (config_.unit_costs || config_.fixed_alpha || !engine_) return;
+  // Doubling terminates: once 2α exceeds every request cost nothing is
+  // pinned as "big" any more, so saturation can only persist through
+  // must_accept pins — a genuinely infeasible instance the callers guard
+  // against.  256 doublings cover any double-precision cost range.
+  for (int round = 0; round < 256; ++round) {
+    bool any_saturated = false;
+    for (EdgeId e : edges) {
+      if (engine_->saturated(e)) {
+        any_saturated = true;
+        break;
+      }
+    }
+    if (!any_saturated) return;
+    // Re-check that some non-must-accept request could still absorb the
+    // excess after reclassification; otherwise the instance is infeasible.
+    alpha_ *= 2.0;
+    arrival.phase_reset = true;
+    start_phase();
+    const auto extra = translate_deltas(engine_->restore_edges(edges));
+    arrival.deltas.insert(arrival.deltas.end(), extra.begin(), extra.end());
+  }
+  MINREJ_CHECK(false, "saturation unresolved after 256 α doublings — "
+                      "must_accept load exceeds capacity?");
+}
+
+FractionalAdmission::Arrival FractionalAdmission::on_request(
+    const Request& request) {
+  MINREJ_REQUIRE(!request.edges.empty(), "empty request");
+  MINREJ_REQUIRE(request.cost > 0.0, "request cost must be positive");
+  if (config_.unit_costs && !request.must_accept) {
+    MINREJ_REQUIRE(std::abs(request.cost - 1.0) < kUnitCostTolerance,
+                   "unit_costs mode requires cost == 1");
+  }
+
+  Arrival arrival;
+  records_.push_back(Record{request.edges, request.cost, CostClass::kEngine,
+                            false, kInvalidId});
+  const auto id = static_cast<RequestId>(records_.size() - 1);
+  for (EdgeId e : request.edges) {
+    MINREJ_REQUIRE(e < graph_.edge_count(), "request edge out of range");
+    ++preload_[e];
+  }
+
+  // must_accept requests (reduction phase 2) are pinned unconditionally.
+  if (request.must_accept) {
+    records_[id].cost_class = CostClass::kMustAccept;
+    arrival.cost_class = CostClass::kMustAccept;
+    if (!engine_ && !config_.unit_costs && alpha_ <= 0.0) {
+      // A pinned arrival can be the first overflow (reduction phase 2
+      // starts exactly like this); α must be initialized from the
+      // rejectable requests on the overloaded edge or the weights never
+      // start moving.
+      for (EdgeId e : records_[id].edges) {
+        if (preload_[e] <= graph_.capacity(e)) continue;
+        double min_cost = 0.0;
+        bool found = false;
+        for (const Record& r : records_) {
+          if (r.cost_class != CostClass::kMustAccept &&
+              std::binary_search(r.edges.begin(), r.edges.end(), e)) {
+            min_cost = found ? std::min(min_cost, r.cost) : r.cost;
+            found = true;
+          }
+        }
+        MINREJ_REQUIRE(found,
+                       "must_accept requests alone overflow an edge — "
+                       "infeasible instance");
+        alpha_ = min_cost;
+        arrival.phase_reset = true;
+        start_phase();  // pins this arrival via classify_and_register
+        break;
+      }
+    }
+    if (engine_) {
+      if (records_[id].engine_id == kInvalidId) {
+        records_[id].engine_id = engine_->pin(records_[id].edges);
+        engine_map_.push_back(id);
+      }
+      // A pinned arrival raises |ALIVE_e| on its edges, so the covering
+      // invariant may now be violated there; restore it.
+      arrival.deltas =
+          translate_deltas(engine_->restore_edges(records_[id].edges));
+      resolve_saturation(records_[id].edges, arrival);
+    }
+    return arrival;
+  }
+
+  // Weighted auto-α mode, α not yet known: nothing can need rejection
+  // until the first overload, at which point α is initialized to the
+  // cheapest request on the overloaded edge (paper §2).
+  if (!config_.unit_costs && alpha_ <= 0.0) {
+    EdgeId overflow_edge = kInvalidId;
+    for (EdgeId e : records_[id].edges) {
+      if (preload_[e] > graph_.capacity(e)) {
+        overflow_edge = e;
+        break;
+      }
+    }
+    if (overflow_edge == kInvalidId) {
+      return arrival;  // still under capacity everywhere; α stays unknown
+    }
+    double min_cost = records_[id].cost;
+    for (const Record& r : records_) {
+      if (r.cost_class != CostClass::kMustAccept &&
+          std::binary_search(r.edges.begin(), r.edges.end(), overflow_edge)) {
+        min_cost = std::min(min_cost, r.cost);
+      }
+    }
+    alpha_ = min_cost;
+    arrival.phase_reset = true;
+    start_phase();  // classifies and registers everything, incl. this one
+    arrival.cost_class = records_[id].cost_class;
+    if (records_[id].cost_class == CostClass::kEngine ||
+        records_[id].cost_class == CostClass::kAutoAccepted) {
+      // Passive admission skipped the augmentation loop for the arrival;
+      // restore its edges' invariants now.
+      arrival.deltas =
+          translate_deltas(engine_->restore_edges(records_[id].edges));
+      resolve_saturation(records_[id].edges, arrival);
+    }
+    return arrival;
+  }
+
+  // Classification against the current α (weighted mode).
+  if (!config_.unit_costs) {
+    if (request.cost < alpha_ / mc()) {
+      records_[id].cost_class = CostClass::kAutoRejected;
+      records_[id].fully_rejected = true;
+      paid_auto_rejected_ += request.cost;
+      arrival.cost_class = CostClass::kAutoRejected;
+      return arrival;
+    }
+    if (request.cost > 2.0 * alpha_) {
+      records_[id].cost_class = CostClass::kAutoAccepted;
+      records_[id].engine_id = engine_->pin(records_[id].edges);
+      engine_map_.push_back(id);
+      arrival.cost_class = CostClass::kAutoAccepted;
+      arrival.deltas =
+          translate_deltas(engine_->restore_edges(records_[id].edges));
+      resolve_saturation(records_[id].edges, arrival);
+      return arrival;
+    }
+  }
+
+  // Engine path: the weight-augmentation arrival of §2.
+  MINREJ_CHECK(engine_ != nullptr, "engine must exist here");
+  const double update_cost =
+      config_.unit_costs ? 1.0 : normalized_cost(request.cost);
+  const auto& deltas =
+      engine_->arrive(records_[id].edges, update_cost, request.cost);
+  records_[id].engine_id =
+      static_cast<RequestId>(engine_->request_count() - 1);
+  engine_map_.push_back(id);
+  arrival.deltas = translate_deltas(deltas);
+  resolve_saturation(records_[id].edges, arrival);
+
+  // Phase guard: a phase that spends more than Θ(α log(mc)) proves the
+  // guess was too small; forget its fractions and double α.
+  if (!config_.unit_costs && !config_.fixed_alpha &&
+      engine_->fractional_cost() > guard_threshold()) {
+    alpha_ *= 2.0;
+    arrival.phase_reset = true;
+    start_phase();
+  }
+  return arrival;
+}
+
+double FractionalAdmission::fractional_cost() const noexcept {
+  return paid_auto_rejected_ + paid_past_phases_ +
+         (engine_ ? engine_->fractional_cost() : 0.0);
+}
+
+std::uint64_t FractionalAdmission::augmentations() const noexcept {
+  return past_augmentations_ + (engine_ ? engine_->augmentations() : 0);
+}
+
+double FractionalAdmission::weight(RequestId id) const {
+  MINREJ_REQUIRE(id < records_.size(), "unknown request id");
+  const Record& rec = records_[id];
+  if (rec.fully_rejected) return 1.0;
+  switch (rec.cost_class) {
+    case CostClass::kAutoRejected:
+      return 1.0;
+    case CostClass::kAutoAccepted:
+    case CostClass::kMustAccept:
+      return 0.0;
+    case CostClass::kEngine:
+      if (rec.engine_id == kInvalidId || !engine_) return 0.0;
+      return std::min(1.0, engine_->weight(rec.engine_id));
+  }
+  return 0.0;
+}
+
+bool FractionalAdmission::fully_rejected(RequestId id) const {
+  MINREJ_REQUIRE(id < records_.size(), "unknown request id");
+  return records_[id].fully_rejected;
+}
+
+CostClass FractionalAdmission::cost_class(RequestId id) const {
+  MINREJ_REQUIRE(id < records_.size(), "unknown request id");
+  return records_[id].cost_class;
+}
+
+}  // namespace minrej

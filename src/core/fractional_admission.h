@@ -1,0 +1,159 @@
+// fractional_admission.h — the complete fractional online algorithm of
+// paper §2: cost classification, normalization, and the α-doubling scheme
+// wrapped around the weight-augmentation engine.
+//
+// For a current guess α of the fractional optimum:
+//   * requests with cost > 2α are accepted permanently — "the online
+//     algorithm can always completely accept requests of cost exceeding 2α
+//     (and adjust the edge capacities accordingly)";
+//   * requests with cost < α/(mc) are rejected immediately — the R_small
+//     argument shows rejecting all of them is 2-competitive;
+//   * the remaining costs are normalized to [1, g], g ≤ 2mc, and handed to
+//     the FractionalEngine with zero-weight floor 1/(g·c).
+//
+// α is learned online: it starts at the cheapest request on the first
+// overloaded edge ("we can start guessing α = min_{i∈REQ_e} p_i") and
+// doubles whenever the current phase's fractional cost exceeds
+// guard_factor · α · log2(2mc).  On doubling, the phase's rejected
+// fractions are "forgotten" (their cost stays paid — the geometric series
+// argument bounds it by a factor 2) and a fresh engine is seeded with the
+// surviving requests at weight 0.
+//
+// Theorem 2: O(log(mc))-competitive versus the fractional optimum in the
+// weighted case; O(log c) when all costs are 1 (g = 1, unit_costs mode).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/fractional_engine.h"
+#include "graph/request.h"
+
+namespace minrej {
+
+/// Tuning knobs; the defaults follow the paper.
+struct FractionalConfig {
+  /// Unweighted mode: all costs must equal 1.  Skips classification and
+  /// normalization (g = 1) — the Theorem 2 O(log c) case.
+  bool unit_costs = false;
+  /// Phase guard: double α once the phase's fractional cost exceeds
+  /// guard_factor · α · log2(2mc).  Any constant preserves O(log(mc));
+  /// larger values mean fewer phases but a looser constant.
+  double guard_factor = 8.0;
+  /// If set, α is fixed to this value up front (the "α known up to a
+  /// factor of 2" analysis setting) and never doubles.  Used by E7 to
+  /// measure the doubling wrapper's overhead against this oracle.
+  std::optional<double> fixed_alpha;
+};
+
+/// How an arrival was handled by the classification layer.
+enum class CostClass : std::uint8_t {
+  kEngine,        ///< normalized and processed by weight augmentation
+  kAutoAccepted,  ///< cost > 2α: permanently accepted (pinned)
+  kAutoRejected,  ///< cost < α/(mc): rejected immediately
+  kMustAccept,    ///< must_accept request: pinned (reduction phase 2)
+};
+
+/// The fractional algorithm.  Request ids are assigned in arrival order.
+class FractionalAdmission {
+ public:
+  /// Result of one arrival, in *wrapper* request-id space.
+  struct Arrival {
+    CostClass cost_class = CostClass::kEngine;
+    /// Weight increases of this arrival (empty unless kEngine).
+    std::vector<FractionalEngine::Delta> deltas;
+    /// True if α was (re)initialized or doubled by this arrival, which
+    /// resets all weights to zero (deltas above are from before the reset).
+    bool phase_reset = false;
+  };
+
+  explicit FractionalAdmission(const Graph& graph,
+                               FractionalConfig config = {});
+
+  Arrival on_request(const Request& request);
+
+  // -- objective & state ----------------------------------------------------
+
+  /// Total fractional cost paid so far: Σ min(f,1)·p over all phases (the
+  /// forgotten fractions stay paid) plus the auto-rejected costs.
+  double fractional_cost() const noexcept;
+
+  /// f_i of request i: current-phase weight, or 1 if the request was fully
+  /// or auto-rejected, or 0 if pinned/auto-accepted.  Monotonicity of
+  /// weights holds *within* a phase (paper); a phase reset restarts them.
+  double weight(RequestId id) const;
+
+  /// True if the fractional solution rejects request i completely.
+  bool fully_rejected(RequestId id) const;
+
+  CostClass cost_class(RequestId id) const;
+
+  double alpha() const noexcept { return alpha_; }
+  bool alpha_initialized() const noexcept { return alpha_ > 0.0; }
+  std::uint64_t phase_count() const noexcept { return phase_count_; }
+
+  /// Cumulative weight augmentations across all phases (Lemma 1).
+  std::uint64_t augmentations() const noexcept;
+
+  const Graph& graph() const noexcept { return graph_; }
+  std::size_t request_count() const noexcept { return records_.size(); }
+
+  /// Engine of the current phase (tests only; null before first overload
+  /// in auto-α mode).
+  const FractionalEngine* engine() const noexcept { return engine_.get(); }
+
+ private:
+  struct Record {
+    std::vector<EdgeId> edges;
+    double cost = 1.0;
+    CostClass cost_class = CostClass::kEngine;
+    bool fully_rejected = false;     ///< latched across phases
+    RequestId engine_id = kInvalidId;  ///< id inside the current engine
+  };
+
+  /// (Re)builds the engine for the current α, re-admitting survivors.
+  void start_phase();
+
+  /// Classifies one record under the current α and registers it with the
+  /// current engine (pin / auto-reject / passive admit).  `carried_weight`
+  /// seeds the request's weight (phase changes preserve weights — §2's
+  /// monotonicity).
+  void classify_and_register(RequestId id, double carried_weight = 0.0);
+
+  /// Translates engine-local deltas into wrapper-id deltas, latching
+  /// full-rejection flags along the way.
+  std::vector<FractionalEngine::Delta> translate_deltas(
+      const std::vector<FractionalEngine::Delta>& deltas);
+
+  /// Auto-α mode: while any edge of `edges` is saturated (positive excess
+  /// with only pinned requests left), α is provably too small — double it,
+  /// rebuild the phase (un-pinning requests that are no longer "big"), and
+  /// re-run the augmentation loop on those edges.  Appends any resulting
+  /// weight increases to `arrival`.
+  void resolve_saturation(const std::vector<EdgeId>& edges,
+                          Arrival& arrival);
+
+  double normalized_cost(double cost) const;
+  double guard_threshold() const;
+  /// log2(2mc) clamped to >= 1.
+  double log_mc() const;
+  double mc() const;
+
+  const Graph& graph_;
+  FractionalConfig config_;
+  double alpha_ = 0.0;
+  std::uint64_t phase_count_ = 0;
+  std::unique_ptr<FractionalEngine> engine_;
+  std::vector<Record> records_;
+  /// engine-local request id -> wrapper request id (rebuilt each phase).
+  std::vector<RequestId> engine_map_;
+  /// Pre-α per-edge load of non-rejected requests (overflow detection).
+  std::vector<std::int64_t> preload_;
+  double paid_auto_rejected_ = 0.0;
+  double paid_past_phases_ = 0.0;
+  std::uint64_t past_augmentations_ = 0;
+};
+
+}  // namespace minrej

@@ -1,0 +1,159 @@
+// fractional_engine.h — the weight-augmentation engine of paper §2.
+//
+// This is the primal-dual core everything else builds on.  It maintains a
+// monotone non-decreasing weight f_i per request (the *rejected fraction*,
+// capped at 1), and on each arrival restores, for every edge e of the new
+// request, the covering invariant
+//
+//     Σ_{i ∈ ALIVE_e} f_i  ≥  n_e  :=  |ALIVE_e| − c_e
+//
+// by weight augmentations (paper steps 2a–2c):
+//   (a) every alive zero-weight request on e jumps to the floor 1/(g·c);
+//   (b) every alive request on e is multiplied by (1 + 1/(n_e · p_i));
+//   (c) requests crossing f_i ≥ 1 become fully rejected and leave every
+//       ALIVE list (which lowers n_e).
+//
+// Two deviations from the paper's bare setting, both needed by the layers
+// above and both analysed in DESIGN.md §4:
+//   * pinned requests (paper §2's "completely accept requests of cost
+//     exceeding 2α" and §4's must-accept phase-2 element requests): they
+//     occupy capacity and count toward |ALIVE_e| but carry no weight and
+//     are never augmented;
+//   * if every augmentable request on an edge is already fully rejected the
+//     augmentation loop stops (the invariant is unsatisfiable; the α-
+//     doubling wrapper detects the blow-up through the cost guard).
+//
+// Costs come in two flavours per request: `update_cost` (the normalized
+// p_i the multiplicative step uses — the §2 analysis assumes these lie in
+// [1, g]) and `report_cost` (raw units for the objective Σ min(f_i,1)·p_i).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace minrej {
+
+/// Weight-augmentation engine (one instance per α-phase).
+class FractionalEngine {
+ public:
+  /// One request's weight increase during a single arrival.
+  struct Delta {
+    RequestId id = 0;
+    double delta = 0.0;  ///< f_new − f_old (f capped at 1 for reporting)
+  };
+
+  /// `zero_init` is the paper's 1/(g·c) floor for step (a); must be in
+  /// (0, 1).
+  FractionalEngine(const Graph& graph, double zero_init);
+
+  /// Registers a permanently-accepted request occupying capacity on
+  /// `edges` (no weight, never rejected).  Returns its id.
+  RequestId pin(const std::vector<EdgeId>& edges);
+
+  /// Registers an augmentable request WITHOUT running the augmentation
+  /// loop.  Used by the α-doubling wrapper when a new phase re-admits the
+  /// surviving requests of the previous phase under the new normalization.
+  /// `initial_weight` carries the request's weight forward — §2 states the
+  /// weights are monotone over the whole run, so a phase change must not
+  /// reset them (only the phase's *cost accounting* restarts; the carried
+  /// weight is already paid for).  Must be in [0, 1).
+  RequestId admit_existing(const std::vector<EdgeId>& edges,
+                           double update_cost, double report_cost,
+                           double initial_weight = 0.0);
+
+  /// Processes the arrival of an augmentable request.  Runs the
+  /// augmentation loop on each of its edges (in the given order) and
+  /// returns the per-request weight increases of this arrival, including
+  /// the arriving request itself.  The returned reference is valid until
+  /// the next arrive()/pin()/restore_edges() call.
+  const std::vector<Delta>& arrive(const std::vector<EdgeId>& edges,
+                                   double update_cost, double report_cost);
+
+  /// Runs the augmentation loop on the given edges without a new arrival
+  /// (used right after a phase rebuild, when the triggering request was
+  /// admitted passively).  Returns the weight increases, same contract as
+  /// arrive().
+  const std::vector<Delta>& restore_edges(const std::vector<EdgeId>& edges);
+
+  std::size_t request_count() const noexcept { return requests_.size(); }
+
+  double weight(RequestId id) const;
+  bool is_pinned(RequestId id) const;
+  /// f_i >= 1: the fractional solution rejects this request completely.
+  bool fully_rejected(RequestId id) const;
+
+  /// Σ_i min(f_i, 1) · report_cost_i — the fractional objective (§2).
+  double fractional_cost() const noexcept { return fractional_cost_; }
+
+  /// Total number of weight-augmentation steps so far (Lemma 1 bounds
+  /// this by O(α log(g·c))).
+  std::uint64_t augmentations() const noexcept { return augmentations_; }
+
+  /// Test hook: invoked after every single augmentation step with the
+  /// edge that was augmented.  The Lemma-1 white-box test uses this to
+  /// verify the paper's potential Φ = Π max(f_i, 1/gc)^{f*_i·p_i} at
+  /// least doubles per step.  Null by default; keep the callback cheap.
+  void set_augmentation_observer(std::function<void(EdgeId)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // -- introspection for tests and the randomized layer ---------------------
+
+  /// n_e = |ALIVE_e| − c_e (alive = not fully rejected, incl. pinned).
+  std::int64_t excess(EdgeId e) const;
+  /// Σ of weights of alive augmentable requests on e.
+  double alive_weight_sum(EdgeId e) const;
+  /// Invariant of §2: true iff alive_weight_sum(e) >= excess(e), or the
+  /// edge has no augmentable alive request left.
+  bool constraint_satisfied(EdgeId e) const;
+  /// True iff the edge has positive excess but no augmentable alive
+  /// request — the covering constraint is unsatisfiable at the current
+  /// classification.  In auto-α mode this is proof that α is too small
+  /// (only pinned cost->2α requests remain, and OPT must reject fractions
+  /// of them), so the wrapper doubles α on this signal.
+  bool saturated(EdgeId e) const;
+  /// Alive augmentable request ids on edge e (compacted view).
+  std::vector<RequestId> alive_requests(EdgeId e) const;
+
+ private:
+  struct RequestRecord {
+    std::vector<EdgeId> edges;
+    double weight = 0.0;
+    double update_cost = 1.0;
+    double report_cost = 1.0;
+    bool pinned = false;
+    bool alive = true;  ///< weight < 1 (pinned requests stay alive forever)
+    // Delta bookkeeping for the current arrival.
+    std::uint64_t touch_epoch = 0;
+    double weight_at_touch = 0.0;
+  };
+
+  /// Runs the §2 augmentation loop for one edge.
+  void augment_edge(EdgeId e);
+
+  /// Removes dead entries from an edge's member list (lazy deletion).
+  void compact(EdgeId e);
+
+  void touch(RequestId id);
+  void mark_fully_rejected(RequestId id);
+
+  const Graph& graph_;
+  double zero_init_;
+  std::vector<RequestRecord> requests_;
+  // Augmentable members per edge (alive and dead; compacted lazily).
+  std::vector<std::vector<RequestId>> members_;
+  std::vector<std::int64_t> alive_count_;   // augmentable alive per edge
+  std::vector<std::int64_t> pinned_count_;  // pinned per edge
+  double fractional_cost_ = 0.0;
+  std::uint64_t augmentations_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::vector<RequestId> touched_;  // requests touched this arrival
+  std::vector<Delta> deltas_;       // output buffer
+  std::function<void(EdgeId)> observer_;
+};
+
+}  // namespace minrej

@@ -1,0 +1,48 @@
+#include "core/fractional_setcover.h"
+
+#include "util/check.h"
+
+namespace minrej {
+
+FractionalSetCover::FractionalSetCover(const SetSystem& system,
+                                       FractionalConfig config)
+    : system_(system), reduction_(build_reduction(system)),
+      demand_(system.element_count(), 0) {
+  config.unit_costs = system.unit_costs();
+  admission_ =
+      std::make_unique<FractionalAdmission>(reduction_.graph, config);
+  // Phase 1: one request per set; every edge lands exactly at capacity,
+  // so no weight moves yet.
+  for (const Request& r : reduction_.phase1) {
+    admission_->on_request(r);
+  }
+}
+
+void FractionalSetCover::on_element(ElementId j) {
+  MINREJ_REQUIRE(j < system_.element_count(), "element out of range");
+  MINREJ_REQUIRE(
+      demand_[j] < static_cast<std::int64_t>(system_.degree(j)),
+      "element requested more times than it has covering sets — infeasible");
+  ++demand_[j];
+  admission_->on_request(reduction_.element_request(j));
+}
+
+double FractionalSetCover::fraction(SetId s) const {
+  MINREJ_REQUIRE(s < system_.set_count(), "set id out of range");
+  // Phase-1 requests received wrapper ids 0..m-1 in order.
+  return admission_->weight(static_cast<RequestId>(s));
+}
+
+double FractionalSetCover::coverage(ElementId j) const {
+  MINREJ_REQUIRE(j < system_.element_count(), "element out of range");
+  double total = 0.0;
+  for (SetId s : system_.sets_of(j)) total += fraction(s);
+  return total;
+}
+
+std::int64_t FractionalSetCover::demand(ElementId j) const {
+  MINREJ_REQUIRE(j < demand_.size(), "element out of range");
+  return demand_[j];
+}
+
+}  // namespace minrej

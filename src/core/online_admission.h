@@ -1,0 +1,91 @@
+// online_admission.h — the online contract every admission-control
+// algorithm in this library obeys (paper §1):
+//
+//   * requests arrive one at a time and must be accepted or rejected
+//     immediately;
+//   * a previously accepted request may later be preempted (rejected), but
+//     a rejected request can never be accepted again;
+//   * after every arrival the accepted set must satisfy every edge
+//     capacity.
+//
+// OnlineAdmissionAlgorithm enforces all three mechanically: subclasses
+// implement handle() and the base class validates the returned decision,
+// maintains per-edge usage, accumulates rejected cost, and throws
+// InternalError if a subclass ever violates the contract.  The property
+// tests drive every algorithm through this single choke point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/request.h"
+
+namespace minrej {
+
+/// Lifecycle of a request inside an online algorithm.
+enum class RequestState : std::uint8_t { kAccepted, kRejected };
+
+/// Outcome of one arrival: the decision for the arriving request plus any
+/// previously-accepted requests the algorithm preempted to make room.
+struct ArrivalResult {
+  bool accepted = false;
+  std::vector<RequestId> preempted;
+};
+
+/// Base class enforcing the online admission-control contract.
+class OnlineAdmissionAlgorithm {
+ public:
+  explicit OnlineAdmissionAlgorithm(const Graph& graph);
+  virtual ~OnlineAdmissionAlgorithm() = default;
+
+  OnlineAdmissionAlgorithm(const OnlineAdmissionAlgorithm&) = delete;
+  OnlineAdmissionAlgorithm& operator=(const OnlineAdmissionAlgorithm&) =
+      delete;
+
+  /// Processes the next arrival.  Returns the validated outcome.
+  ArrivalResult process(const Request& request);
+
+  /// Human-readable algorithm name for result tables.
+  virtual std::string name() const = 0;
+
+  const Graph& graph() const noexcept { return graph_; }
+  std::size_t arrivals() const noexcept { return requests_.size(); }
+
+  RequestState state(RequestId id) const;
+  bool is_accepted(RequestId id) const { return state(id) == RequestState::kAccepted; }
+
+  /// Total cost of all rejected requests so far (the objective).
+  double rejected_cost() const noexcept { return rejected_cost_; }
+  std::size_t rejected_count() const noexcept { return rejected_count_; }
+
+  /// Accepted load per edge (always <= capacity between arrivals).
+  const std::vector<std::int64_t>& edge_usage() const noexcept {
+    return usage_;
+  }
+
+  /// True if accepting `request` right now would violate some capacity.
+  bool would_overflow(const Request& request) const;
+
+ protected:
+  /// Subclass decision hook.  `id` is the id just assigned to `request`.
+  /// The base class applies the returned result; subclasses must NOT mutate
+  /// usage or state themselves.
+  virtual ArrivalResult handle(RequestId id, const Request& request) = 0;
+
+  /// Stored copy of a processed request (subclasses read these freely).
+  const Request& stored_request(RequestId id) const { return requests_[id]; }
+
+ private:
+  void apply_rejection(RequestId id);
+
+  const Graph& graph_;
+  std::vector<Request> requests_;
+  std::vector<RequestState> states_;
+  std::vector<std::int64_t> usage_;
+  double rejected_cost_ = 0.0;
+  std::size_t rejected_count_ = 0;
+};
+
+}  // namespace minrej

@@ -1,0 +1,83 @@
+#include "core/online_setcover.h"
+
+#include "util/check.h"
+
+namespace minrej {
+
+OnlineSetCoverAlgorithm::OnlineSetCoverAlgorithm(const SetSystem& system)
+    : system_(system), chosen_(system.set_count(), false),
+      demand_(system.element_count(), 0),
+      covered_(system.element_count(), 0) {}
+
+std::int64_t OnlineSetCoverAlgorithm::demand(ElementId j) const {
+  MINREJ_REQUIRE(j < demand_.size(), "element out of range");
+  return demand_[j];
+}
+
+std::int64_t OnlineSetCoverAlgorithm::covered(ElementId j) const {
+  MINREJ_REQUIRE(j < covered_.size(), "element out of range");
+  return covered_[j];
+}
+
+std::vector<SetId> OnlineSetCoverAlgorithm::on_element(ElementId j) {
+  MINREJ_REQUIRE(j < system_.element_count(), "element out of range");
+  MINREJ_REQUIRE(
+      demand_[j] < static_cast<std::int64_t>(system_.degree(j)),
+      "element requested more times than it has covering sets — infeasible");
+  ++demand_[j];
+
+  std::vector<SetId> added = handle_element(j);
+  for (SetId s : added) {
+    MINREJ_CHECK(s < chosen_.size(), "unknown set id");
+    MINREJ_CHECK(!chosen_[s], "algorithm chose an already-chosen set");
+    chosen_[s] = true;
+    ++chosen_count_;
+    cost_ += system_.cost(s);
+    for (ElementId covered_elem : system_.elements_of(s)) {
+      ++covered_[covered_elem];
+    }
+  }
+
+  // Contract: the promised coverage level must hold after every arrival.
+  const std::int64_t need =
+      std::min<std::int64_t>(required_coverage(demand_[j]),
+                             static_cast<std::int64_t>(system_.degree(j)));
+  MINREJ_CHECK(covered_[j] >= need,
+               "online set cover contract violated after arrival");
+  return added;
+}
+
+ReductionSetCover::ReductionSetCover(const SetSystem& system,
+                                     RandomizedConfig config)
+    : OnlineSetCoverAlgorithm(system), reduction_(build_reduction(system)) {
+  config.unit_costs = system.unit_costs();
+  admission_ =
+      std::make_unique<RandomizedAdmission>(reduction_.graph, config);
+
+  // Phase 1: one request per set; every edge lands exactly at capacity, so
+  // all of them are accepted (no augmentation is triggered).
+  for (std::size_t s = 0; s < reduction_.phase1.size(); ++s) {
+    const ArrivalResult r = admission_->process(reduction_.phase1[s]);
+    MINREJ_CHECK(r.accepted && r.preempted.empty(),
+                 "phase-1 request unexpectedly rejected or preempting");
+  }
+}
+
+std::vector<SetId> ReductionSetCover::handle_element(ElementId j) {
+  const ArrivalResult r =
+      admission_->process(reduction_.element_request(j));
+  MINREJ_CHECK(r.accepted, "phase-2 request must be accepted");
+
+  // Preempted phase-1 requests are the newly chosen sets.  (Phase-2
+  // requests are must_accept and can never be preempted.)
+  std::vector<SetId> added;
+  added.reserve(r.preempted.size());
+  for (RequestId i : r.preempted) {
+    MINREJ_CHECK(i < reduction_.phase1.size(),
+                 "preempted a phase-2 request — reduction broken");
+    added.push_back(static_cast<SetId>(i));
+  }
+  return added;
+}
+
+}  // namespace minrej

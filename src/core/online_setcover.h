@@ -1,0 +1,93 @@
+// online_setcover.h — the online set cover (with repetitions) contract and
+// the randomized algorithm obtained through the §4 reduction.
+//
+// Contract (paper §1): elements arrive one at a time, possibly repeatedly
+// and non-consecutively; after the k-th arrival of element j the chosen
+// collection must contain k distinct sets covering j (bicriteria
+// algorithms: ⌈(1−ε)k⌉).  Sets, once chosen, stay chosen.
+//
+// OnlineSetCoverAlgorithm enforces the mechanics: monotone cover, cost
+// accounting, demand/coverage counters (which the adaptive adversary in
+// sim/ also reads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/randomized_admission.h"
+#include "core/reduction.h"
+#include "setcover/set_system.h"
+
+namespace minrej {
+
+/// Base class enforcing the online set cover contract.
+class OnlineSetCoverAlgorithm {
+ public:
+  explicit OnlineSetCoverAlgorithm(const SetSystem& system);
+  virtual ~OnlineSetCoverAlgorithm() = default;
+
+  OnlineSetCoverAlgorithm(const OnlineSetCoverAlgorithm&) = delete;
+  OnlineSetCoverAlgorithm& operator=(const OnlineSetCoverAlgorithm&) = delete;
+
+  /// Presents one more arrival of element j; returns the sets newly added
+  /// to the cover in response.
+  std::vector<SetId> on_element(ElementId j);
+
+  virtual std::string name() const = 0;
+
+  const SetSystem& system() const noexcept { return system_; }
+  const std::vector<bool>& chosen() const noexcept { return chosen_; }
+  double cost() const noexcept { return cost_; }
+  std::size_t chosen_count() const noexcept { return chosen_count_; }
+
+  /// Number of times element j has arrived so far.
+  std::int64_t demand(ElementId j) const;
+  /// Number of chosen sets containing element j.
+  std::int64_t covered(ElementId j) const;
+
+  /// Guarantee this algorithm promises: covered(j) >= required(demand(j))
+  /// after every arrival.  Exact algorithms return k; bicriteria return
+  /// ⌈(1−ε)k⌉.  (Always capped by degree(j).)
+  virtual std::int64_t required_coverage(std::int64_t k) const { return k; }
+
+ protected:
+  /// Subclass hook: choose the sets to add for this arrival of j.  The
+  /// base applies them (deduplicated; re-adding a chosen set is an error).
+  virtual std::vector<SetId> handle_element(ElementId j) = 0;
+
+  bool is_chosen(SetId s) const { return chosen_[s]; }
+
+ private:
+  const SetSystem& system_;
+  std::vector<bool> chosen_;
+  std::vector<std::int64_t> demand_;
+  std::vector<std::int64_t> covered_;
+  double cost_ = 0.0;
+  std::size_t chosen_count_ = 0;
+};
+
+/// The O(log m log n) (unit costs) / O(log²(mn)) (weighted) randomized
+/// online set cover algorithm: the §3 randomized admission algorithm run
+/// on the §4 reduction.  Preempted phase-1 requests are the chosen sets.
+class ReductionSetCover : public OnlineSetCoverAlgorithm {
+ public:
+  /// `config` configures the underlying admission algorithm; unit_costs is
+  /// derived from the set system automatically.
+  ReductionSetCover(const SetSystem& system, RandomizedConfig config = {});
+
+  std::string name() const override { return "randomized-via-reduction"; }
+
+  /// The underlying admission algorithm (tests/experiments).
+  const RandomizedAdmission& admission() const noexcept { return *admission_; }
+
+ protected:
+  std::vector<SetId> handle_element(ElementId j) override;
+
+ private:
+  ReductionInstance reduction_;
+  std::unique_ptr<RandomizedAdmission> admission_;
+};
+
+}  // namespace minrej

@@ -1,0 +1,53 @@
+#include "core/reduction.h"
+
+#include "util/check.h"
+
+namespace minrej {
+
+Request ReductionInstance::element_request(ElementId j) const {
+  MINREJ_REQUIRE(j < graph.edge_count(), "element out of range");
+  // Phase-2 requests are must_accept; cost is irrelevant to the objective
+  // (they are never rejected) but must be positive.
+  return Request({static_cast<EdgeId>(j)}, 1.0, /*must_accept=*/true);
+}
+
+ReductionInstance build_reduction(const SetSystem& system) {
+  const std::size_t n = system.element_count();
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto degree =
+        static_cast<std::int64_t>(system.degree(static_cast<ElementId>(j)));
+    MINREJ_REQUIRE(degree >= 1,
+                   "reduction requires every element to be in some set");
+    // Star topology: center vertex 0, leaf j+1; edge j has capacity |S_j|.
+    edges.push_back({0, static_cast<VertexId>(j + 1), degree});
+  }
+  ReductionInstance instance{Graph(n + 1, std::move(edges)), {}};
+
+  instance.phase1.reserve(system.set_count());
+  for (std::size_t s = 0; s < system.set_count(); ++s) {
+    std::vector<EdgeId> request_edges;
+    const auto members = system.elements_of(static_cast<SetId>(s));
+    request_edges.reserve(members.size());
+    for (ElementId j : members) {
+      request_edges.push_back(static_cast<EdgeId>(j));
+    }
+    instance.phase1.emplace_back(std::move(request_edges),
+                                 system.cost(static_cast<SetId>(s)));
+  }
+  return instance;
+}
+
+AdmissionInstance reduced_admission_instance(
+    const SetSystem& system, const std::vector<ElementId>& arrivals) {
+  ReductionInstance red = build_reduction(system);
+  std::vector<Request> requests = red.phase1;
+  requests.reserve(requests.size() + arrivals.size());
+  for (ElementId j : arrivals) {
+    requests.push_back(red.element_request(j));
+  }
+  return AdmissionInstance(std::move(red.graph), std::move(requests));
+}
+
+}  // namespace minrej

@@ -1,0 +1,45 @@
+// reduction.h — the paper's §4 reduction from online set cover with
+// repetitions to admission control.
+//
+// Given (X, S): build a graph with one edge e_j per element j, with
+// capacity |S_j| (the number of sets containing j).  Phase 1 presents one
+// request per set S — the edge set {e_j : j ∈ S} at cost(S) — all of which
+// fit exactly (every edge reaches full capacity).  Phase 2 presents, for
+// each arrival of element j, a single-edge request {e_j}; it is tagged
+// must_accept ("there is no reason for the admission control algorithm to
+// reject requests given in the second phase"), so each arrival forces one
+// more phase-1 request through e_j to be preempted.  Preempted phase-1
+// requests are exactly the sets chosen by the induced cover.
+//
+// The paper notes the requests need not be simple paths ("can be easily
+// fixed by adding extra edges"); since every algorithm here treats a
+// request as an edge subset (paper §6), the star-shaped graph below is
+// used as-is.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/request.h"
+#include "setcover/set_system.h"
+
+namespace minrej {
+
+/// The admission-control instance induced by a set system.
+struct ReductionInstance {
+  Graph graph;                  ///< edge j <-> element j, capacity |S_j|
+  std::vector<Request> phase1;  ///< request i <-> set i (cost = set cost)
+
+  /// Phase-2 request for one arrival of element j.
+  Request element_request(ElementId j) const;
+};
+
+/// Builds the reduction.  Requires every element to belong to at least one
+/// set (degree >= 1), otherwise its edge capacity would be 0.
+ReductionInstance build_reduction(const SetSystem& system);
+
+/// Convenience: the full admission instance for a fixed arrival sequence
+/// (phase 1 then one phase-2 request per arrival).  Used to cross-check
+/// offline optima: OPT_multicover(instance) == OPT_admission(reduced).
+AdmissionInstance reduced_admission_instance(
+    const SetSystem& system, const std::vector<ElementId>& arrivals);
+
+}  // namespace minrej

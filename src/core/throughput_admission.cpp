@@ -1,0 +1,56 @@
+#include "core/throughput_admission.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+ThroughputAdmission::ThroughputAdmission(const Graph& graph,
+                                         ThroughputConfig config)
+    : OnlineAdmissionAlgorithm(graph), config_(config) {
+  MINREJ_REQUIRE(config_.threshold >= 0.0, "threshold must be >= 0");
+  mu_ = config_.mu > 0.0
+            ? config_.mu
+            : 2.0 * static_cast<double>(graph.edge_count()) + 1.0;
+  MINREJ_REQUIRE(mu_ > 1.0, "mu must exceed 1");
+  if (config_.threshold == 0.0) {
+    config_.threshold = std::max(1.0, std::log(mu_));
+  }
+}
+
+ArrivalResult ThroughputAdmission::handle(RequestId /*id*/,
+                                          const Request& request) {
+  ArrivalResult result;
+  if (request.must_accept) {
+    MINREJ_REQUIRE(!would_overflow(request),
+                   "throughput-aap cannot honour must_accept overflow "
+                   "(non-preemptive)");
+    result.accepted = true;
+    ++accepted_count_;
+    accepted_benefit_ += request.cost;
+    return result;
+  }
+  if (would_overflow(request)) {
+    result.accepted = false;
+    return result;
+  }
+
+  // Exponential path cost: Σ_e c_e (μ^{(u_e+1)/c_e} − μ^{u_e/c_e}).
+  double path_cost = 0.0;
+  for (EdgeId e : request.edges) {
+    const double cap = static_cast<double>(graph().capacity(e));
+    const double u = static_cast<double>(edge_usage()[e]);
+    path_cost += cap * (std::pow(mu_, (u + 1.0) / cap) -
+                        std::pow(mu_, u / cap));
+  }
+  // Benefit of a request is its cost p (what we'd lose by rejecting it).
+  result.accepted = path_cost <= config_.threshold * mu_ * request.cost;
+  if (result.accepted) {
+    ++accepted_count_;
+    accepted_benefit_ += request.cost;
+  }
+  return result;
+}
+
+}  // namespace minrej

@@ -1,0 +1,118 @@
+#include "core/weighted_bicriteria.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+WeightedBicriteriaSetCover::WeightedBicriteriaSetCover(
+    const SetSystem& system, BicriteriaConfig config)
+    : OnlineSetCoverAlgorithm(system), config_(config),
+      weight_(system.set_count(),
+              1.0 / (2.0 * static_cast<double>(system.set_count()))),
+      elem_weight_(system.element_count(), 0.0),
+      cover_(system.element_count(), 0),
+      in_cover_(system.set_count(), false) {
+  MINREJ_REQUIRE(config_.epsilon > 0.0 && config_.epsilon < 1.0,
+                 "epsilon must be in (0, 1)");
+  for (std::size_t j = 0; j < system.element_count(); ++j) {
+    elem_weight_[j] =
+        static_cast<double>(system.degree(static_cast<ElementId>(j))) /
+        (2.0 * static_cast<double>(system.set_count()));
+  }
+}
+
+std::int64_t WeightedBicriteriaSetCover::required_coverage(
+    std::int64_t k) const {
+  return static_cast<std::int64_t>(
+      std::ceil((1.0 - config_.epsilon) * static_cast<double>(k) - 1e-9));
+}
+
+long double WeightedBicriteriaSetCover::term(ElementId j) const {
+  const long double n = static_cast<long double>(system().element_count());
+  return std::pow(n, 2.0L * (static_cast<long double>(elem_weight_[j]) -
+                             static_cast<long double>(cover_[j])));
+}
+
+double WeightedBicriteriaSetCover::potential() const {
+  long double phi = 0.0L;
+  for (std::size_t j = 0; j < system().element_count(); ++j) {
+    phi += term(static_cast<ElementId>(j));
+  }
+  return static_cast<double>(phi);
+}
+
+double WeightedBicriteriaSetCover::set_weight(SetId s) const {
+  MINREJ_REQUIRE(s < weight_.size(), "set id out of range");
+  return weight_[s];
+}
+
+std::vector<SetId> WeightedBicriteriaSetCover::handle_element(ElementId j) {
+  const std::int64_t k = demand(j);
+  const std::int64_t target =
+      std::min<std::int64_t>(required_coverage(k),
+                             static_cast<std::int64_t>(system().degree(j)));
+
+  std::vector<SetId> added;
+  auto add_set = [&](SetId s) {
+    MINREJ_CHECK(!in_cover_[s], "set added twice");
+    in_cover_[s] = true;
+    added.push_back(s);
+    for (ElementId member : system().elements_of(s)) ++cover_[member];
+  };
+
+  while (cover_[j] < target) {
+    ++augmentations_;
+    const long double phi_start = potential();
+
+    // (a) cost-scaled multiplicative step: cheap sets grow faster, the
+    // same asymmetry §2 uses for requests (1 + 1/(n_e p_i)).
+    for (SetId s : system().sets_of(j)) {
+      if (in_cover_[s]) continue;
+      const double before = weight_[s];
+      weight_[s] = before * (1.0 + 1.0 / (2.0 * static_cast<double>(k) *
+                                          system().cost(s)));
+      const double delta = weight_[s] - before;
+      for (ElementId member : system().elements_of(s)) {
+        elem_weight_[member] += delta;
+      }
+    }
+
+    // (b) threshold rule.
+    for (SetId s : system().sets_of(j)) {
+      if (!in_cover_[s] && weight_[s] >= 1.0) add_set(s);
+    }
+
+    // (c) rounding: best potential decrease per unit cost until Φ is
+    // restored.  Adding all of S_j always suffices (same argument as the
+    // unit-cost case), so the loop terminates.
+    while (potential() > phi_start + 1e-9L) {
+      SetId best = 0;
+      long double best_score = -1.0L;
+      bool found = false;
+      for (SetId s : system().sets_of(j)) {
+        if (in_cover_[s]) continue;
+        long double gain = 0.0L;
+        for (ElementId member : system().elements_of(s)) {
+          gain += term(member);
+        }
+        const long double score =
+            gain / static_cast<long double>(system().cost(s));
+        if (score > best_score) {
+          best_score = score;
+          best = s;
+          found = true;
+        }
+      }
+      if (!found) break;
+      add_set(best);
+    }
+    MINREJ_CHECK(potential() <= phi_start + 1e-6L,
+                 "potential not restored after exhausting S_j");
+  }
+  return added;
+}
+
+}  // namespace minrej

@@ -1,0 +1,59 @@
+// weighted_bicriteria.h — the weighted generalization of the §5
+// deterministic bicriteria algorithm.
+//
+// The paper proves §5 for unit costs and remarks "The result can be easily
+// generalized for the weighted case using techniques from [2]" (Alon,
+// Awerbuch, Azar, Buchbinder, Naor — STOC'03).  This module implements
+// that generalization the way [2] weights its fractional updates: the
+// multiplicative step scales inversely with the set's cost, so cheap sets
+// race toward the threshold faster —
+//     w_S ← w_S · (1 + 1/(2k·cost_S))      for S ∈ S_j \ C,
+// which reduces to the paper's exact rule when every cost is 1.  The
+// potential Φ = Σ_j n^{2(w_j − cover_j)} and threshold rule are unchanged;
+// the derandomized rounding picks the set with the best potential decrease
+// *per unit cost* and keeps picking until Φ returns below its
+// pre-augmentation value.
+//
+// Status: EXTENSION.  The coverage contract (⌈(1−ε)k⌉ distinct sets per
+// element, enforced by the base class) is exact; the O(log m log n)
+// cost bound for the weighted case is the paper's claim-by-reference, and
+// E8's weighted table reports what we measure rather than a proven bound.
+#pragma once
+
+#include <cstdint>
+
+#include "core/bicriteria_setcover.h"
+
+namespace minrej {
+
+/// Weighted bicriteria online set cover (extension of §5).
+class WeightedBicriteriaSetCover : public OnlineSetCoverAlgorithm {
+ public:
+  WeightedBicriteriaSetCover(const SetSystem& system,
+                             BicriteriaConfig config = {});
+
+  std::string name() const override { return "bicriteria-weighted"; }
+
+  std::int64_t required_coverage(std::int64_t k) const override;
+
+  /// Φ = Σ_j n^{2(w_j − cover_j)} (same invariant target Φ ≤ n²).
+  double potential() const;
+
+  std::uint64_t augmentations() const noexcept { return augmentations_; }
+  double set_weight(SetId s) const;
+
+ protected:
+  std::vector<SetId> handle_element(ElementId j) override;
+
+ private:
+  long double term(ElementId j) const;
+
+  BicriteriaConfig config_;
+  std::vector<double> weight_;
+  std::vector<double> elem_weight_;
+  std::vector<std::int64_t> cover_;
+  std::vector<bool> in_cover_;
+  std::uint64_t augmentations_ = 0;
+};
+
+}  // namespace minrej

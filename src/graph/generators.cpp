@@ -1,0 +1,226 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace minrej {
+
+Graph make_line_graph(std::size_t edge_count, std::int64_t capacity) {
+  MINREJ_REQUIRE(edge_count >= 1, "line graph needs at least one edge");
+  std::vector<Edge> edges;
+  edges.reserve(edge_count);
+  for (std::size_t i = 0; i < edge_count; ++i) {
+    edges.push_back({static_cast<VertexId>(i), static_cast<VertexId>(i + 1),
+                     capacity});
+  }
+  return Graph(edge_count + 1, std::move(edges));
+}
+
+Graph make_star_graph(std::size_t leaf_count, std::int64_t capacity) {
+  MINREJ_REQUIRE(leaf_count >= 1, "star graph needs at least one leaf");
+  std::vector<Edge> edges;
+  edges.reserve(leaf_count);
+  for (std::size_t i = 0; i < leaf_count; ++i) {
+    edges.push_back({0, static_cast<VertexId>(i + 1), capacity});
+  }
+  return Graph(leaf_count + 1, std::move(edges));
+}
+
+Graph make_binary_tree(std::size_t depth, std::int64_t capacity) {
+  MINREJ_REQUIRE(depth >= 1, "tree depth must be >= 1");
+  // Heap numbering: vertex v has children 2v+1 and 2v+2.
+  const std::size_t vertex_count = (std::size_t{1} << (depth + 1)) - 1;
+  std::vector<Edge> edges;
+  edges.reserve(vertex_count - 1);
+  for (std::size_t v = 0; 2 * v + 2 < vertex_count; ++v) {
+    edges.push_back({static_cast<VertexId>(v),
+                     static_cast<VertexId>(2 * v + 1), capacity});
+    edges.push_back({static_cast<VertexId>(v),
+                     static_cast<VertexId>(2 * v + 2), capacity});
+  }
+  return Graph(vertex_count, std::move(edges));
+}
+
+Graph make_grid_graph(std::size_t rows, std::size_t cols,
+                      std::int64_t capacity) {
+  MINREJ_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  auto vid = [cols](std::size_t r, std::size_t c) {
+    return static_cast<VertexId>(r * cols + c);
+  };
+  std::vector<Edge> edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({vid(r, c), vid(r, c + 1), capacity});
+      if (r + 1 < rows) edges.push_back({vid(r, c), vid(r + 1, c), capacity});
+    }
+  }
+  return Graph(rows * cols, std::move(edges));
+}
+
+Graph make_random_graph(std::size_t vertex_count, std::size_t edge_count,
+                        std::int64_t cap_min, std::int64_t cap_max, Rng& rng) {
+  MINREJ_REQUIRE(vertex_count >= 2, "random graph needs >= 2 vertices");
+  MINREJ_REQUIRE(1 <= cap_min && cap_min <= cap_max, "bad capacity range");
+  MINREJ_REQUIRE(edge_count <= vertex_count * (vertex_count - 1),
+                 "too many edges for a simple digraph");
+  std::set<std::pair<VertexId, VertexId>> seen;
+  std::vector<Edge> edges;
+  edges.reserve(edge_count);
+  while (edges.size() < edge_count) {
+    const auto u = static_cast<VertexId>(rng.index(vertex_count));
+    const auto v = static_cast<VertexId>(rng.index(vertex_count));
+    if (u == v || !seen.emplace(u, v).second) continue;
+    edges.push_back({u, v, rng.uniform_int(cap_min, cap_max)});
+  }
+  return Graph(vertex_count, std::move(edges));
+}
+
+Graph make_single_edge_graph(std::int64_t capacity) {
+  return Graph(2, {Edge{0, 1, capacity}});
+}
+
+Graph make_hypercube_graph(std::size_t dimension, std::int64_t capacity) {
+  MINREJ_REQUIRE(dimension >= 1 && dimension <= 20, "bad hypercube dimension");
+  const std::size_t n = std::size_t{1} << dimension;
+  std::vector<Edge> edges;
+  edges.reserve(n * dimension);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t b = 0; b < dimension; ++b) {
+      edges.push_back({static_cast<VertexId>(v),
+                       static_cast<VertexId>(v ^ (std::size_t{1} << b)),
+                       capacity});
+    }
+  }
+  return Graph(n, std::move(edges));
+}
+
+Graph make_regular_graph(std::size_t vertex_count, std::size_t out_degree,
+                         std::int64_t capacity, Rng& rng) {
+  MINREJ_REQUIRE(vertex_count >= 2, "regular graph needs >= 2 vertices");
+  MINREJ_REQUIRE(out_degree >= 1 && out_degree < vertex_count,
+                 "out_degree must be in [1, vertex_count)");
+  std::vector<Edge> edges;
+  edges.reserve(vertex_count * out_degree);
+  for (std::size_t v = 0; v < vertex_count; ++v) {
+    // Sample out_degree distinct targets from the other vertices.
+    for (std::size_t idx : rng.sample_indices(vertex_count - 1, out_degree)) {
+      const std::size_t target = idx < v ? idx : idx + 1;  // skip self
+      edges.push_back({static_cast<VertexId>(v),
+                       static_cast<VertexId>(target), capacity});
+    }
+  }
+  return Graph(vertex_count, std::move(edges));
+}
+
+Request make_line_request(const Graph& line, std::size_t first_edge,
+                          std::size_t length, double cost) {
+  MINREJ_REQUIRE(length >= 1, "line request needs positive length");
+  MINREJ_REQUIRE(first_edge + length <= line.edge_count(),
+                 "line request out of range");
+  std::vector<EdgeId> edges;
+  edges.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    edges.push_back(static_cast<EdgeId>(first_edge + i));
+  }
+  return Request(std::move(edges), cost);
+}
+
+Request random_line_request(const Graph& line, Rng& rng, std::size_t min_len,
+                            std::size_t max_len, double cost) {
+  MINREJ_REQUIRE(min_len >= 1 && min_len <= max_len, "bad length range");
+  max_len = std::min(max_len, line.edge_count());
+  min_len = std::min(min_len, max_len);
+  const std::size_t len = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_len),
+                      static_cast<std::int64_t>(max_len)));
+  const std::size_t first = rng.index(line.edge_count() - len + 1);
+  return make_line_request(line, first, len, cost);
+}
+
+Request random_walk_request(const Graph& graph, Rng& rng,
+                            std::size_t max_edges, double cost) {
+  MINREJ_REQUIRE(max_edges >= 1, "walk needs at least one edge");
+  MINREJ_REQUIRE(graph.edge_count() >= 1, "graph has no edges");
+  // Restart until we find a start vertex with outgoing edges (the validated
+  // topologies all have one; a fully-sink random graph would loop, so cap
+  // the restarts).
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    auto v = static_cast<VertexId>(rng.index(graph.vertex_count()));
+    if (graph.out_edges(v).empty()) continue;
+    std::vector<EdgeId> path;
+    std::set<VertexId> visited{v};
+    while (path.size() < max_edges) {
+      const auto out = graph.out_edges(v);
+      // Collect self-avoiding continuations.
+      std::vector<EdgeId> options;
+      for (EdgeId e : out) {
+        if (!visited.count(graph.edge(e).to)) options.push_back(e);
+      }
+      if (options.empty()) break;
+      const EdgeId e = options[rng.index(options.size())];
+      path.push_back(e);
+      v = graph.edge(e).to;
+      visited.insert(v);
+    }
+    if (!path.empty()) return Request(std::move(path), cost);
+  }
+  throw InvalidArgument("random_walk_request: could not find a walk start");
+}
+
+Request random_tree_path_request(const Graph& tree, Rng& rng, double cost) {
+  MINREJ_REQUIRE(tree.edge_count() >= 2, "tree too small");
+  std::vector<EdgeId> path;
+  VertexId v = 0;  // root
+  for (;;) {
+    const auto out = tree.out_edges(v);
+    if (out.empty()) break;
+    const EdgeId e = out[rng.index(out.size())];
+    path.push_back(e);
+    v = tree.edge(e).to;
+  }
+  return Request(std::move(path), cost);
+}
+
+Request random_grid_path_request(const Graph& grid, std::size_t rows,
+                                 std::size_t cols, Rng& rng, double cost) {
+  MINREJ_REQUIRE(rows * cols == grid.vertex_count(), "grid shape mismatch");
+  MINREJ_REQUIRE(rows >= 2 || cols >= 2, "grid too small for a path");
+  // Pick start (r0,c0) and end (r1,c1) with r0<=r1, c0<=c1, not equal.
+  std::size_t r0, c0, r1, c1;
+  do {
+    r0 = rng.index(rows);
+    r1 = r0 + rng.index(rows - r0);
+    c0 = rng.index(cols);
+    c1 = c0 + rng.index(cols - c0);
+  } while (r0 == r1 && c0 == c1);
+
+  // Walk a random monotone staircase from (r0,c0) to (r1,c1), following the
+  // right/down edges make_grid_graph laid out.
+  std::vector<EdgeId> path;
+  std::size_t r = r0, c = c0;
+  auto vid = [cols](std::size_t rr, std::size_t cc) {
+    return static_cast<VertexId>(rr * cols + cc);
+  };
+  while (r < r1 || c < c1) {
+    const bool can_right = c < c1;
+    const bool can_down = r < r1;
+    const bool go_right = can_right && (!can_down || rng.bernoulli(0.5));
+    const VertexId here = vid(r, c);
+    const VertexId next = go_right ? vid(r, c + 1) : vid(r + 1, c);
+    // Find the edge here->next in the adjacency (grids have out-degree <= 2).
+    EdgeId chosen = kInvalidId;
+    for (EdgeId e : grid.out_edges(here)) {
+      if (grid.edge(e).to == next) {
+        chosen = e;
+        break;
+      }
+    }
+    MINREJ_CHECK(chosen != kInvalidId, "grid edge lookup failed");
+    path.push_back(chosen);
+    if (go_right) ++c; else ++r;
+  }
+  return Request(std::move(path), cost);
+}
+
+}  // namespace minrej

@@ -1,0 +1,87 @@
+// generators.h — graph topologies and request samplers for workloads.
+//
+// These produce the network substrates the experiments run on.  Topologies
+// mirror the settings the admission-control literature cares about (the
+// line, trees, meshes, general graphs — see the related-work discussion in
+// paper §1), and the request samplers produce *simple paths* so the
+// workloads match the problem statement even though the algorithms only see
+// edge subsets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/request.h"
+#include "util/rng.h"
+
+namespace minrej {
+
+/// Directed path with `edge_count` edges, all with capacity `capacity`.
+/// Vertex i connects to i+1; EdgeId i is the edge (i -> i+1).
+Graph make_line_graph(std::size_t edge_count, std::int64_t capacity);
+
+/// Star: `leaf_count` edges center -> leaf, uniform capacity.  Vertex 0 is
+/// the center.  The single-shared-resource topology: every request through
+/// the center contends on its own edge only, so stars exercise the
+/// single-edge analysis (and the set-cover reduction uses exactly this
+/// one-edge-per-element shape).
+Graph make_star_graph(std::size_t leaf_count, std::int64_t capacity);
+
+/// Complete binary tree of the given depth (depth >= 1 gives 2 edges),
+/// edges directed from the root down, uniform capacity.
+Graph make_binary_tree(std::size_t depth, std::int64_t capacity);
+
+/// rows x cols grid with rightward and downward edges, uniform capacity.
+Graph make_grid_graph(std::size_t rows, std::size_t cols,
+                      std::int64_t capacity);
+
+/// Random digraph: `vertex_count` vertices, `edge_count` distinct directed
+/// edges (no self loops), capacities uniform in [cap_min, cap_max].
+Graph make_random_graph(std::size_t vertex_count, std::size_t edge_count,
+                        std::int64_t cap_min, std::int64_t cap_max, Rng& rng);
+
+/// A single edge with the given capacity — the minimal instance used by the
+/// unit tests and the tightest stage for capacity-boundary behaviour.
+Graph make_single_edge_graph(std::int64_t capacity);
+
+/// Directed d-dimensional hypercube: 2^dimension vertices; for every vertex
+/// v and bit b an edge v -> v^(1<<b) (both directions exist because the
+/// complementary vertex also emits one).  The classic HPC interconnect
+/// topology: m = d·2^d edges, diameter d.
+Graph make_hypercube_graph(std::size_t dimension, std::int64_t capacity);
+
+/// Random out-regular digraph: every vertex gets exactly `out_degree`
+/// distinct out-neighbours (no self loops).  An expander-ish substrate for
+/// the random-walk request sampler.
+Graph make_regular_graph(std::size_t vertex_count, std::size_t out_degree,
+                         std::int64_t capacity, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Request samplers.  All return edge *sets* that are simple paths in the
+// given topology.
+// ---------------------------------------------------------------------------
+
+/// Contiguous subpath [first_edge, first_edge+length) on a line graph.
+Request make_line_request(const Graph& line, std::size_t first_edge,
+                          std::size_t length, double cost);
+
+/// Uniformly random contiguous subpath of a line graph with length in
+/// [min_len, max_len] (clamped to the line).
+Request random_line_request(const Graph& line, Rng& rng, std::size_t min_len,
+                            std::size_t max_len, double cost);
+
+/// Random simple path via self-avoiding random walk from a random start,
+/// up to max_edges edges (at least 1; walks stop early at dead ends).
+Request random_walk_request(const Graph& graph, Rng& rng,
+                            std::size_t max_edges, double cost);
+
+/// Root-to-leaf path in a tree built by make_binary_tree.
+Request random_tree_path_request(const Graph& tree, Rng& rng, double cost);
+
+/// Monotone (right/down) staircase path between two random corners of a
+/// grid built by make_grid_graph.
+Request random_grid_path_request(const Graph& grid, std::size_t rows,
+                                 std::size_t cols, Rng& rng, double cost);
+
+}  // namespace minrej

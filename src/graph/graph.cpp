@@ -1,0 +1,53 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace minrej {
+
+Graph::Graph(std::size_t vertex_count, std::vector<Edge> edges)
+    : vertex_count_(vertex_count), edges_(std::move(edges)) {
+  MINREJ_REQUIRE(vertex_count_ > 0, "graph needs at least one vertex");
+  for (const Edge& e : edges_) {
+    MINREJ_REQUIRE(e.from < vertex_count_ && e.to < vertex_count_,
+                   "edge endpoint out of range");
+    MINREJ_REQUIRE(e.capacity >= 1, "edge capacity must be a positive integer");
+  }
+  if (!edges_.empty()) {
+    max_capacity_ = 0;
+    min_capacity_ = edges_.front().capacity;
+    for (const Edge& e : edges_) {
+      max_capacity_ = std::max(max_capacity_, e.capacity);
+      min_capacity_ = std::min(min_capacity_, e.capacity);
+    }
+  }
+
+  // Build CSR adjacency (counting sort by source vertex).
+  adj_offset_.assign(vertex_count_ + 1, 0);
+  for (const Edge& e : edges_) ++adj_offset_[e.from + 1];
+  for (std::size_t v = 0; v < vertex_count_; ++v) {
+    adj_offset_[v + 1] += adj_offset_[v];
+  }
+  adj_edges_.resize(edges_.size());
+  std::vector<std::uint32_t> cursor(adj_offset_.begin(),
+                                    adj_offset_.end() - 1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    adj_edges_[cursor[edges_[i].from]++] = static_cast<EdgeId>(i);
+  }
+}
+
+std::span<const EdgeId> Graph::out_edges(VertexId v) const {
+  MINREJ_REQUIRE(v < vertex_count_, "vertex id out of range");
+  const std::uint32_t begin = adj_offset_[v];
+  const std::uint32_t end = adj_offset_[v + 1];
+  return {adj_edges_.data() + begin, end - begin};
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "|V|=" << vertex_count_ << " |E|=" << edges_.size()
+     << " c=" << max_capacity_;
+  return os.str();
+}
+
+}  // namespace minrej

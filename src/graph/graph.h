@@ -1,0 +1,68 @@
+// graph.h — the capacitated directed graph the admission-control problem
+// lives on (paper §1: G=(V,E), integer capacities c_e > 0, c = max_e c_e).
+//
+// The graph is immutable once built (capacities can be *decreased* by the
+// cost-classification step of the fractional algorithm, which permanently
+// accepts expensive requests — see FractionalAdmission), and stores edges in
+// a flat array so EdgeId doubles as a dense index for per-edge algorithm
+// state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace minrej {
+
+/// A directed edge with an integer capacity.
+struct Edge {
+  VertexId from = 0;
+  VertexId to = 0;
+  std::int64_t capacity = 1;
+};
+
+/// Immutable capacitated digraph; EdgeId is a dense index into edges().
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds and validates: capacities must be >= 1, endpoints in range.
+  Graph(std::size_t vertex_count, std::vector<Edge> edges);
+
+  std::size_t vertex_count() const noexcept { return vertex_count_; }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+
+  const Edge& edge(EdgeId e) const {
+    MINREJ_REQUIRE(e < edges_.size(), "edge id out of range");
+    return edges_[e];
+  }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  std::int64_t capacity(EdgeId e) const { return edge(e).capacity; }
+
+  /// c = max_e c_e (paper notation); 0 for an edgeless graph.
+  std::int64_t max_capacity() const noexcept { return max_capacity_; }
+  /// min_e c_e; 0 for an edgeless graph.
+  std::int64_t min_capacity() const noexcept { return min_capacity_; }
+
+  /// Outgoing edge ids of a vertex (for path generators).
+  std::span<const EdgeId> out_edges(VertexId v) const;
+
+  /// Human-readable one-line summary ("|V|=5 |E|=8 c=4").
+  std::string summary() const;
+
+ private:
+  std::size_t vertex_count_ = 0;
+  std::vector<Edge> edges_;
+  std::int64_t max_capacity_ = 0;
+  std::int64_t min_capacity_ = 0;
+  // CSR-style adjacency for out_edges().
+  std::vector<EdgeId> adj_edges_;
+  std::vector<std::uint32_t> adj_offset_;
+};
+
+}  // namespace minrej

@@ -1,0 +1,72 @@
+#include "graph/request.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace minrej {
+
+Request::Request(std::vector<EdgeId> edge_set, double request_cost,
+                 bool must_accept_flag)
+    : edges(std::move(edge_set)), cost(request_cost),
+      must_accept(must_accept_flag) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+}
+
+AdmissionInstance::AdmissionInstance(Graph graph,
+                                     std::vector<Request> requests)
+    : graph_(std::move(graph)), requests_(std::move(requests)) {
+  edge_load_.assign(graph_.edge_count(), 0);
+  for (const Request& r : requests_) {
+    MINREJ_REQUIRE(!r.edges.empty(), "request with empty edge set");
+    MINREJ_REQUIRE(r.cost > 0.0, "request cost must be positive");
+    MINREJ_REQUIRE(std::is_sorted(r.edges.begin(), r.edges.end()) &&
+                       std::adjacent_find(r.edges.begin(), r.edges.end()) ==
+                           r.edges.end(),
+                   "request edges must be sorted and unique");
+    for (EdgeId e : r.edges) {
+      MINREJ_REQUIRE(e < graph_.edge_count(), "request edge id out of range");
+      ++edge_load_[e];
+    }
+    if (!r.must_accept) total_cost_ += r.cost;
+  }
+  for (std::size_t e = 0; e < edge_load_.size(); ++e) {
+    max_excess_ = std::max(
+        max_excess_, edge_load_[e] - graph_.capacity(static_cast<EdgeId>(e)));
+  }
+  max_excess_ = std::max<std::int64_t>(max_excess_, 0);
+}
+
+std::string AdmissionInstance::summary() const {
+  std::ostringstream os;
+  os << graph_.summary() << " requests=" << requests_.size()
+     << " Q=" << max_excess_;
+  return os.str();
+}
+
+bool is_feasible_acceptance(const AdmissionInstance& instance,
+                            const std::vector<bool>& accepted) {
+  MINREJ_REQUIRE(accepted.size() == instance.request_count(),
+                 "acceptance vector size mismatch");
+  std::vector<std::int64_t> used(instance.graph().edge_count(), 0);
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (!accepted[i]) continue;
+    for (EdgeId e : instance.request(static_cast<RequestId>(i)).edges) {
+      if (++used[e] > instance.graph().capacity(e)) return false;
+    }
+  }
+  return true;
+}
+
+double rejected_cost(const AdmissionInstance& instance,
+                     const std::vector<bool>& accepted) {
+  MINREJ_REQUIRE(accepted.size() == instance.request_count(),
+                 "acceptance vector size mismatch");
+  double cost = 0.0;
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    if (!accepted[i]) cost += instance.request(static_cast<RequestId>(i)).cost;
+  }
+  return cost;
+}
+
+}  // namespace minrej

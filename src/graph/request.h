@@ -1,0 +1,81 @@
+// request.h — communication requests and request sequences (paper §1).
+//
+// A request is a set of edges plus a positive cost p_i.  The paper's
+// concluding remark (§6) notes its algorithms never use path structure —
+// "All the algorithms treated a request as an arbitrary subset of edges" —
+// so Request stores a sorted, deduplicated edge list; the path generators in
+// generators.h produce requests that *are* simple paths for workload
+// fidelity, but nothing downstream assumes it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace minrej {
+
+/// One admission-control request: an edge subset with a positive cost.
+struct Request {
+  std::vector<EdgeId> edges;  ///< sorted, unique
+  double cost = 1.0;          ///< p_i > 0
+  /// Reduction support (paper §4): phase-2 element requests must never be
+  /// rejected — they carry no weight and force the excess onto phase-1
+  /// requests (the sets).  Plain workloads leave this false.
+  bool must_accept = false;
+
+  Request() = default;
+  Request(std::vector<EdgeId> edge_set, double request_cost,
+          bool must_accept_flag = false);
+};
+
+/// An admission-control instance: the graph plus the online request arrival
+/// order.  Validation checks every edge id and every cost once, up front,
+/// so the online algorithms can assume well-formed input.
+class AdmissionInstance {
+ public:
+  AdmissionInstance(Graph graph, std::vector<Request> requests);
+
+  const Graph& graph() const noexcept { return graph_; }
+  const std::vector<Request>& requests() const noexcept { return requests_; }
+  std::size_t request_count() const noexcept { return requests_.size(); }
+  const Request& request(RequestId i) const {
+    MINREJ_REQUIRE(i < requests_.size(), "request id out of range");
+    return requests_[i];
+  }
+
+  /// Total cost of all (non-must-accept) requests; a trivial upper bound on
+  /// any algorithm's rejected cost.
+  double total_cost() const noexcept { return total_cost_; }
+
+  /// max over edges of (#requests containing e − c_e), clamped at 0.  The
+  /// paper's Theorem 4 proof uses Q as a lower bound on OPT for the
+  /// unweighted case.
+  std::int64_t max_excess() const noexcept { return max_excess_; }
+
+  /// Per-edge request multiplicity |REQ_e| over the whole sequence.
+  const std::vector<std::int64_t>& edge_load() const noexcept {
+    return edge_load_;
+  }
+
+  std::string summary() const;
+
+ private:
+  Graph graph_;
+  std::vector<Request> requests_;
+  double total_cost_ = 0.0;
+  std::int64_t max_excess_ = 0;
+  std::vector<std::int64_t> edge_load_;
+};
+
+/// Verifies that `accepted` (indicator per request) satisfies every edge
+/// capacity of the instance.  Used by tests and by the offline solvers.
+bool is_feasible_acceptance(const AdmissionInstance& instance,
+                            const std::vector<bool>& accepted);
+
+/// Total cost of rejected requests under an acceptance vector.
+double rejected_cost(const AdmissionInstance& instance,
+                     const std::vector<bool>& accepted);
+
+}  // namespace minrej

@@ -1,0 +1,21 @@
+// types.h — index types shared across the graph and core modules.
+//
+// Plain typedefs (not strong types) because edges, vertices and requests are
+// used as vector indices on every hot path; the module boundaries below keep
+// them from being mixed up in practice and the test suite covers the
+// conversions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minrej {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using RequestId = std::uint32_t;
+
+/// Sentinel for "no request" / "no edge" in sparse structures.
+inline constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+}  // namespace minrej

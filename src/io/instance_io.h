@@ -1,0 +1,48 @@
+// instance_io.h — plain-text serialization of problem instances.
+//
+// Every instance an experiment runs can be dumped to a self-describing
+// text file and replayed later (`examples/replay_instance`), so any
+// number in EXPERIMENTS.md can be pinned to a concrete input.  Formats:
+//
+//   minrej-admission 1
+//   graph <vertex_count> <edge_count>
+//   e <from> <to> <capacity>              # edge_count lines, EdgeId = order
+//   r <cost> <must_accept:0|1> <k> <edge ids...>   # arrival order
+//
+//   minrej-setcover 1
+//   system <element_count> <set_count>
+//   s <cost> <k> <element ids...>         # set_count lines, SetId = order
+//   arrivals <count> <element ids...>
+//
+// Whitespace-separated, '#' starts a comment to end of line.  Loading
+// validates through the normal instance constructors, so malformed files
+// fail with the same InvalidArgument errors as programmatic misuse.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/request.h"
+#include "setcover/instance.h"
+
+namespace minrej {
+
+void save_admission_instance(std::ostream& out,
+                             const AdmissionInstance& instance);
+AdmissionInstance load_admission_instance(std::istream& in);
+
+void save_cover_instance(std::ostream& out, const CoverInstance& instance);
+CoverInstance load_cover_instance(std::istream& in);
+
+/// File-path conveniences; throw InvalidArgument if the file cannot be
+/// opened.
+void save_admission_file(const std::string& path,
+                         const AdmissionInstance& instance);
+AdmissionInstance load_admission_file(const std::string& path);
+void save_cover_file(const std::string& path, const CoverInstance& instance);
+CoverInstance load_cover_file(const std::string& path);
+
+/// Peeks at a file's header line: "admission", "setcover", or throws.
+std::string detect_instance_kind(const std::string& path);
+
+}  // namespace minrej

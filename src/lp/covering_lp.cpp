@@ -1,0 +1,77 @@
+#include "lp/covering_lp.h"
+
+#include "util/check.h"
+
+namespace minrej {
+
+LpProblem build_admission_lp(const AdmissionInstance& instance) {
+  LpProblem lp;
+  const std::size_t r = instance.request_count();
+  for (std::size_t i = 0; i < r; ++i) {
+    const Request& req = instance.request(static_cast<RequestId>(i));
+    // must_accept requests are pinned to f = 0 via upper bound 0.
+    lp.add_variable(req.cost, req.must_accept ? 0.0 : 1.0);
+  }
+
+  // One covering row per edge with positive excess.
+  const Graph& g = instance.graph();
+  std::vector<std::vector<std::size_t>> on_edge(g.edge_count());
+  for (std::size_t i = 0; i < r; ++i) {
+    for (EdgeId e : instance.request(static_cast<RequestId>(i)).edges) {
+      on_edge[e].push_back(i);
+    }
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const auto excess = static_cast<double>(
+        static_cast<std::int64_t>(on_edge[e].size()) -
+        g.capacity(static_cast<EdgeId>(e)));
+    if (excess <= 0.0) continue;
+    LinearConstraint row;
+    row.relation = Relation::kGreaterEq;
+    row.rhs = excess;
+    row.terms.reserve(on_edge[e].size());
+    for (std::size_t i : on_edge[e]) {
+      row.terms.push_back({i, 1.0});
+    }
+    lp.add_constraint(std::move(row));
+  }
+  return lp;
+}
+
+LpSolution solve_admission_lp(const AdmissionInstance& instance) {
+  const LpSolution sol = solve_simplex(build_admission_lp(instance));
+  MINREJ_CHECK(sol.status != LpStatus::kUnbounded,
+               "covering LP cannot be unbounded");
+  return sol;
+}
+
+LpProblem build_multicover_lp(const CoverInstance& instance) {
+  const SetSystem& sys = instance.system();
+  LpProblem lp;
+  for (std::size_t s = 0; s < sys.set_count(); ++s) {
+    lp.add_variable(sys.cost(static_cast<SetId>(s)), 1.0);
+  }
+  for (std::size_t j = 0; j < sys.element_count(); ++j) {
+    const std::int64_t demand = instance.demand()[j];
+    if (demand <= 0) continue;
+    LinearConstraint row;
+    row.relation = Relation::kGreaterEq;
+    row.rhs = static_cast<double>(demand);
+    for (SetId s : sys.sets_of(static_cast<ElementId>(j))) {
+      row.terms.push_back({static_cast<std::size_t>(s), 1.0});
+    }
+    lp.add_constraint(std::move(row));
+  }
+  return lp;
+}
+
+LpSolution solve_multicover_lp(const CoverInstance& instance) {
+  MINREJ_REQUIRE(instance.feasible(),
+                 "multicover LP requires a feasible instance");
+  const LpSolution sol = solve_simplex(build_multicover_lp(instance));
+  MINREJ_CHECK(sol.status == LpStatus::kOptimal,
+               "feasible multicover LP must solve to optimality");
+  return sol;
+}
+
+}  // namespace minrej

@@ -1,0 +1,37 @@
+// covering_lp.h — LP formulations of the paper's two optimization problems.
+//
+// Admission control (paper §2): the fractional optimum the online algorithm
+// competes against is
+//     min  Σ_i f_i · p_i
+//     s.t. Σ_{i ∈ REQ_e} f_i ≥ |REQ_e| − c_e        for every edge e
+//          0 ≤ f_i ≤ 1
+// where f_i is the rejected fraction of request i.  (Requests flagged
+// must_accept are pinned to f_i = 0, matching the §4 reduction semantics.)
+//
+// Multicover (paper §1): the LP relaxation of OSCR's final demands is
+//     min  Σ_S x_S · cost_S
+//     s.t. Σ_{S ∋ j} x_S ≥ demand_j                  for every element j
+//          0 ≤ x_S ≤ 1
+#pragma once
+
+#include "graph/request.h"
+#include "lp/simplex.h"
+#include "setcover/instance.h"
+
+namespace minrej {
+
+/// Builds the fractional-rejection covering LP for an admission instance.
+LpProblem build_admission_lp(const AdmissionInstance& instance);
+
+/// Solves it; returns the optimal fractional rejection cost.  Throws
+/// InternalError if the LP is infeasible (cannot happen for valid instances
+/// without must_accept overload — rejecting everything is always feasible).
+LpSolution solve_admission_lp(const AdmissionInstance& instance);
+
+/// Builds the multicover LP relaxation for a cover instance.
+LpProblem build_multicover_lp(const CoverInstance& instance);
+
+/// Solves it; requires instance.feasible().
+LpSolution solve_multicover_lp(const CoverInstance& instance);
+
+}  // namespace minrej

@@ -1,0 +1,262 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+
+constexpr long double kEps = 1e-9L;
+
+/// Dense tableau for two-phase simplex over long doubles.
+///
+/// Layout: rows_ x cols_ matrix `a_`, rhs per row `b_`, basis variable per
+/// row.  Column j < n_total are the (structural + slack + artificial)
+/// variables.  Reduced costs are recomputed from the objective row kept
+/// separately (z_ for phase objective).
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), a_(rows, std::vector<long double>(cols, 0.0L)),
+        b_(rows, 0.0L), basis_(rows, 0) {}
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::vector<long double>> a_;
+  std::vector<long double> b_;
+  std::vector<std::size_t> basis_;
+
+  /// Pivot on (row, col): make column `col` the basis column of `row`.
+  void pivot(std::size_t row, std::size_t col) {
+    const long double p = a_[row][col];
+    MINREJ_CHECK(std::fabs(static_cast<double>(p)) > 1e-12,
+                 "pivot on (near-)zero element");
+    for (std::size_t j = 0; j < cols_; ++j) a_[row][j] /= p;
+    b_[row] /= p;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      if (i == row) continue;
+      const long double f = a_[i][col];
+      if (f == 0.0L) continue;
+      for (std::size_t j = 0; j < cols_; ++j) a_[i][j] -= f * a_[row][j];
+      b_[i] -= f * b_[row];
+    }
+    basis_[row] = col;
+  }
+};
+
+/// Runs primal simplex minimizing objective `c` (length cols) over the
+/// tableau, assuming the current basis is primal-feasible.  Returns the
+/// terminating status (kOptimal or kUnbounded or kIterationLimit).
+LpStatus run_simplex(Tableau& t, const std::vector<long double>& c,
+                     std::size_t max_iterations) {
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    // Reduced costs: r_j = c_j − c_B' B^{-1} A_j.  With the tableau kept in
+    // canonical form, c_B' B^{-1} A_j = sum over rows of c_basis * a[row][j].
+    // Bland's rule: entering variable = smallest index with r_j < −eps.
+    std::size_t entering = t.cols_;
+    for (std::size_t j = 0; j < t.cols_ && entering == t.cols_; ++j) {
+      long double r = c[j];
+      for (std::size_t i = 0; i < t.rows_; ++i) {
+        const long double cb = c[t.basis_[i]];
+        if (cb != 0.0L) r -= cb * t.a_[i][j];
+      }
+      if (r < -kEps) entering = j;
+    }
+    if (entering == t.cols_) return LpStatus::kOptimal;
+
+    // Ratio test; Bland tie-break on smallest basis index.
+    std::size_t leaving = t.rows_;
+    long double best_ratio = 0.0L;
+    for (std::size_t i = 0; i < t.rows_; ++i) {
+      if (t.a_[i][entering] > kEps) {
+        const long double ratio = t.b_[i] / t.a_[i][entering];
+        if (leaving == t.rows_ || ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             t.basis_[i] < t.basis_[leaving])) {
+          leaving = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leaving == t.rows_) return LpStatus::kUnbounded;
+    t.pivot(leaving, entering);
+  }
+  return LpStatus::kIterationLimit;
+}
+
+}  // namespace
+
+std::size_t LpProblem::add_variable(double cost, double upper) {
+  MINREJ_REQUIRE(upper >= 0.0, "variable upper bound must be >= 0");
+  costs_.push_back(cost);
+  uppers_.push_back(upper);
+  return costs_.size() - 1;
+}
+
+void LpProblem::add_constraint(LinearConstraint constraint) {
+  for (const auto& [var, coef] : constraint.terms) {
+    MINREJ_REQUIRE(var < costs_.size(), "constraint references unknown var");
+    (void)coef;
+  }
+  constraints_.push_back(std::move(constraint));
+}
+
+std::string to_string(LpStatus status) {
+  switch (status) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+LpSolution solve_simplex(const LpProblem& problem,
+                         std::size_t max_iterations) {
+  const std::size_t n = problem.variable_count();
+
+  // Materialize finite upper bounds as extra <= rows.
+  std::vector<LinearConstraint> rows = problem.constraints();
+  for (std::size_t v = 0; v < n; ++v) {
+    const double u = problem.uppers()[v];
+    if (std::isfinite(u)) {
+      rows.push_back({{{v, 1.0}}, Relation::kLessEq, u});
+    }
+  }
+  const std::size_t m = rows.size();
+
+  if (max_iterations == 0) {
+    // Generous polynomial budget; Bland guarantees finiteness anyway.
+    max_iterations = 64 * (n + m + 8) * (n + m + 8);
+  }
+
+  // Standard form: one slack/surplus per row; artificials as needed.
+  // Column layout: [0, n) structural | [n, n+m) slack/surplus |
+  //                [n+m, n+m+a) artificial.
+  std::size_t artificial_count = 0;
+  std::vector<bool> needs_artificial(m, false);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Normalize rhs >= 0 first (done below); decide artificials after.
+    needs_artificial[i] = true;  // provisional; refined below
+  }
+
+  // Copy rows with rhs normalized to >= 0.
+  std::vector<std::vector<long double>> coef(m,
+                                             std::vector<long double>(n, 0.0L));
+  std::vector<long double> rhs(m, 0.0L);
+  std::vector<Relation> rel(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& [var, c] : rows[i].terms) {
+      coef[i][var] += static_cast<long double>(c);
+    }
+    rhs[i] = static_cast<long double>(rows[i].rhs);
+    rel[i] = rows[i].relation;
+    if (rhs[i] < 0.0L) {
+      for (auto& c : coef[i]) c = -c;
+      rhs[i] = -rhs[i];
+      if (rel[i] == Relation::kLessEq) rel[i] = Relation::kGreaterEq;
+      else if (rel[i] == Relation::kGreaterEq) rel[i] = Relation::kLessEq;
+    }
+    // <= rows with rhs >= 0: slack seeds the basis, no artificial needed.
+    needs_artificial[i] = rel[i] != Relation::kLessEq;
+    if (needs_artificial[i]) ++artificial_count;
+  }
+
+  const std::size_t total = n + m + artificial_count;
+  Tableau t(m, total);
+  std::size_t next_artificial = n + m;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t v = 0; v < n; ++v) t.a_[i][v] = coef[i][v];
+    t.b_[i] = rhs[i];
+    const std::size_t slack = n + i;
+    switch (rel[i]) {
+      case Relation::kLessEq:
+        t.a_[i][slack] = 1.0L;
+        t.basis_[i] = slack;
+        break;
+      case Relation::kGreaterEq:
+        t.a_[i][slack] = -1.0L;  // surplus
+        t.a_[i][next_artificial] = 1.0L;
+        t.basis_[i] = next_artificial++;
+        break;
+      case Relation::kEqual:
+        // Slack column stays unused (coefficient 0) for = rows.
+        t.a_[i][next_artificial] = 1.0L;
+        t.basis_[i] = next_artificial++;
+        break;
+    }
+  }
+  MINREJ_CHECK(next_artificial == total, "artificial bookkeeping mismatch");
+
+  LpSolution sol;
+
+  // Phase 1: minimize the sum of artificials.
+  if (artificial_count > 0) {
+    std::vector<long double> phase1(total, 0.0L);
+    for (std::size_t j = n + m; j < total; ++j) phase1[j] = 1.0L;
+    const LpStatus s1 = run_simplex(t, phase1, max_iterations);
+    if (s1 == LpStatus::kIterationLimit) {
+      sol.status = LpStatus::kIterationLimit;
+      return sol;
+    }
+    long double phase1_value = 0.0L;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.basis_[i] >= n + m) phase1_value += t.b_[i];
+    }
+    if (phase1_value > 1e-7L) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    // Drive any artificial still in the basis (at value 0) out if possible.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t.basis_[i] < n + m) continue;
+      std::size_t col = total;
+      for (std::size_t j = 0; j < n + m; ++j) {
+        if (std::fabs(static_cast<double>(t.a_[i][j])) > 1e-9) {
+          col = j;
+          break;
+        }
+      }
+      if (col < total) t.pivot(i, col);
+      // If the row is all zeros the constraint was redundant; the artificial
+      // stays basic at zero, which is harmless in phase 2 because its cost
+      // is zero there and it can never re-enter (we forbid it below).
+    }
+  }
+
+  // Phase 2: original objective; artificial columns get +inf-ish cost so
+  // they never re-enter (Bland scans by reduced cost, so a large positive
+  // cost suffices — their reduced costs stay non-negative at value 0).
+  std::vector<long double> phase2(total, 0.0L);
+  for (std::size_t v = 0; v < n; ++v) {
+    phase2[v] = static_cast<long double>(problem.costs()[v]);
+  }
+  for (std::size_t j = n + m; j < total; ++j) {
+    phase2[j] = 1e30L;
+  }
+  const LpStatus s2 = run_simplex(t, phase2, max_iterations);
+  if (s2 != LpStatus::kOptimal) {
+    sol.status = s2;
+    return sol;
+  }
+
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis_[i] < n) {
+      sol.x[t.basis_[i]] = static_cast<double>(t.b_[i]);
+    }
+  }
+  long double obj = 0.0L;
+  for (std::size_t v = 0; v < n; ++v) {
+    obj += static_cast<long double>(problem.costs()[v]) *
+           static_cast<long double>(sol.x[v]);
+  }
+  sol.objective = static_cast<double>(obj);
+  return sol;
+}
+
+}  // namespace minrej

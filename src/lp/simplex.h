@@ -1,0 +1,75 @@
+// simplex.h — a dense two-phase primal simplex solver.
+//
+// Purpose-built ground truth for the experiments: Theorem 2 claims the
+// fractional algorithm is competitive "even versus a fractional optimum",
+// so the harness needs exact fractional optima of covering LPs, and the
+// branch-and-bound ILP solvers need LP relaxation bounds.  Instances are
+// small (hundreds of variables), so a dense tableau with Bland's
+// anti-cycling rule is simple, exact enough (long double arithmetic), and
+// fast enough; no sparse machinery is warranted.
+//
+// Scope: minimize c'x subject to linear constraints and variable bounds
+// 0 <= x_i <= u_i (u_i may be +inf).  Upper bounds are materialized as
+// explicit rows, which is fine at these sizes.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace minrej {
+
+enum class Relation { kLessEq, kGreaterEq, kEqual };
+
+/// Sparse row: (variable index, coefficient) terms.
+struct LinearConstraint {
+  std::vector<std::pair<std::size_t, double>> terms;
+  Relation relation = Relation::kLessEq;
+  double rhs = 0.0;
+};
+
+/// A minimization LP with non-negative, optionally upper-bounded variables.
+class LpProblem {
+ public:
+  /// Adds a variable with objective coefficient `cost` and bounds
+  /// [0, upper]; returns its index.  upper may be +infinity.
+  std::size_t add_variable(double cost,
+                           double upper = std::numeric_limits<double>::infinity());
+
+  void add_constraint(LinearConstraint constraint);
+
+  std::size_t variable_count() const noexcept { return costs_.size(); }
+  std::size_t constraint_count() const noexcept { return constraints_.size(); }
+
+  const std::vector<double>& costs() const noexcept { return costs_; }
+  const std::vector<double>& uppers() const noexcept { return uppers_; }
+  const std::vector<LinearConstraint>& constraints() const noexcept {
+    return constraints_;
+  }
+
+ private:
+  std::vector<double> costs_;
+  std::vector<double> uppers_;
+  std::vector<LinearConstraint> constraints_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+
+  bool optimal() const noexcept { return status == LpStatus::kOptimal; }
+};
+
+std::string to_string(LpStatus status);
+
+/// Solves with two-phase primal simplex (Bland's rule).  `max_iterations`
+/// guards against pathological inputs; 0 selects an automatic limit.
+LpSolution solve_simplex(const LpProblem& problem,
+                         std::size_t max_iterations = 0);
+
+}  // namespace minrej

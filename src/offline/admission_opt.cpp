@@ -1,0 +1,305 @@
+#include "offline/admission_opt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+
+/// Shared view of the covering structure: which rejectable requests sit on
+/// which overloaded edge, and each edge's required rejection count.
+struct CoverView {
+  // candidates[k] = request ids on overloaded edge k (rejectable only).
+  std::vector<std::vector<RequestId>> candidates;
+  std::vector<std::int64_t> required;  // residual rejections needed per row
+  std::vector<double> cost;            // per request
+  std::vector<std::vector<std::size_t>> rows_of_request;
+};
+
+CoverView build_cover_view(const AdmissionInstance& instance) {
+  const Graph& g = instance.graph();
+  const std::size_t r = instance.request_count();
+
+  std::vector<std::vector<RequestId>> on_edge(g.edge_count());
+  std::vector<std::int64_t> must_accept_load(g.edge_count(), 0);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Request& req = instance.request(static_cast<RequestId>(i));
+    for (EdgeId e : req.edges) {
+      if (req.must_accept) {
+        ++must_accept_load[e];
+      } else {
+        on_edge[e].push_back(static_cast<RequestId>(i));
+      }
+    }
+  }
+
+  CoverView view;
+  view.cost.resize(r);
+  view.rows_of_request.resize(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    view.cost[i] = instance.request(static_cast<RequestId>(i)).cost;
+  }
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    const std::int64_t load =
+        static_cast<std::int64_t>(on_edge[e].size()) + must_accept_load[e];
+    const std::int64_t excess = load - g.capacity(static_cast<EdgeId>(e));
+    if (excess <= 0) continue;
+    MINREJ_REQUIRE(
+        excess <= static_cast<std::int64_t>(on_edge[e].size()),
+        "must_accept requests alone exceed an edge capacity — infeasible");
+    const std::size_t row = view.candidates.size();
+    view.candidates.push_back(on_edge[e]);
+    view.required.push_back(excess);
+    for (RequestId i : on_edge[e]) view.rows_of_request[i].push_back(row);
+  }
+  return view;
+}
+
+/// Depth-first branch-and-bound over rejection decisions.
+class BranchAndBound {
+ public:
+  BranchAndBound(const CoverView& view, std::uint64_t node_budget)
+      : view_(view), node_budget_(node_budget),
+        state_(view.cost.size(), Decision::kFree),
+        residual_(view.required) {}
+
+  enum class Decision : std::uint8_t { kFree, kRejected, kAccepted };
+
+  void set_incumbent(double cost, std::vector<bool> rejected) {
+    best_cost_ = cost;
+    best_rejected_ = std::move(rejected);
+  }
+
+  void run() { dfs(0.0); }
+
+  double best_cost() const noexcept { return best_cost_; }
+  const std::vector<bool>& best_rejected() const noexcept {
+    return best_rejected_;
+  }
+  std::uint64_t nodes() const noexcept { return nodes_; }
+  bool exhausted_budget() const noexcept { return nodes_ >= node_budget_; }
+
+ private:
+  /// Lower bound on the additional cost needed from the current state:
+  /// the most expensive single row, costed by its cheapest free candidates.
+  /// (Rows overlap, so summing rows would over-count; the max is valid.)
+  double remaining_bound() {
+    double bound = 0.0;
+    for (std::size_t row = 0; row < view_.candidates.size(); ++row) {
+      const std::int64_t need = residual_[row];
+      if (need <= 0) continue;
+      scratch_.clear();
+      for (RequestId i : view_.candidates[row]) {
+        if (state_[i] == Decision::kFree) scratch_.push_back(view_.cost[i]);
+      }
+      if (static_cast<std::int64_t>(scratch_.size()) < need) {
+        return std::numeric_limits<double>::infinity();  // dead branch
+      }
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(need - 1),
+                       scratch_.end());
+      double row_cost = 0.0;
+      for (std::int64_t k = 0; k < need; ++k) {
+        row_cost += scratch_[static_cast<std::size_t>(k)];
+      }
+      bound = std::max(bound, row_cost);
+    }
+    return bound;
+  }
+
+  /// Most-constrained unmet row (largest residual, ties by fewest free
+  /// candidates) or size() if all rows are met.
+  std::size_t pick_row() {
+    std::size_t best = view_.candidates.size();
+    std::int64_t best_need = 0;
+    std::size_t best_slack = std::numeric_limits<std::size_t>::max();
+    for (std::size_t row = 0; row < view_.candidates.size(); ++row) {
+      if (residual_[row] <= 0) continue;
+      std::size_t free_count = 0;
+      for (RequestId i : view_.candidates[row]) {
+        if (state_[i] == Decision::kFree) ++free_count;
+      }
+      const std::size_t slack =
+          free_count - static_cast<std::size_t>(residual_[row]);
+      if (best == view_.candidates.size() || residual_[row] > best_need ||
+          (residual_[row] == best_need && slack < best_slack)) {
+        best = row;
+        best_need = residual_[row];
+        best_slack = slack;
+      }
+    }
+    return best;
+  }
+
+  void reject(RequestId i) {
+    state_[i] = Decision::kRejected;
+    for (std::size_t row : view_.rows_of_request[i]) --residual_[row];
+  }
+  void unreject(RequestId i) {
+    state_[i] = Decision::kFree;
+    for (std::size_t row : view_.rows_of_request[i]) ++residual_[row];
+  }
+
+  void dfs(double cost_so_far) {
+    if (nodes_ >= node_budget_) return;
+    ++nodes_;
+    if (cost_so_far >= best_cost_ - 1e-12) return;
+
+    const std::size_t row = pick_row();
+    if (row == view_.candidates.size()) {
+      // All rows satisfied: record incumbent.
+      best_cost_ = cost_so_far;
+      best_rejected_.assign(state_.size(), false);
+      for (std::size_t i = 0; i < state_.size(); ++i) {
+        best_rejected_[i] = state_[i] == Decision::kRejected;
+      }
+      return;
+    }
+
+    const double bound = remaining_bound();
+    if (cost_so_far + bound >= best_cost_ - 1e-12) return;
+
+    // Complete branching for covering: to satisfy `row`, some free candidate
+    // must be rejected.  Try each free candidate i in order as "the
+    // smallest-index rejected candidate of this row": reject i, and forbid
+    // (accept) all free candidates before it.
+    std::vector<RequestId> frees;
+    for (RequestId i : view_.candidates[row]) {
+      if (state_[i] == Decision::kFree) frees.push_back(i);
+    }
+    // Cheapest-first ordering finds good incumbents sooner.
+    std::sort(frees.begin(), frees.end(), [this](RequestId a, RequestId b) {
+      return view_.cost[a] < view_.cost[b];
+    });
+
+    for (std::size_t idx = 0; idx < frees.size(); ++idx) {
+      const RequestId i = frees[idx];
+      reject(i);
+      dfs(cost_so_far + view_.cost[i]);
+      unreject(i);
+      // Exclude i from rejection in the remaining branches of this node.
+      state_[i] = Decision::kAccepted;
+      // Prune: if the row can no longer be satisfied, stop.
+      std::size_t still_free = 0;
+      for (RequestId j : view_.candidates[row]) {
+        if (state_[j] == Decision::kFree) ++still_free;
+      }
+      if (static_cast<std::int64_t>(still_free) < residual_[row]) {
+        // restore and return
+        for (std::size_t k = 0; k <= idx; ++k) {
+          if (state_[frees[k]] == Decision::kAccepted) {
+            state_[frees[k]] = Decision::kFree;
+          }
+        }
+        return;
+      }
+    }
+    for (RequestId i : frees) {
+      if (state_[i] == Decision::kAccepted) state_[i] = Decision::kFree;
+    }
+  }
+
+  const CoverView& view_;
+  std::uint64_t node_budget_;
+  std::uint64_t nodes_ = 0;
+  std::vector<Decision> state_;
+  std::vector<std::int64_t> residual_;
+  std::vector<double> scratch_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  std::vector<bool> best_rejected_;
+};
+
+}  // namespace
+
+AdmissionOpt greedy_admission_rejection(const AdmissionInstance& instance) {
+  const CoverView view = build_cover_view(instance);
+  const std::size_t r = instance.request_count();
+
+  std::vector<std::int64_t> residual = view.required;
+  std::vector<bool> rejected(r, false);
+  auto unmet = [&] {
+    for (std::int64_t need : residual) {
+      if (need > 0) return true;
+    }
+    return false;
+  };
+
+  double total = 0.0;
+  while (unmet()) {
+    // Pick the request with the highest residual-coverage per unit cost.
+    double best_ratio = -1.0;
+    RequestId best = kInvalidId;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (rejected[i] || view.rows_of_request[i].empty()) continue;
+      std::int64_t gain = 0;
+      for (std::size_t row : view.rows_of_request[i]) {
+        if (residual[row] > 0) ++gain;
+      }
+      if (gain == 0) continue;
+      const double ratio = static_cast<double>(gain) / view.cost[i];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<RequestId>(i);
+      }
+    }
+    MINREJ_CHECK(best != kInvalidId,
+                 "greedy stuck: unmet excess with no candidates");
+    rejected[best] = true;
+    total += view.cost[best];
+    for (std::size_t row : view.rows_of_request[best]) --residual[row];
+  }
+
+  AdmissionOpt result;
+  result.rejected_cost = total;
+  result.accepted.resize(r);
+  for (std::size_t i = 0; i < r; ++i) result.accepted[i] = !rejected[i];
+  result.exact = false;  // heuristic
+  return result;
+}
+
+AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
+                                 std::uint64_t node_budget) {
+  if (node_budget == 0) node_budget = 50'000'000;
+  const CoverView view = build_cover_view(instance);
+  const std::size_t r = instance.request_count();
+
+  AdmissionOpt result;
+  if (view.candidates.empty()) {
+    // No overloaded edge: accept everything.
+    result.rejected_cost = 0.0;
+    result.accepted.assign(r, true);
+    result.nodes = 0;
+    result.exact = true;
+    return result;
+  }
+
+  const AdmissionOpt greedy = greedy_admission_rejection(instance);
+  std::vector<bool> greedy_rejected(r);
+  for (std::size_t i = 0; i < r; ++i) greedy_rejected[i] = !greedy.accepted[i];
+
+  BranchAndBound bb(view, node_budget);
+  bb.set_incumbent(greedy.rejected_cost, std::move(greedy_rejected));
+  bb.run();
+
+  result.rejected_cost = bb.best_cost();
+  result.accepted.resize(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    result.accepted[i] = !bb.best_rejected()[i];
+  }
+  result.nodes = bb.nodes();
+  result.exact = !bb.exhausted_budget();
+
+  MINREJ_CHECK(is_feasible_acceptance(instance, result.accepted),
+               "offline solver produced an infeasible acceptance");
+  return result;
+}
+
+std::int64_t excess_lower_bound(const AdmissionInstance& instance) {
+  return instance.max_excess();
+}
+
+}  // namespace minrej

@@ -1,0 +1,52 @@
+// admission_opt.h — offline ground truth for admission control.
+//
+// Every competitive ratio the harness reports divides by one of these:
+//  * exact integral OPT (branch-and-bound; small/medium instances),
+//  * exact fractional OPT (covering LP; Theorem 2 is stated against it),
+//  * the combinatorial bound Q = max_e(|REQ_e| − c_e) ≤ OPT used by the
+//    paper's own Theorem 4 proof (any instance size).
+//
+// Offline min-cost rejection is a weighted multiset-multicover problem:
+// choose a set R of requests (the rejections) minimizing Σ cost so that for
+// every edge e, |R ∩ REQ_e| ≥ excess_e.  The B&B branches on the edge with
+// the largest unmet residual, trying each candidate request in turn with
+// the standard inclusion/exclusion ordering that makes the search complete
+// without duplicates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/request.h"
+
+namespace minrej {
+
+/// Result of the exact offline solver.
+struct AdmissionOpt {
+  double rejected_cost = 0.0;
+  /// accepted[i] == false means request i is rejected by OPT.
+  std::vector<bool> accepted;
+  /// Number of branch-and-bound nodes explored (instrumentation).
+  std::uint64_t nodes = 0;
+  /// True if the search completed within the node budget (result exact);
+  /// false means rejected_cost is only the best incumbent found.
+  bool exact = true;
+};
+
+/// Exact (or budget-capped) offline optimum.  must_accept requests are never
+/// rejected; throws InvalidArgument if that makes the instance infeasible.
+/// `node_budget` == 0 selects a generous default.
+AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
+                                 std::uint64_t node_budget = 0);
+
+/// Greedy upper bound: repeatedly reject the request with the best
+/// (residual coverage / cost) ratio until all excesses are met.  Fast and
+/// feasible; used as the B&B incumbent and as a standalone heuristic.
+AdmissionOpt greedy_admission_rejection(const AdmissionInstance& instance);
+
+/// The paper's combinatorial lower bound Q = max_e(|REQ_e| − c_e)⁺ on the
+/// *number* of rejected requests (hence on cost for unit costs).
+std::int64_t excess_lower_bound(const AdmissionInstance& instance);
+
+}  // namespace minrej

@@ -1,0 +1,234 @@
+#include "offline/multicover.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+
+struct Residuals {
+  std::vector<std::int64_t> need;  // per element
+  std::int64_t total = 0;
+
+  explicit Residuals(const CoverInstance& instance)
+      : need(instance.demand()) {
+    for (std::int64_t d : need) total += d;
+  }
+};
+
+}  // namespace
+
+MulticoverResult greedy_multicover(const CoverInstance& instance) {
+  MINREJ_REQUIRE(instance.feasible(), "greedy_multicover: infeasible demands");
+  const SetSystem& sys = instance.system();
+  Residuals res(instance);
+
+  MulticoverResult result;
+  result.chosen.assign(sys.set_count(), false);
+  result.exact = false;
+
+  while (res.total > 0) {
+    double best_ratio = -1.0;
+    SetId best = 0;
+    bool found = false;
+    for (std::size_t s = 0; s < sys.set_count(); ++s) {
+      if (result.chosen[s]) continue;
+      std::int64_t gain = 0;
+      for (ElementId j : sys.elements_of(static_cast<SetId>(s))) {
+        if (res.need[j] > 0) ++gain;
+      }
+      if (gain == 0) continue;
+      const double ratio =
+          static_cast<double>(gain) / sys.cost(static_cast<SetId>(s));
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<SetId>(s);
+        found = true;
+      }
+    }
+    MINREJ_CHECK(found, "greedy_multicover stuck with unmet demand");
+    result.chosen[best] = true;
+    result.cost += sys.cost(best);
+    for (ElementId j : sys.elements_of(best)) {
+      if (res.need[j] > 0) {
+        --res.need[j];
+        --res.total;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+/// Branch-and-bound mirroring the covering search in admission_opt.cpp but
+/// over (element, set) incidence.  Kept independent on purpose — see header.
+class MulticoverBnB {
+ public:
+  MulticoverBnB(const CoverInstance& instance, std::uint64_t node_budget)
+      : sys_(instance.system()), node_budget_(node_budget),
+        state_(sys_.set_count(), State::kFree),
+        residual_(instance.demand()) {}
+
+  enum class State : std::uint8_t { kFree, kChosen, kExcluded };
+
+  void set_incumbent(double cost, std::vector<bool> chosen) {
+    best_cost_ = cost;
+    best_chosen_ = std::move(chosen);
+  }
+
+  void run() { dfs(0.0); }
+
+  double best_cost() const noexcept { return best_cost_; }
+  const std::vector<bool>& best_chosen() const noexcept {
+    return best_chosen_;
+  }
+  std::uint64_t nodes() const noexcept { return nodes_; }
+  bool exhausted() const noexcept { return nodes_ >= node_budget_; }
+
+ private:
+  double remaining_bound() {
+    // Max over elements of the cost of its `need` cheapest free sets
+    // (valid: satisfying that element alone costs at least this).
+    double bound = 0.0;
+    for (std::size_t j = 0; j < residual_.size(); ++j) {
+      const std::int64_t need = residual_[j];
+      if (need <= 0) continue;
+      scratch_.clear();
+      for (SetId s : sys_.sets_of(static_cast<ElementId>(j))) {
+        if (state_[s] == State::kFree) scratch_.push_back(sys_.cost(s));
+      }
+      if (static_cast<std::int64_t>(scratch_.size()) < need) {
+        return std::numeric_limits<double>::infinity();
+      }
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(need - 1),
+                       scratch_.end());
+      double elem_cost = 0.0;
+      for (std::int64_t k = 0; k < need; ++k) {
+        elem_cost += scratch_[static_cast<std::size_t>(k)];
+      }
+      bound = std::max(bound, elem_cost);
+    }
+    return bound;
+  }
+
+  std::size_t pick_element() {
+    std::size_t best = residual_.size();
+    std::int64_t best_need = 0;
+    std::size_t best_slack = std::numeric_limits<std::size_t>::max();
+    for (std::size_t j = 0; j < residual_.size(); ++j) {
+      if (residual_[j] <= 0) continue;
+      std::size_t free_count = 0;
+      for (SetId s : sys_.sets_of(static_cast<ElementId>(j))) {
+        if (state_[s] == State::kFree) ++free_count;
+      }
+      const std::size_t slack =
+          free_count - static_cast<std::size_t>(residual_[j]);
+      if (best == residual_.size() || residual_[j] > best_need ||
+          (residual_[j] == best_need && slack < best_slack)) {
+        best = j;
+        best_need = residual_[j];
+        best_slack = slack;
+      }
+    }
+    return best;
+  }
+
+  void choose(SetId s) {
+    state_[s] = State::kChosen;
+    for (ElementId j : sys_.elements_of(s)) --residual_[j];
+  }
+  void unchoose(SetId s) {
+    state_[s] = State::kFree;
+    for (ElementId j : sys_.elements_of(s)) ++residual_[j];
+  }
+
+  void dfs(double cost_so_far) {
+    if (nodes_ >= node_budget_) return;
+    ++nodes_;
+    if (cost_so_far >= best_cost_ - 1e-12) return;
+
+    const std::size_t j = pick_element();
+    if (j == residual_.size()) {
+      best_cost_ = cost_so_far;
+      best_chosen_.assign(state_.size(), false);
+      for (std::size_t s = 0; s < state_.size(); ++s) {
+        best_chosen_[s] = state_[s] == State::kChosen;
+      }
+      return;
+    }
+
+    if (cost_so_far + remaining_bound() >= best_cost_ - 1e-12) return;
+
+    std::vector<SetId> frees;
+    for (SetId s : sys_.sets_of(static_cast<ElementId>(j))) {
+      if (state_[s] == State::kFree) frees.push_back(s);
+    }
+    std::sort(frees.begin(), frees.end(), [this](SetId a, SetId b) {
+      // Cheapest per currently-useful coverage first: good incumbents early.
+      return sys_.cost(a) < sys_.cost(b);
+    });
+
+    for (std::size_t idx = 0; idx < frees.size(); ++idx) {
+      const SetId s = frees[idx];
+      choose(s);
+      dfs(cost_so_far + sys_.cost(s));
+      unchoose(s);
+      state_[s] = State::kExcluded;
+      std::size_t still_free = 0;
+      for (SetId t : sys_.sets_of(static_cast<ElementId>(j))) {
+        if (state_[t] == State::kFree) ++still_free;
+      }
+      if (static_cast<std::int64_t>(still_free) < residual_[j]) {
+        for (std::size_t k = 0; k <= idx; ++k) {
+          if (state_[frees[k]] == State::kExcluded) {
+            state_[frees[k]] = State::kFree;
+          }
+        }
+        return;
+      }
+    }
+    for (SetId s : frees) {
+      if (state_[s] == State::kExcluded) state_[s] = State::kFree;
+    }
+  }
+
+  const SetSystem& sys_;
+  std::uint64_t node_budget_;
+  std::uint64_t nodes_ = 0;
+  std::vector<State> state_;
+  std::vector<std::int64_t> residual_;
+  std::vector<double> scratch_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  std::vector<bool> best_chosen_;
+};
+
+}  // namespace
+
+MulticoverResult solve_multicover_opt(const CoverInstance& instance,
+                                      std::uint64_t node_budget) {
+  MINREJ_REQUIRE(instance.feasible(),
+                 "solve_multicover_opt: infeasible demands");
+  if (node_budget == 0) node_budget = 50'000'000;
+
+  const MulticoverResult greedy = greedy_multicover(instance);
+
+  MulticoverBnB bnb(instance, node_budget);
+  bnb.set_incumbent(greedy.cost, greedy.chosen);
+  bnb.run();
+
+  MulticoverResult result;
+  result.cost = bnb.best_cost();
+  result.chosen = bnb.best_chosen();
+  result.nodes = bnb.nodes();
+  result.exact = !bnb.exhausted();
+  MINREJ_CHECK(covers_demands(instance, result.chosen),
+               "offline multicover produced an invalid cover");
+  return result;
+}
+
+}  // namespace minrej

@@ -1,0 +1,40 @@
+// multicover.h — offline ground truth for set cover with repetitions.
+//
+// The offline version of OSCR is weighted multicover: choose a sub-family
+// C ⊆ S of minimum cost such that every element j belongs to at least
+// demand_j sets of C (each set counts once — "different subsets", paper §1).
+//
+// Provides the Chvátal-style greedy (the classic Θ(log n) approximation,
+// also the paper's reference point for the offline problem) and an exact
+// branch-and-bound used as the denominator of measured competitive ratios.
+// The B&B is deliberately independent of the admission-control solver so
+// the §4 reduction can be validated against it (tests cross-check both).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "setcover/instance.h"
+
+namespace minrej {
+
+/// Result of an offline multicover solver.
+struct MulticoverResult {
+  double cost = 0.0;
+  std::vector<bool> chosen;  ///< indicator per set
+  std::uint64_t nodes = 0;   ///< B&B nodes (0 for greedy)
+  bool exact = true;         ///< false if heuristic or budget-capped
+};
+
+/// Greedy multicover: repeatedly pick the set with the largest number of
+/// still-deficient elements per unit cost.  Feasible whenever the instance
+/// is; O(m^2 n) worst case, plenty for our sizes.
+MulticoverResult greedy_multicover(const CoverInstance& instance);
+
+/// Exact optimum by branch-and-bound (requires instance.feasible()).
+/// `node_budget` == 0 selects a generous default; if exceeded, the best
+/// incumbent is returned with exact == false.
+MulticoverResult solve_multicover_opt(const CoverInstance& instance,
+                                      std::uint64_t node_budget = 0);
+
+}  // namespace minrej

@@ -1,0 +1,85 @@
+// generators.h — set-system families and arrival sequences for OSCR
+// experiments.
+//
+// Three kinds of instances matter for reproducing the paper's claims:
+//  * random systems — average-case ratios (E6);
+//  * planted-cover systems — instances with a *known* small optimum, so
+//    ratios can be upper-bounded without the exact solver even at sizes the
+//    branch-and-bound cannot reach;
+//  * structured/adversarial systems (dyadic intervals, singletons-vs-block) —
+//    the families on which naive baselines degrade polynomially while the
+//    paper's primal-dual algorithms stay polylogarithmic (E5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "setcover/instance.h"
+#include "setcover/set_system.h"
+#include "util/rng.h"
+
+namespace minrej {
+
+/// m sets, each an independent uniform subset of size `set_size`; afterwards
+/// every element's degree is patched up to at least `min_degree` by adding
+/// it to random sets (so demands up to min_degree stay feasible).
+SetSystem random_uniform_system(std::size_t n, std::size_t m,
+                                std::size_t set_size, std::size_t min_degree,
+                                Rng& rng);
+
+/// Bernoulli membership: each (set, element) pair independently with
+/// probability p; degrees patched to min_degree as above.
+SetSystem random_density_system(std::size_t n, std::size_t m, double p,
+                                std::size_t min_degree, Rng& rng);
+
+/// Plants `k_opt` disjointly-covering sets (a partition of X into k_opt
+/// blocks, each block duplicated `copies` times so demands up to `copies`
+/// are satisfiable by planted sets alone), plus decoy sets of size
+/// `decoy_size` up to m total.  OPT for any demand <= copies is at most
+/// k_opt * copies (and at most k_opt for single coverage).
+SetSystem planted_cover_system(std::size_t n, std::size_t m,
+                               std::size_t k_opt, std::size_t copies,
+                               std::size_t decoy_size, Rng& rng);
+
+/// All dyadic intervals of [0, n), n a power of two: m = 2n − 1 sets.
+/// The hierarchy is the classic structured family for online covering lower
+/// bounds: an adaptive adversary can force ~log n sets per element while
+/// OPT pays one interval.
+SetSystem dyadic_interval_system(std::size_t n);
+
+/// n singleton sets plus one block set covering `block_size` elements —
+/// the minimal family separating "buy the big set" (OPT) from per-element
+/// reactions (naive baselines pay block_size).
+SetSystem singletons_plus_block_system(std::size_t n, std::size_t block_size);
+
+/// Assigns log-uniform costs in [cost_min, cost_max] to an existing system
+/// (returns a new system; membership unchanged).
+SetSystem with_random_costs(const SetSystem& system, double cost_min,
+                            double cost_max, Rng& rng);
+
+/// Power-law set sizes: set s has size ~ max(1, n / (s+1)^skew) — a few
+/// hub sets covering much of X and a long tail of small sets, the shape of
+/// real coverage catalogs.  Degrees patched to min_degree.
+SetSystem power_law_system(std::size_t n, std::size_t m, double skew,
+                           std::size_t min_degree, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Arrival sequences
+// ---------------------------------------------------------------------------
+
+/// Every element exactly once, shuffled.
+std::vector<ElementId> arrivals_each_once(std::size_t n, Rng& rng);
+
+/// Every element exactly `k` times.  interleave=true shuffles all arrivals
+/// together (repetitions non-consecutive, the general case the paper
+/// stresses); false keeps each element's k arrivals consecutive.
+std::vector<ElementId> arrivals_each_k_times(std::size_t n, std::size_t k,
+                                             bool interleave, Rng& rng);
+
+/// `count` arrivals, element drawn by Zipf(s) rank over a random permutation
+/// (s = 0 is uniform).  Demands are capped at each element's degree so the
+/// instance stays feasible.
+std::vector<ElementId> arrivals_zipf(const SetSystem& system,
+                                     std::size_t count, double s, Rng& rng);
+
+}  // namespace minrej

@@ -1,0 +1,71 @@
+#include "setcover/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace minrej {
+
+CoverInstance::CoverInstance(SetSystem system,
+                             std::vector<ElementId> arrivals)
+    : system_(std::move(system)), arrivals_(std::move(arrivals)) {
+  demand_.assign(system_.element_count(), 0);
+  for (ElementId j : arrivals_) {
+    MINREJ_REQUIRE(j < system_.element_count(),
+                   "arrival references unknown element");
+    ++demand_[j];
+  }
+  for (std::size_t j = 0; j < demand_.size(); ++j) {
+    max_demand_ = std::max(max_demand_, demand_[j]);
+    if (demand_[j] >
+        static_cast<std::int64_t>(system_.degree(static_cast<ElementId>(j)))) {
+      feasible_ = false;
+    }
+  }
+}
+
+std::string CoverInstance::summary() const {
+  std::ostringstream os;
+  os << system_.summary() << " arrivals=" << arrivals_.size()
+     << " max_demand=" << max_demand_ << (feasible_ ? "" : " (infeasible)");
+  return os.str();
+}
+
+bool covers_demands(const CoverInstance& instance,
+                    const std::vector<bool>& chosen,
+                    double required_fraction) {
+  const SetSystem& sys = instance.system();
+  MINREJ_REQUIRE(chosen.size() == sys.set_count(),
+                 "chosen vector size mismatch");
+  MINREJ_REQUIRE(required_fraction > 0.0 && required_fraction <= 1.0,
+                 "required_fraction must be in (0, 1]");
+  std::vector<std::int64_t> covered(sys.element_count(), 0);
+  for (std::size_t s = 0; s < chosen.size(); ++s) {
+    if (!chosen[s]) continue;
+    for (ElementId j : sys.elements_of(static_cast<SetId>(s))) ++covered[j];
+  }
+  for (std::size_t j = 0; j < covered.size(); ++j) {
+    const double scaled =
+        required_fraction * static_cast<double>(instance.demand()[j]);
+    // ceil with a tolerance so required_fraction == 1.0 does not demand
+    // k+1 sets due to floating-point noise.
+    const auto required = static_cast<std::int64_t>(std::ceil(scaled - 1e-9));
+    const auto capped = std::min<std::int64_t>(
+        required,
+        static_cast<std::int64_t>(sys.degree(static_cast<ElementId>(j))));
+    if (covered[j] < capped) return false;
+  }
+  return true;
+}
+
+double chosen_cost(const SetSystem& system, const std::vector<bool>& chosen) {
+  MINREJ_REQUIRE(chosen.size() == system.set_count(),
+                 "chosen vector size mismatch");
+  double cost = 0.0;
+  for (std::size_t s = 0; s < chosen.size(); ++s) {
+    if (chosen[s]) cost += system.cost(static_cast<SetId>(s));
+  }
+  return cost;
+}
+
+}  // namespace minrej

@@ -1,0 +1,54 @@
+// instance.h — an online set cover *with repetitions* input (paper §1):
+// a set system plus the adversary's arrival sequence, where each element may
+// arrive any number of times (not necessarily consecutively) and must be
+// covered by as many distinct sets as it has arrived.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "setcover/set_system.h"
+
+namespace minrej {
+
+/// A complete OSCR input.  Online algorithms consume arrivals() in order;
+/// offline solvers see the final demand vector.
+class CoverInstance {
+ public:
+  CoverInstance(SetSystem system, std::vector<ElementId> arrivals);
+
+  const SetSystem& system() const noexcept { return system_; }
+  const std::vector<ElementId>& arrivals() const noexcept { return arrivals_; }
+
+  /// Final demand of element j = number of times it arrives in total.
+  const std::vector<std::int64_t>& demand() const noexcept { return demand_; }
+  std::int64_t max_demand() const noexcept { return max_demand_; }
+
+  /// True iff the final demands are satisfiable at all:
+  /// demand(j) <= |S_j| for every element j.
+  bool feasible() const noexcept { return feasible_; }
+
+  std::string summary() const;
+
+ private:
+  SetSystem system_;
+  std::vector<ElementId> arrivals_;
+  std::vector<std::int64_t> demand_;
+  std::int64_t max_demand_ = 0;
+  bool feasible_ = true;
+};
+
+/// Checks that `chosen` (indicator per set) covers every element j at least
+/// min(required_fraction * demand_j, degree_j) times, where demand counts
+/// arrivals.  required_fraction = 1 verifies an exact multicover;
+/// required_fraction = 1 − ε verifies the bicriteria guarantee of §5.
+/// Requirements are rounded up (an element requested k times with fraction
+/// 1−ε needs ceil((1−ε)k) distinct sets — the integral reading of Thm 7).
+bool covers_demands(const CoverInstance& instance,
+                    const std::vector<bool>& chosen,
+                    double required_fraction = 1.0);
+
+/// Total cost of the chosen sets.
+double chosen_cost(const SetSystem& system, const std::vector<bool>& chosen);
+
+}  // namespace minrej

@@ -1,0 +1,47 @@
+#include "setcover/set_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace minrej {
+
+SetSystem::SetSystem(std::size_t element_count,
+                     std::vector<std::vector<ElementId>> sets,
+                     std::vector<double> costs)
+    : element_count_(element_count), sets_(std::move(sets)),
+      costs_(std::move(costs)) {
+  MINREJ_REQUIRE(element_count_ >= 1, "ground set must be non-empty");
+  MINREJ_REQUIRE(!sets_.empty(), "set family must be non-empty");
+  if (costs_.empty()) costs_.assign(sets_.size(), 1.0);  // unit costs
+  MINREJ_REQUIRE(sets_.size() == costs_.size(),
+                 "sets/costs size mismatch");
+
+  sets_of_.assign(element_count_, {});
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    auto& members = sets_[s];
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    MINREJ_REQUIRE(!members.empty(), "empty set in family");
+    for (ElementId j : members) {
+      MINREJ_REQUIRE(j < element_count_, "set contains out-of-range element");
+      sets_of_[j].push_back(static_cast<SetId>(s));
+    }
+    MINREJ_REQUIRE(costs_[s] > 0.0, "set cost must be positive");
+    total_cost_ += costs_[s];
+    if (std::abs(costs_[s] - 1.0) > 1e-12) unit_costs_ = false;
+  }
+}
+
+SetSystem::SetSystem(std::size_t element_count,
+                     std::vector<std::vector<ElementId>> sets)
+    : SetSystem(element_count, std::move(sets), std::vector<double>{}) {}
+
+std::string SetSystem::summary() const {
+  std::ostringstream os;
+  os << "n=" << element_count_ << " m=" << sets_.size()
+     << (unit_costs_ ? " (unit costs)" : " (weighted)");
+  return os.str();
+}
+
+}  // namespace minrej

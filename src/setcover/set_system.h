@@ -1,0 +1,72 @@
+// set_system.h — the (X, S) substrate of online set cover (paper §1).
+//
+// Ground set X of n elements, family S of m subsets with positive costs.
+// Both directions of incidence are indexed up front: sets_of(j) is the
+// paper's S_j (the collection of sets containing element j), which every
+// algorithm in §4/§5 iterates on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace minrej {
+
+using ElementId = std::uint32_t;
+using SetId = std::uint32_t;
+
+/// Immutable weighted set system.
+class SetSystem {
+ public:
+  SetSystem() = default;
+
+  /// `sets[s]` lists the elements of set s (deduplicated on build);
+  /// `costs[s]` > 0.  Every element id must be < element_count.
+  SetSystem(std::size_t element_count,
+            std::vector<std::vector<ElementId>> sets,
+            std::vector<double> costs);
+
+  /// Convenience: unit costs.
+  SetSystem(std::size_t element_count,
+            std::vector<std::vector<ElementId>> sets);
+
+  std::size_t element_count() const noexcept { return element_count_; }  ///< n
+  std::size_t set_count() const noexcept { return sets_.size(); }        ///< m
+
+  std::span<const ElementId> elements_of(SetId s) const {
+    MINREJ_REQUIRE(s < sets_.size(), "set id out of range");
+    return sets_[s];
+  }
+  /// S_j: ids of the sets containing element j.
+  std::span<const SetId> sets_of(ElementId j) const {
+    MINREJ_REQUIRE(j < element_count_, "element id out of range");
+    return sets_of_[j];
+  }
+  /// |S_j| — the degree of element j (capacity of its edge in the §4
+  /// reduction).
+  std::size_t degree(ElementId j) const { return sets_of(j).size(); }
+
+  double cost(SetId s) const {
+    MINREJ_REQUIRE(s < costs_.size(), "set id out of range");
+    return costs_[s];
+  }
+  double total_cost() const noexcept { return total_cost_; }
+  /// True if every set has cost exactly 1 (the unweighted case the paper's
+  /// §5 algorithm assumes).
+  bool unit_costs() const noexcept { return unit_costs_; }
+
+  std::string summary() const;
+
+ private:
+  std::size_t element_count_ = 0;
+  std::vector<std::vector<ElementId>> sets_;
+  std::vector<std::vector<SetId>> sets_of_;
+  std::vector<double> costs_;
+  double total_cost_ = 0.0;
+  bool unit_costs_ = true;
+};
+
+}  // namespace minrej

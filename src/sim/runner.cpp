@@ -1,0 +1,87 @@
+#include "sim/runner.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace minrej {
+
+AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
+                           const AdmissionInstance& instance) {
+  MINREJ_REQUIRE(&algorithm.graph() != nullptr, "algorithm without graph");
+  Timer timer;
+  for (const Request& request : instance.requests()) {
+    algorithm.process(request);
+  }
+  AdmissionRun run;
+  run.rejected_cost = algorithm.rejected_cost();
+  run.rejected_count = algorithm.rejected_count();
+  run.arrivals = instance.request_count();
+  run.seconds = timer.elapsed_s();
+  return run;
+}
+
+CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
+                      const std::vector<ElementId>& arrivals) {
+  Timer timer;
+  for (ElementId j : arrivals) {
+    algorithm.on_element(j);
+  }
+  CoverRun run;
+  run.cost = algorithm.cost();
+  run.chosen_count = algorithm.chosen_count();
+  run.arrivals = arrivals.size();
+  run.seconds = timer.elapsed_s();
+  return run;
+}
+
+std::vector<ElementId> run_adaptive_adversary(
+    OnlineSetCoverAlgorithm& algorithm, std::size_t arrivals) {
+  const SetSystem& sys = algorithm.system();
+  std::vector<ElementId> played;
+  played.reserve(arrivals);
+  for (std::size_t step = 0; step < arrivals; ++step) {
+    // Pick the requestable element with the smallest coverage slack.
+    bool found = false;
+    ElementId pick = 0;
+    std::int64_t best_slack = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t j = 0; j < sys.element_count(); ++j) {
+      const auto elem = static_cast<ElementId>(j);
+      if (algorithm.demand(elem) >=
+          static_cast<std::int64_t>(sys.degree(elem))) {
+        continue;  // cannot be requested again (would be infeasible)
+      }
+      const std::int64_t slack =
+          algorithm.covered(elem) - algorithm.demand(elem);
+      if (slack < best_slack) {
+        best_slack = slack;
+        pick = elem;
+        found = true;
+      }
+    }
+    if (!found) break;  // every element is at its degree limit
+    algorithm.on_element(pick);
+    played.push_back(pick);
+  }
+  return played;
+}
+
+double competitive_ratio(double cost, double opt) {
+  if (opt <= 0.0) {
+    return cost <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  return cost / opt;
+}
+
+std::vector<double> parallel_trials(
+    std::size_t trials, const std::function<double(std::size_t)>& body,
+    std::size_t threads) {
+  std::vector<double> results(trials, 0.0);
+  parallel_for_index(
+      trials, [&](std::size_t i) { results[i] = body(i); }, threads);
+  return results;
+}
+
+}  // namespace minrej

@@ -1,0 +1,66 @@
+// runner.h — drives online algorithms over instances and measures the
+// quantities the experiments report.
+//
+// Everything a bench binary needs: feed an instance through an algorithm
+// (the base classes enforce the online contracts at every step), compute
+// competitive ratios against a chosen ground truth, and fan Monte-Carlo
+// trials out over the thread pool deterministically (trial i always runs
+// with seed base_seed + i regardless of scheduling).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/online_admission.h"
+#include "core/online_setcover.h"
+#include "graph/request.h"
+#include "setcover/instance.h"
+
+namespace minrej {
+
+/// Outcome of running one admission algorithm over one instance.
+struct AdmissionRun {
+  double rejected_cost = 0.0;
+  std::size_t rejected_count = 0;
+  std::size_t arrivals = 0;
+  double seconds = 0.0;
+};
+
+/// Feeds every request of the instance to the algorithm, in order.
+AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
+                           const AdmissionInstance& instance);
+
+/// Outcome of running one set cover algorithm over one arrival sequence.
+struct CoverRun {
+  double cost = 0.0;
+  std::size_t chosen_count = 0;
+  std::size_t arrivals = 0;
+  double seconds = 0.0;
+};
+
+/// Feeds every arrival to the algorithm, in order.
+CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
+                      const std::vector<ElementId>& arrivals);
+
+/// Adaptive adversary for online set cover: at each step requests the
+/// element with the least coverage slack (covered − demand), i.e. the one
+/// the algorithm is least prepared for, among elements whose demand can
+/// still grow (demand < degree).  Runs for `arrivals` steps (or until no
+/// element can be requested) and returns the sequence it played, so the
+/// caller can compute OPT for it afterwards.
+std::vector<ElementId> run_adaptive_adversary(
+    OnlineSetCoverAlgorithm& algorithm, std::size_t arrivals);
+
+/// cost / opt with the conventions of competitive analysis: opt == 0 maps
+/// to 1 when the algorithm also paid 0 and +inf otherwise.
+double competitive_ratio(double cost, double opt);
+
+/// Runs `trials` independent trials in parallel (deterministic seeding is
+/// the caller's job: the body receives the trial index) and returns the
+/// per-trial results.
+std::vector<double> parallel_trials(std::size_t trials,
+                                    const std::function<double(std::size_t)>& body,
+                                    std::size_t threads = 0);
+
+}  // namespace minrej

@@ -1,0 +1,39 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace minrej {
+
+const std::vector<TraceRow>& TraceRecorder::record(
+    OnlineAdmissionAlgorithm& algorithm, const AdmissionInstance& instance) {
+  rows_.clear();
+  rows_.reserve(instance.request_count());
+  for (std::size_t i = 0; i < instance.request_count(); ++i) {
+    const Request& request = instance.request(static_cast<RequestId>(i));
+    const ArrivalResult result = algorithm.process(request);
+    TraceRow row;
+    row.arrival = i;
+    row.cost = request.cost;
+    row.must_accept = request.must_accept;
+    row.accepted = result.accepted;
+    row.preempted = result.preempted.size();
+    row.rejected_cost_total = algorithm.rejected_cost();
+    row.rejected_count_total = algorithm.rejected_count();
+    rows_.push_back(row);
+  }
+  return rows_;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "arrival,cost,must_accept,accepted,preempted,"
+        "rejected_cost_total,rejected_count_total\n";
+  for (const TraceRow& r : rows_) {
+    os << r.arrival << ',' << r.cost << ',' << (r.must_accept ? 1 : 0) << ','
+       << (r.accepted ? 1 : 0) << ',' << r.preempted << ','
+       << r.rejected_cost_total << ',' << r.rejected_count_total << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace minrej

@@ -1,0 +1,44 @@
+// trace.h — per-arrival decision traces.
+//
+// A TraceRecorder captures, for every arrival, what the algorithm did and
+// what the fractional state looked like — the raw material for debugging a
+// competitive-ratio anomaly or plotting a single run's trajectory.  Traces
+// render to CSV so they can be inspected next to the bench CSVs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/online_admission.h"
+#include "graph/request.h"
+
+namespace minrej {
+
+/// One arrival's outcome snapshot.
+struct TraceRow {
+  std::size_t arrival = 0;
+  double cost = 0.0;
+  bool must_accept = false;
+  bool accepted = false;
+  std::size_t preempted = 0;
+  double rejected_cost_total = 0.0;
+  std::size_t rejected_count_total = 0;
+};
+
+/// Runs the instance through the algorithm, recording one row per arrival.
+class TraceRecorder {
+ public:
+  /// Feeds every request and captures the trace.  Returns the rows.
+  const std::vector<TraceRow>& record(OnlineAdmissionAlgorithm& algorithm,
+                                      const AdmissionInstance& instance);
+
+  const std::vector<TraceRow>& rows() const noexcept { return rows_; }
+
+  /// CSV with a header row.
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceRow> rows_;
+};
+
+}  // namespace minrej

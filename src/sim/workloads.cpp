@@ -1,0 +1,103 @@
+#include "sim/workloads.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace minrej {
+
+AdmissionInstance make_line_workload(std::size_t edge_count,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     std::size_t min_len, std::size_t max_len,
+                                     const CostModel& costs, Rng& rng) {
+  Graph graph = make_line_graph(edge_count, capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    requests.push_back(
+        random_line_request(graph, rng, min_len, max_len, costs.sample(rng)));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_star_workload(std::size_t leaves,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     std::size_t max_spokes,
+                                     const CostModel& costs, Rng& rng) {
+  MINREJ_REQUIRE(max_spokes >= 1 && max_spokes <= leaves, "bad max_spokes");
+  Graph graph = make_star_graph(leaves, capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    const std::size_t spokes = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_spokes)));
+    std::vector<EdgeId> edges;
+    for (std::size_t idx : rng.sample_indices(leaves, spokes)) {
+      edges.push_back(static_cast<EdgeId>(idx));
+    }
+    requests.emplace_back(std::move(edges), costs.sample(rng));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_tree_workload(std::size_t depth, std::int64_t capacity,
+                                     std::size_t request_count,
+                                     const CostModel& costs, Rng& rng) {
+  Graph graph = make_binary_tree(depth, capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    requests.push_back(random_tree_path_request(graph, rng, costs.sample(rng)));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_grid_workload(std::size_t rows, std::size_t cols,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     const CostModel& costs, Rng& rng) {
+  Graph graph = make_grid_graph(rows, cols, capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    requests.push_back(
+        random_grid_path_request(graph, rows, cols, rng, costs.sample(rng)));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_single_edge_burst(std::int64_t capacity,
+                                         std::size_t request_count,
+                                         const CostModel& costs, Rng& rng) {
+  Graph graph = make_single_edge_graph(capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    requests.emplace_back(std::vector<EdgeId>{0}, costs.sample(rng));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_greedy_killer(std::size_t edge_count,
+                                     std::int64_t capacity) {
+  MINREJ_REQUIRE(edge_count >= 2, "killer needs at least two edges");
+  Graph graph = make_line_graph(edge_count, capacity);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(capacity) * (edge_count + 1));
+  // Spanning requests fill every edge to capacity...
+  for (std::int64_t k = 0; k < capacity; ++k) {
+    requests.push_back(make_line_request(graph, 0, edge_count, 1.0));
+  }
+  // ...then each edge is hit by `capacity` singletons.
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    for (std::int64_t k = 0; k < capacity; ++k) {
+      requests.push_back(make_line_request(graph, e, 1, 1.0));
+    }
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+}  // namespace minrej

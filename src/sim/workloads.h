@@ -1,0 +1,73 @@
+// workloads.h — complete admission-control instances for the experiments.
+//
+// Each builder returns an AdmissionInstance (graph + arrival order).  The
+// families mirror the settings of the admission-control literature the
+// paper positions itself in (line/tree/mesh/general networks) plus the
+// adversarial constructions that expose the baselines' lower bounds.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/request.h"
+#include "util/rng.h"
+
+namespace minrej {
+
+/// Cost model for a workload: unit (all 1; the Theorem 4 setting) or
+/// log-uniform in [cost_min, cost_max] (spread across the paper's whole
+/// normalization range, the Theorem 3 setting).
+struct CostModel {
+  bool unit = true;
+  double cost_min = 1.0;
+  double cost_max = 1.0;
+
+  static CostModel unit_costs() { return {true, 1.0, 1.0}; }
+  static CostModel spread(double lo, double hi) { return {false, lo, hi}; }
+
+  double sample(Rng& rng) const {
+    return unit ? 1.0 : rng.log_uniform(cost_min, cost_max);
+  }
+};
+
+/// Random contiguous subpaths on a line of `edge_count` edges.
+AdmissionInstance make_line_workload(std::size_t edge_count,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     std::size_t min_len, std::size_t max_len,
+                                     const CostModel& costs, Rng& rng);
+
+/// Random spoke subsets on a star (requests are arbitrary edge subsets —
+/// the paper's §6 remark makes this legal input).
+AdmissionInstance make_star_workload(std::size_t leaves,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     std::size_t max_spokes,
+                                     const CostModel& costs, Rng& rng);
+
+/// Root-to-leaf paths on a complete binary tree.
+AdmissionInstance make_tree_workload(std::size_t depth, std::int64_t capacity,
+                                     std::size_t request_count,
+                                     const CostModel& costs, Rng& rng);
+
+/// Monotone staircase paths on a rows x cols grid.
+AdmissionInstance make_grid_workload(std::size_t rows, std::size_t cols,
+                                     std::int64_t capacity,
+                                     std::size_t request_count,
+                                     const CostModel& costs, Rng& rng);
+
+/// `request_count` requests hammering one edge of capacity `capacity` —
+/// the minimal overload stage (OPT rejects exactly count − capacity).
+AdmissionInstance make_single_edge_burst(std::int64_t capacity,
+                                         std::size_t request_count,
+                                         const CostModel& costs, Rng& rng);
+
+/// The no-preemption killer (unit costs): a line of `edge_count` edges of
+/// capacity `capacity`; first `capacity` requests span the whole line,
+/// then every edge receives `capacity` single-edge requests.  An algorithm
+/// that never preempts keeps the spanning requests and rejects all
+/// edge_count·capacity singles; OPT rejects just the `capacity` spanning
+/// requests.  Ratio Ω(edge_count) — the separation E5 reports.
+AdmissionInstance make_greedy_killer(std::size_t edge_count,
+                                     std::int64_t capacity);
+
+}  // namespace minrej

@@ -1,0 +1,62 @@
+// check.h — error handling primitives shared by all minrej modules.
+//
+// Library code validates its inputs with MINREJ_REQUIRE (throws
+// minrej::InvalidArgument — recoverable, caller error) and its internal
+// invariants with MINREJ_CHECK (throws minrej::InternalError — a bug).
+// Neither is compiled out in release builds: the algorithms here are
+// combinatorial and cheap relative to the checks, and silent invariant
+// violations would invalidate every measured competitive ratio.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace minrej {
+
+/// Thrown when a caller passes an invalid instance/parameter.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invalid(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace minrej
+
+/// Validate caller-supplied input; throws minrej::InvalidArgument on failure.
+#define MINREJ_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::minrej::detail::throw_invalid(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Check an internal invariant; throws minrej::InternalError on failure.
+#define MINREJ_CHECK(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::minrej::detail::throw_internal(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

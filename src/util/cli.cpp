@@ -1,0 +1,81 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace minrej {
+
+CliFlags CliFlags::parse(int argc, const char* const* argv,
+                         const std::vector<std::string>& known) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    MINREJ_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--name value` form: consume the next token if it is not a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+
+    MINREJ_REQUIRE(std::find(known.begin(), known.end(), name) != known.end(),
+                   "unknown flag: --" + name);
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  MINREJ_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + name + " is not an integer: " + it->second);
+  return v;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MINREJ_REQUIRE(end != nullptr && *end == '\0',
+                 "flag --" + name + " is not a number: " + it->second);
+  return v;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("flag --" + name + " is not a boolean: " + v);
+}
+
+}  // namespace minrej

@@ -1,0 +1,34 @@
+// cli.h — tiny flag parser shared by the bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.  Unknown
+// flags are an error so typos in experiment scripts fail loudly instead of
+// silently running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace minrej {
+
+/// Parsed command-line flags with typed, defaulted accessors.
+class CliFlags {
+ public:
+  /// Parses argv.  `known` lists the accepted flag names (without "--").
+  /// Throws InvalidArgument on unknown flags or malformed input.
+  static CliFlags parse(int argc, const char* const* argv,
+                        const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace minrej

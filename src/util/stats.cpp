@@ -1,0 +1,129 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace minrej {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stdev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stdev() / std::sqrt(static_cast<double>(n_));
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  MINREJ_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  MINREJ_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q outside [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  RunningStats rs;
+  for (double x : sample) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stdev = rs.stdev();
+  s.ci95 = rs.ci95_half_width();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.p25 = quantile_sorted(sample, 0.25);
+  s.median = quantile_sorted(sample, 0.50);
+  s.p75 = quantile_sorted(sample, 0.75);
+  s.p95 = quantile_sorted(sample, 0.95);
+  return s;
+}
+
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  MINREJ_REQUIRE(x.size() == y.size(), "fit_linear: size mismatch");
+  MINREJ_REQUIRE(x.size() >= 2, "fit_linear: need at least two points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit f;
+  if (sxx == 0.0) {
+    // Degenerate: all x equal; report a flat fit through the mean.
+    f.slope = 0.0;
+    f.intercept = my;
+    f.r_squared = 0.0;
+    return f;
+  }
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  if (syy == 0.0) {
+    f.r_squared = 1.0;  // y is constant and the fit reproduces it exactly
+  } else {
+    f.r_squared = (sxy * sxy) / (sxx * syy);
+  }
+  return f;
+}
+
+double geometric_mean(const std::vector<double>& sample) {
+  MINREJ_REQUIRE(!sample.empty(), "geometric_mean of empty sample");
+  double log_sum = 0.0;
+  for (double x : sample) {
+    MINREJ_REQUIRE(x > 0.0, "geometric_mean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace minrej

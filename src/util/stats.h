@@ -1,0 +1,79 @@
+// stats.h — summary statistics and shape-fitting for experiment results.
+//
+// The bench harness reduces Monte-Carlo trials to {mean, stdev, 95% CI,
+// quantiles} via RunningStats / Summary, and fits measured competitive
+// ratios against the paper's asymptotic bounds (log(mc), log^2(mc),
+// log m · log c, ...) via least-squares through LinearFit.  A good fit
+// (R^2 near 1, small intercept) is how EXPERIMENTS.md argues "the shape of
+// the theorem holds" without matching absolute constants.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace minrej {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long accumulations the parallel sweeps
+/// produce; mergeable so per-thread partials can be combined.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction step).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stdev() const noexcept;
+  /// Half-width of the normal-approximation 95% confidence interval.
+  double ci95_half_width() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Order statistics over a stored sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double ci95 = 0.0;  ///< 95% CI half-width around the mean
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the full Summary of a sample (copies + sorts internally).
+Summary summarize(std::vector<double> sample);
+
+/// Linear interpolation quantile of a *sorted* sample; q in [0, 1].
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/// Least-squares fit y ≈ slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< coefficient of determination
+};
+
+/// Fits y against x; requires x.size() == y.size() >= 2.
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Ratio-of-means helper: geometric mean of a positive sample.
+double geometric_mean(const std::vector<double>& sample);
+
+}  // namespace minrej

@@ -1,0 +1,65 @@
+// table.h — paper-style result tables for the benchmark harness.
+//
+// Every experiment binary builds a Table and renders it both as an aligned
+// ASCII table (human-readable bench output) and as CSV (machine-readable,
+// written next to the binary when --csv is passed).  Keeping the rendering
+// in one place guarantees every experiment reports in the same format that
+// EXPERIMENTS.md quotes.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace minrej {
+
+/// A table cell: text, integer, or fixed-precision floating point.
+class Cell {
+ public:
+  Cell(std::string text) : value_(std::move(text)) {}        // NOLINT implicit
+  Cell(const char* text) : value_(std::string(text)) {}      // NOLINT implicit
+  Cell(long long i) : value_(i) {}                           // NOLINT implicit
+  Cell(int i) : value_(static_cast<long long>(i)) {}         // NOLINT implicit
+  Cell(std::size_t i) : value_(static_cast<long long>(i)) {} // NOLINT implicit
+  Cell(double d, int precision = 3) : value_(Real{d, precision}) {} // NOLINT
+
+  /// Rendered text of the cell.
+  std::string str() const;
+
+ private:
+  struct Real {
+    double v;
+    int precision;
+  };
+  std::variant<std::string, long long, Real> value_;
+};
+
+/// Column-labelled table with uniform rendering.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Appends a row; must match the column count.
+  void add_row(std::vector<Cell> cells);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  const std::string& title() const noexcept { return title_; }
+
+  /// Aligned ASCII rendering with a title banner.
+  std::string to_ascii() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string to_csv() const;
+
+  /// Convenience: prints ASCII to the stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace minrej

@@ -1,0 +1,71 @@
+// thread_pool.h — fixed-size worker pool and parallel_for for sweeps.
+//
+// The experiment harness runs thousands of independent online-algorithm
+// trials (seeds × parameter points).  ThreadPool provides a plain
+// work-queue executor; parallel_for_index slices an index range over the
+// pool with per-worker chunking so that per-trial RNGs stay deterministic
+// (trial i always uses seed base+i, regardless of scheduling).
+//
+// Design choices (C++ Core Guidelines CP.*):
+//  * RAII: the destructor joins all workers; no detached threads.
+//  * No task futures: the sweep pattern is fork-join, so parallel_for
+//    blocks until every index is processed and rethrows the first
+//    exception raised by any worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace minrej {
+
+/// Fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw through the pool; use
+  /// parallel_for_index for exception-propagating fork-join work.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs body(i) for every i in [0, count) across `threads` workers.
+///
+/// Static block partitioning: worker w handles a contiguous slice, so the
+/// workload-to-thread mapping is deterministic.  Blocks until done; the
+/// first exception thrown by any body is rethrown in the caller.
+/// threads == 0 selects hardware concurrency; count == 0 is a no-op;
+/// with one available thread everything runs inline (no spawn).
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& body,
+                        std::size_t threads = 0);
+
+}  // namespace minrej

@@ -1,0 +1,28 @@
+// timer.h — minimal wall-clock timing for benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace minrej {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Seconds since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds since construction or last reset().
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace minrej

@@ -1,0 +1,201 @@
+// Tests for the §5 deterministic bicriteria online set cover algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bicriteria_setcover.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+BicriteriaConfig eps(double e) {
+  BicriteriaConfig cfg;
+  cfg.epsilon = e;
+  return cfg;
+}
+
+TEST(Bicriteria, RejectsBadConfig) {
+  SetSystem sys(2, {{0, 1}});
+  EXPECT_THROW(BicriteriaSetCover(sys, eps(0.0)), InvalidArgument);
+  EXPECT_THROW(BicriteriaSetCover(sys, eps(1.0)), InvalidArgument);
+}
+
+TEST(Bicriteria, RequiresUnitCosts) {
+  SetSystem sys(2, {{0}, {1}}, {1.0, 2.0});
+  EXPECT_THROW(BicriteriaSetCover(sys, eps(0.5)), InvalidArgument);
+}
+
+TEST(Bicriteria, RequiredCoverageIsCeil) {
+  SetSystem sys(2, {{0, 1}});
+  BicriteriaSetCover alg(sys, eps(0.5));
+  EXPECT_EQ(alg.required_coverage(1), 1);  // ceil(0.5)
+  EXPECT_EQ(alg.required_coverage(2), 1);  // ceil(1.0)
+  EXPECT_EQ(alg.required_coverage(3), 2);  // ceil(1.5)
+  EXPECT_EQ(alg.required_coverage(4), 2);
+}
+
+TEST(Bicriteria, SingleArrivalAlwaysCovered) {
+  // k=1 and any ε<1 requires 1 covering set: the classic online set cover
+  // specialization.
+  Rng rng(1);
+  SetSystem sys = random_uniform_system(10, 8, 3, 2, rng);
+  for (double e : {0.1, 0.5, 0.9}) {
+    BicriteriaSetCover alg(sys, eps(e));
+    for (ElementId j = 0; j < 10; ++j) {
+      alg.on_element(j);
+      EXPECT_GE(alg.covered(j), 1) << "eps=" << e;
+    }
+  }
+}
+
+TEST(Bicriteria, CoverageGuaranteeUnderRepetitions) {
+  Rng rng(2);
+  SetSystem sys = random_uniform_system(8, 12, 3, 6, rng);
+  BicriteriaSetCover alg(sys, eps(0.25));
+  const auto arrivals = arrivals_each_k_times(8, 5, true, rng);
+  // The base class enforces covered >= ceil((1-ε)k) after every arrival.
+  run_setcover(alg, arrivals);
+  for (ElementId j = 0; j < 8; ++j) {
+    EXPECT_GE(alg.covered(j),
+              static_cast<std::int64_t>(std::ceil(0.75 * 5.0) - 1e-9));
+  }
+}
+
+TEST(Bicriteria, PotentialNeverExceedsNSquared) {
+  Rng rng(3);
+  SetSystem sys = random_uniform_system(12, 10, 4, 4, rng);
+  BicriteriaSetCover alg(sys, eps(0.5));
+  const auto arrivals = arrivals_each_k_times(12, 3, true, rng);
+  const double n2 = 12.0 * 12.0;
+  for (ElementId j : arrivals) {
+    alg.on_element(j);
+    EXPECT_LE(alg.potential(), n2 * (1.0 + 1e-9));
+  }
+}
+
+TEST(Bicriteria, WeightsStayBelowOnePointFive) {
+  // Lemma 5's proof relies on w_S < 1.5 at all times.
+  Rng rng(4);
+  SetSystem sys = random_uniform_system(10, 8, 3, 4, rng);
+  BicriteriaSetCover alg(sys, eps(0.3));
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  for (ElementId j : arrivals) {
+    alg.on_element(j);
+    for (SetId s = 0; s < 8; ++s) {
+      EXPECT_LT(alg.set_weight(s), 1.5 + 1e-9);
+    }
+  }
+}
+
+TEST(Bicriteria, ElementWeightsConsistent) {
+  Rng rng(5);
+  SetSystem sys = random_uniform_system(8, 6, 3, 2, rng);
+  BicriteriaSetCover alg(sys, eps(0.5));
+  const auto arrivals = arrivals_each_k_times(8, 2, true, rng);
+  for (ElementId j : arrivals) alg.on_element(j);
+  for (ElementId j = 0; j < 8; ++j) {
+    double sum = 0.0;
+    for (SetId s : sys.sets_of(j)) sum += alg.set_weight(s);
+    EXPECT_NEAR(alg.element_weight(j), sum, 1e-9);
+  }
+}
+
+TEST(Bicriteria, CostWithinTheorem7Envelope) {
+  Rng rng(6);
+  SetSystem sys = random_uniform_system(16, 12, 4, 4, rng);
+  const auto arrivals = arrivals_each_k_times(16, 2, true, rng);
+  CoverInstance inst(sys, arrivals);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  ASSERT_GT(opt.cost, 0.0);
+
+  BicriteriaSetCover alg(sys, eps(0.5));
+  const CoverRun run = run_setcover(alg, arrivals);
+  const double logm = std::max(1.0, std::log2(12.0));
+  const double logn = std::max(1.0, std::log2(16.0));
+  // OPT covers k, the algorithm covers ceil(k/2): its cost is compared to
+  // the full-coverage OPT exactly as in Theorem 7.
+  EXPECT_LE(competitive_ratio(run.cost, opt.cost), 20.0 * logm * logn);
+}
+
+TEST(Bicriteria, AugmentationsWithinLemma5Envelope) {
+  Rng rng(7);
+  SetSystem sys = random_uniform_system(12, 10, 4, 3, rng);
+  const auto arrivals = arrivals_each_k_times(12, 2, true, rng);
+  CoverInstance inst(sys, arrivals);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+
+  BicriteriaSetCover alg(sys, eps(0.5));
+  run_setcover(alg, arrivals);
+  const double logm = std::max(1.0, std::log2(10.0));
+  // Lemma 5: O(α log m) augmentations; ε-dependent constant absorbed.
+  EXPECT_LE(static_cast<double>(alg.augmentations()),
+            32.0 * opt.cost * logm + 16.0);
+}
+
+TEST(Bicriteria, RoundingOvershootIsRare) {
+  Rng rng(8);
+  SetSystem sys = random_uniform_system(16, 14, 4, 4, rng);
+  BicriteriaSetCover alg(sys, eps(0.4));
+  run_setcover(alg, arrivals_each_k_times(16, 3, true, rng));
+  // Lemma 6 promises 2·log n picks suffice; the greedy implementation
+  // should essentially never need more.
+  EXPECT_LE(alg.rounding_overshoot(), alg.rounding_additions() / 4 + 2);
+}
+
+TEST(Bicriteria, SingletonsPlusBlockStaysPolylog) {
+  const std::size_t n = 32;
+  SetSystem sys = singletons_plus_block_system(n, n);
+  BicriteriaSetCover alg(sys, eps(0.5));
+  std::vector<ElementId> arrivals(n);
+  for (std::size_t j = 0; j < n; ++j) arrivals[j] = static_cast<ElementId>(j);
+  const CoverRun run = run_setcover(alg, arrivals);
+  // OPT = 1 (the block); the deterministic algorithm must stay polylog.
+  const double logm = std::log2(static_cast<double>(n + 1));
+  const double logn = std::log2(static_cast<double>(n));
+  EXPECT_LE(run.cost, 12.0 * logm * logn);
+}
+
+TEST(Bicriteria, AdaptiveAdversaryHonoursContract) {
+  SetSystem sys = dyadic_interval_system(16);
+  BicriteriaSetCover alg(sys, eps(0.5));
+  const auto played = run_adaptive_adversary(alg, 30);
+  EXPECT_FALSE(played.empty());
+  for (ElementId j = 0; j < 16; ++j) {
+    const std::int64_t need = std::min<std::int64_t>(
+        alg.required_coverage(alg.demand(j)),
+        static_cast<std::int64_t>(sys.degree(j)));
+    EXPECT_GE(alg.covered(j), need);
+  }
+}
+
+TEST(Bicriteria, SmallerEpsilonCoversMore) {
+  Rng rng(9);
+  SetSystem sys = random_uniform_system(10, 12, 4, 6, rng);
+  const auto arrivals = arrivals_each_k_times(10, 4, true, rng);
+  BicriteriaSetCover tight(sys, eps(0.1));
+  BicriteriaSetCover loose(sys, eps(0.9));
+  run_setcover(tight, arrivals);
+  {
+    // Fresh copy of arrivals for the second run (same sequence).
+    BicriteriaSetCover& alg = loose;
+    for (ElementId j : arrivals) alg.on_element(j);
+  }
+  // Tight ε must cover at least as much per element and cost at least as
+  // much in aggregate (weak monotonicity; equality is possible).
+  double tight_cov = 0, loose_cov = 0;
+  for (ElementId j = 0; j < 10; ++j) {
+    tight_cov += static_cast<double>(tight.covered(j));
+    loose_cov += static_cast<double>(loose.covered(j));
+  }
+  EXPECT_GE(tight_cov, loose_cov);
+  EXPECT_GE(tight.cost(), loose.cost());
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,241 @@
+// Tests for the enforcement machinery itself: the online-contract base
+// classes must catch misbehaving algorithms, since every property test in
+// the suite leans on exactly these checks.
+#include <gtest/gtest.h>
+
+#include "core/online_admission.h"
+#include "core/online_setcover.h"
+#include "core/randomized_admission.h"
+#include "graph/generators.h"
+#include "setcover/generators.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Misbehaving admission algorithms
+// ---------------------------------------------------------------------------
+
+/// Accepts everything, capacity be damned.
+class AcceptAll : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "accept-all"; }
+
+ protected:
+  ArrivalResult handle(RequestId, const Request&) override {
+    return {true, {}};
+  }
+};
+
+TEST(AdmissionContract, OverflowAcceptanceThrows) {
+  Graph g = make_single_edge_graph(1);
+  AcceptAll alg(g);
+  alg.process(Request({0}, 1.0));
+  EXPECT_THROW(alg.process(Request({0}, 1.0)), InternalError);
+}
+
+/// Tries to preempt a request that was already rejected.
+class DoublePreempt : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "double-preempt"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request&) override {
+    ArrivalResult r;
+    r.accepted = true;
+    if (id >= 1) r.preempted.push_back(0);  // preempt request 0 every time
+    return r;
+  }
+};
+
+TEST(AdmissionContract, PreemptingRejectedRequestThrows) {
+  Graph g = make_line_graph(3, 5);
+  DoublePreempt alg(g);
+  alg.process(Request({0}, 1.0));
+  alg.process(Request({1}, 1.0));  // legal: preempts 0 (accepted)
+  EXPECT_THROW(alg.process(Request({2}, 1.0)), InternalError);
+}
+
+/// Preempts the arriving request itself (a future id) — must be caught.
+class PreemptSelf : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "preempt-self"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request&) override {
+    return {true, {id}};
+  }
+};
+
+TEST(AdmissionContract, PreemptingSelfThrows) {
+  Graph g = make_single_edge_graph(3);
+  PreemptSelf alg(g);
+  EXPECT_THROW(alg.process(Request({0}, 1.0)), InternalError);
+}
+
+/// Rejects a must_accept request.
+class RejectAll : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "reject-all"; }
+
+ protected:
+  ArrivalResult handle(RequestId, const Request&) override {
+    return {false, {}};
+  }
+};
+
+TEST(AdmissionContract, RejectingMustAcceptThrows) {
+  Graph g = make_single_edge_graph(3);
+  RejectAll alg(g);
+  alg.process(Request({0}, 1.0));  // fine: reject a normal request
+  EXPECT_THROW(alg.process(Request({0}, 1.0, /*must_accept=*/true)),
+               InternalError);
+}
+
+/// Preempting a must_accept request must also be caught.
+class PreemptPinned : public OnlineAdmissionAlgorithm {
+ public:
+  using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+  std::string name() const override { return "preempt-pinned"; }
+
+ protected:
+  ArrivalResult handle(RequestId id, const Request&) override {
+    ArrivalResult r;
+    r.accepted = true;
+    if (id == 1) r.preempted.push_back(0);
+    return r;
+  }
+};
+
+TEST(AdmissionContract, PreemptingMustAcceptThrows) {
+  Graph g = make_line_graph(2, 5);
+  PreemptPinned alg(g);
+  alg.process(Request({0}, 1.0, /*must_accept=*/true));
+  EXPECT_THROW(alg.process(Request({1}, 1.0)), InternalError);
+}
+
+TEST(AdmissionContract, DuplicatePreemptionsAreDeduplicated) {
+  // Returning the same victim twice must not corrupt usage accounting.
+  class DupPreempt : public OnlineAdmissionAlgorithm {
+   public:
+    using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
+    std::string name() const override { return "dup-preempt"; }
+
+   protected:
+    ArrivalResult handle(RequestId id, const Request&) override {
+      ArrivalResult r;
+      r.accepted = true;
+      if (id == 1) r.preempted = {0, 0, 0};
+      return r;
+    }
+  };
+  Graph g = make_single_edge_graph(1);
+  DupPreempt alg(g);
+  alg.process(Request({0}, 2.0));
+  const ArrivalResult r = alg.process(Request({0}, 1.0));
+  EXPECT_EQ(r.preempted.size(), 1u);
+  EXPECT_DOUBLE_EQ(alg.rejected_cost(), 2.0);
+  EXPECT_EQ(alg.edge_usage()[0], 1);
+}
+
+TEST(AdmissionContract, InputValidation) {
+  Graph g = make_single_edge_graph(1);
+  AcceptAll alg(g);
+  EXPECT_THROW(alg.process(Request({}, 1.0)), InvalidArgument);
+  EXPECT_THROW(alg.process(Request({0}, -1.0)), InvalidArgument);
+  EXPECT_THROW(alg.process(Request({7}, 1.0)), InvalidArgument);
+  EXPECT_THROW(alg.state(99), InvalidArgument);
+}
+
+TEST(AdmissionContract, StateTransitionsVisible) {
+  Graph g = make_single_edge_graph(1);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  RandomizedAdmission alg(g, cfg);
+  alg.process(Request({0}, 1.0));
+  EXPECT_EQ(alg.state(0), RequestState::kAccepted);
+  // Force the edge over capacity repeatedly; eventually request 0 flips to
+  // rejected and can never flip back (checked by the property suite).
+  for (int i = 0; i < 5; ++i) alg.process(Request({0}, 1.0));
+  std::size_t accepted = 0;
+  for (RequestId i = 0; i < 6; ++i) {
+    accepted += alg.state(i) == RequestState::kAccepted;
+  }
+  EXPECT_LE(accepted, 1u);  // capacity 1
+}
+
+// ---------------------------------------------------------------------------
+// Misbehaving set cover algorithms
+// ---------------------------------------------------------------------------
+
+/// Never chooses anything.
+class LazyCover : public OnlineSetCoverAlgorithm {
+ public:
+  using OnlineSetCoverAlgorithm::OnlineSetCoverAlgorithm;
+  std::string name() const override { return "lazy"; }
+
+ protected:
+  std::vector<SetId> handle_element(ElementId) override { return {}; }
+};
+
+TEST(CoverContract, UncoveredArrivalThrows) {
+  SetSystem sys(2, {{0}, {1}});
+  LazyCover alg(sys);
+  EXPECT_THROW(alg.on_element(0), InternalError);
+}
+
+/// Chooses the same set on every arrival.
+class RepeatChooser : public OnlineSetCoverAlgorithm {
+ public:
+  using OnlineSetCoverAlgorithm::OnlineSetCoverAlgorithm;
+  std::string name() const override { return "repeat"; }
+
+ protected:
+  std::vector<SetId> handle_element(ElementId) override { return {0}; }
+};
+
+TEST(CoverContract, ReChoosingASetThrows) {
+  SetSystem sys(1, {{0}, {0}});
+  RepeatChooser alg(sys);
+  alg.on_element(0);
+  EXPECT_THROW(alg.on_element(0), InternalError);
+}
+
+TEST(CoverContract, OverDemandThrows) {
+  SetSystem sys(1, {{0}});
+  RepeatChooser alg(sys);
+  alg.on_element(0);
+  // Demand would exceed the element's degree — infeasible by definition.
+  EXPECT_THROW(alg.on_element(0), InvalidArgument);
+}
+
+TEST(CoverContract, UnknownElementThrows) {
+  SetSystem sys(2, {{0, 1}});
+  LazyCover alg(sys);
+  EXPECT_THROW(alg.on_element(9), InvalidArgument);
+  EXPECT_THROW(alg.demand(9), InvalidArgument);
+  EXPECT_THROW(alg.covered(9), InvalidArgument);
+}
+
+TEST(CoverContract, CostAccountingMatchesChosen) {
+  Rng rng(1);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(6, 5, 3, 2, rng), 1.0, 9.0, rng);
+  RandomizedConfig cfg;
+  cfg.seed = 3;
+  ReductionSetCover alg(sys, cfg);
+  for (ElementId j = 0; j < 6; ++j) alg.on_element(j);
+  double expected = 0.0;
+  for (SetId s = 0; s < 5; ++s) {
+    if (alg.chosen()[s]) expected += sys.cost(s);
+  }
+  EXPECT_NEAR(alg.cost(), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace minrej

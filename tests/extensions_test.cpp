@@ -1,0 +1,232 @@
+// Tests for the extension modules: the AAP-style throughput baseline, the
+// weighted bicriteria algorithm, and the extra generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/randomized_admission.h"
+#include "core/throughput_admission.h"
+#include "core/weighted_bicriteria.h"
+#include "graph/generators.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThroughputAdmission
+// ---------------------------------------------------------------------------
+
+TEST(Throughput, AcceptsEverythingUnderLightLoad) {
+  // Well below the AAP utilization knee (~1 − ln m / ln μ), everything is
+  // admitted.
+  Graph g = make_line_graph(4, 10);
+  ThroughputAdmission alg(g);
+  for (int i = 0; i < 3; ++i) {
+    const ArrivalResult r = alg.process(Request({0, 1, 2, 3}, 1.0));
+    EXPECT_TRUE(r.accepted) << "arrival " << i;
+  }
+  EXPECT_EQ(alg.accepted_count(), 3u);
+  EXPECT_DOUBLE_EQ(alg.rejected_cost(), 0.0);
+}
+
+TEST(Throughput, NeverPreempts) {
+  Rng rng(1);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 12, CostModel::unit_costs(), rng);
+  ThroughputAdmission alg(inst.graph());
+  for (const Request& r : inst.requests()) {
+    const ArrivalResult result = alg.process(r);
+    EXPECT_TRUE(result.preempted.empty());
+  }
+}
+
+TEST(Throughput, RespectsCapacity) {
+  Rng rng(2);
+  AdmissionInstance inst = make_line_workload(
+      8, 2, 60, 1, 4, CostModel::unit_costs(), rng);
+  ThroughputAdmission alg(inst.graph());
+  run_admission(alg, inst);  // base class enforces per-arrival feasibility
+  SUCCEED();
+}
+
+TEST(Throughput, RejectsNearCapacityOnLongPaths) {
+  // The motivating behaviour: on a long line near saturation, the
+  // exponential cost of a spanning request exceeds the unit-benefit
+  // threshold, so some spanning requests are rejected even though they
+  // would fit — OPT rejects 0.
+  const std::size_t m = 64;
+  const std::int64_t c = 8;
+  Graph g = make_line_graph(m, c);
+  ThroughputAdmission alg(g);
+  std::size_t rejected = 0;
+  for (std::int64_t i = 0; i < c; ++i) {
+    const ArrivalResult r = alg.process(make_line_request(g, 0, m, 1.0));
+    rejected += !r.accepted;
+  }
+  EXPECT_GT(rejected, 0u) << "AAP accepted everything — motivation gone";
+}
+
+TEST(Throughput, AcceptanceCompetitiveOnSpanningStream) {
+  // ...but its accepted benefit stays within a log factor of the optimum.
+  const std::size_t m = 64;
+  const std::int64_t c = 8;
+  Graph g = make_line_graph(m, c);
+  ThroughputAdmission alg(g);
+  for (std::int64_t i = 0; i < 2 * c; ++i) {
+    alg.process(make_line_request(g, 0, m, 1.0));
+  }
+  const double opt_accept = static_cast<double>(c);
+  // AAP guarantee: accepted benefit within O(log μ) of the optimum.
+  const double logmu =
+      std::log2(2.0 * static_cast<double>(m * /*edges per request*/ 1) + 1.0);
+  EXPECT_GE(alg.accepted_benefit() * (2.0 * logmu + 2.0), opt_accept);
+}
+
+TEST(Throughput, ConfigValidation) {
+  Graph g = make_single_edge_graph(1);
+  ThroughputConfig bad;
+  bad.threshold = -1.0;
+  EXPECT_THROW(ThroughputAdmission(g, bad), InvalidArgument);
+  ThroughputConfig mu_bad;
+  mu_bad.mu = 0.5;
+  EXPECT_THROW(ThroughputAdmission(g, mu_bad), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// WeightedBicriteriaSetCover
+// ---------------------------------------------------------------------------
+
+TEST(WeightedBicriteria, CoverageContractHolds) {
+  Rng rng(3);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(10, 12, 3, 5, rng), 1.0, 8.0, rng);
+  WeightedBicriteriaSetCover alg(sys, BicriteriaConfig{0.25});
+  const auto arrivals = arrivals_each_k_times(10, 4, true, rng);
+  // Base class enforces covered >= ceil(0.75 k) after every arrival.
+  run_setcover(alg, arrivals);
+  for (ElementId j = 0; j < 10; ++j) {
+    EXPECT_GE(alg.covered(j),
+              static_cast<std::int64_t>(std::ceil(0.75 * 4.0 - 1e-9)));
+  }
+}
+
+TEST(WeightedBicriteria, ReducesToUnitRuleOnUnitCosts) {
+  // On unit costs the weighted update equals the paper's §5 rule, so both
+  // classes must produce identical covers on the same stream.
+  Rng rng(4);
+  SetSystem sys = random_uniform_system(12, 10, 4, 4, rng);
+  const auto arrivals = arrivals_each_k_times(12, 3, true, rng);
+  BicriteriaSetCover unit_alg(sys, BicriteriaConfig{0.5});
+  WeightedBicriteriaSetCover weighted_alg(sys, BicriteriaConfig{0.5});
+  run_setcover(unit_alg, arrivals);
+  run_setcover(weighted_alg, arrivals);
+  EXPECT_EQ(unit_alg.chosen(), weighted_alg.chosen());
+}
+
+TEST(WeightedBicriteria, PotentialStaysBounded) {
+  Rng rng(5);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(10, 8, 3, 4, rng), 1.0, 4.0, rng);
+  WeightedBicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  for (ElementId j : arrivals) {
+    alg.on_element(j);
+    EXPECT_LE(alg.potential(), 100.0 * (1 + 1e-9));
+  }
+}
+
+TEST(WeightedBicriteria, PrefersCheapSets) {
+  // Element 0 covered by a cost-1 and a cost-100 set; one arrival with
+  // eps=0.5 needs a single set — the multiplicative asymmetry must pick
+  // the cheap one.
+  SetSystem sys(2, {{0, 1}, {0, 1}}, {1.0, 100.0});
+  WeightedBicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+  alg.on_element(0);
+  EXPECT_TRUE(alg.chosen()[0]);
+  EXPECT_FALSE(alg.chosen()[1]);
+}
+
+TEST(WeightedBicriteria, RatioReasonableVsWeightedOpt) {
+  Rng rng(6);
+  RunningStats ratios;
+  for (int trial = 0; trial < 6; ++trial) {
+    SetSystem sys = with_random_costs(
+        random_uniform_system(12, 10, 4, 3, rng), 1.0, 16.0, rng);
+    const auto arrivals = arrivals_each_k_times(12, 2, true, rng);
+    CoverInstance inst(sys, arrivals);
+    const MulticoverResult opt = solve_multicover_opt(inst, 10'000'000);
+    if (!opt.exact || opt.cost <= 0) continue;
+    WeightedBicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+    ratios.add(run_setcover(alg, arrivals).cost / opt.cost);
+  }
+  ASSERT_GT(ratios.count(), 0u);
+  const double bound = std::log2(10.0) * std::log2(12.0);
+  EXPECT_LE(ratios.mean(), 10.0 * bound);
+}
+
+// ---------------------------------------------------------------------------
+// New generators
+// ---------------------------------------------------------------------------
+
+TEST(NewGenerators, HypercubeShape) {
+  Graph g = make_hypercube_graph(3, 2);
+  EXPECT_EQ(g.vertex_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 24u);  // d * 2^d
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 3u);
+    for (EdgeId e : g.out_edges(v)) {
+      const auto diff = g.edge(e).from ^ g.edge(e).to;
+      EXPECT_EQ(diff & (diff - 1), 0u) << "neighbours differ in one bit";
+    }
+  }
+}
+
+TEST(NewGenerators, RegularGraphDegrees) {
+  Rng rng(7);
+  Graph g = make_regular_graph(20, 4, 3, rng);
+  EXPECT_EQ(g.edge_count(), 80u);
+  for (VertexId v = 0; v < 20; ++v) {
+    EXPECT_EQ(g.out_edges(v).size(), 4u);
+    for (EdgeId e : g.out_edges(v)) EXPECT_NE(g.edge(e).to, v);
+  }
+}
+
+TEST(NewGenerators, RegularGraphValidation) {
+  Rng rng(8);
+  EXPECT_THROW(make_regular_graph(1, 1, 1, rng), InvalidArgument);
+  EXPECT_THROW(make_regular_graph(5, 5, 1, rng), InvalidArgument);
+}
+
+TEST(NewGenerators, PowerLawSystemShape) {
+  Rng rng(9);
+  SetSystem sys = power_law_system(64, 32, 1.0, 2, rng);
+  EXPECT_EQ(sys.element_count(), 64u);
+  EXPECT_EQ(sys.set_count(), 32u);
+  // Head sets are much larger than tail sets.
+  EXPECT_GT(sys.elements_of(0).size(), sys.elements_of(31).size());
+  for (ElementId j = 0; j < 64; ++j) EXPECT_GE(sys.degree(j), 2u);
+}
+
+TEST(NewGenerators, HypercubeWorkloadRunsEndToEnd) {
+  Rng rng(10);
+  Graph g = make_hypercube_graph(4, 2);
+  std::vector<Request> requests;
+  for (int i = 0; i < 60; ++i) {
+    requests.push_back(random_walk_request(g, rng, 4, 1.0));
+  }
+  AdmissionInstance inst(std::move(g), std::move(requests));
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  run_admission(alg, inst);  // contract enforced by the base class
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace minrej

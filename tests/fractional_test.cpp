@@ -1,0 +1,401 @@
+// Tests for the §2 fractional machinery: FractionalEngine (weight
+// augmentation) and FractionalAdmission (classification + α-doubling).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fractional_admission.h"
+#include "core/fractional_engine.h"
+#include "graph/generators.h"
+#include "lp/covering_lp.h"
+#include "offline/admission_opt.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FractionalEngine
+// ---------------------------------------------------------------------------
+
+TEST(Engine, NoOverloadMeansNoWeights) {
+  Graph g = make_line_graph(3, 2);
+  FractionalEngine engine(g, 0.1);
+  engine.arrive({0, 1}, 1.0, 1.0);
+  engine.arrive({1, 2}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(engine.fractional_cost(), 0.0);
+  EXPECT_EQ(engine.augmentations(), 0u);
+  EXPECT_DOUBLE_EQ(engine.weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(engine.weight(1), 0.0);
+}
+
+TEST(Engine, ConstraintRestoredAfterOverload) {
+  Graph g = make_single_edge_graph(1);
+  FractionalEngine engine(g, 0.25);
+  engine.arrive({0}, 1.0, 1.0);
+  EXPECT_TRUE(engine.constraint_satisfied(0));
+  engine.arrive({0}, 1.0, 1.0);  // excess 1
+  EXPECT_TRUE(engine.constraint_satisfied(0));
+  EXPECT_GE(engine.alive_weight_sum(0), 1.0 - 1e-9);
+  EXPECT_GT(engine.augmentations(), 0u);
+}
+
+TEST(Engine, WeightsAreMonotoneNonDecreasing) {
+  Graph g = make_single_edge_graph(2);
+  FractionalEngine engine(g, 0.1);
+  std::vector<double> last;
+  for (int i = 0; i < 8; ++i) {
+    engine.arrive({0}, 1.0, 1.0);
+    for (std::size_t r = 0; r < last.size(); ++r) {
+      EXPECT_GE(engine.weight(static_cast<RequestId>(r)), last[r] - 1e-12);
+    }
+    last.clear();
+    for (std::size_t r = 0; r < engine.request_count(); ++r) {
+      last.push_back(engine.weight(static_cast<RequestId>(r)));
+    }
+  }
+}
+
+TEST(Engine, DeltasSumToCostIncrease) {
+  Graph g = make_single_edge_graph(1);
+  FractionalEngine engine(g, 0.2);
+  double tracked = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const auto& deltas = engine.arrive({0}, 1.0, 1.0);
+    for (const auto& d : deltas) tracked += d.delta;  // unit report costs
+  }
+  EXPECT_NEAR(tracked, engine.fractional_cost(), 1e-9);
+}
+
+TEST(Engine, FullyRejectedLeavesAliveSets) {
+  Graph g = make_single_edge_graph(1);
+  // zero_init 1.0: the first augmentation fully rejects instantly.
+  FractionalEngine engine(g, 1.0);
+  engine.arrive({0}, 1.0, 1.0);
+  engine.arrive({0}, 1.0, 1.0);
+  std::size_t rejected = 0;
+  for (RequestId i = 0; i < 2; ++i) rejected += engine.fully_rejected(i);
+  EXPECT_GE(rejected, 1u);
+  const auto alive = engine.alive_requests(0);
+  for (RequestId i : alive) EXPECT_FALSE(engine.fully_rejected(i));
+}
+
+TEST(Engine, PinnedRequestsRaiseExcessButCarryNoWeight) {
+  Graph g = make_single_edge_graph(2);
+  FractionalEngine engine(g, 0.1);
+  const RequestId pin = engine.pin({0});
+  EXPECT_TRUE(engine.is_pinned(pin));
+  EXPECT_EQ(engine.excess(0), 1 - 2);
+  engine.arrive({0}, 1.0, 1.0);
+  engine.arrive({0}, 1.0, 1.0);  // alive 2 + pin 1 vs capacity 2: excess 1
+  EXPECT_EQ(engine.excess(0), 1);
+  EXPECT_TRUE(engine.constraint_satisfied(0));
+  EXPECT_DOUBLE_EQ(engine.weight(pin), 0.0);
+  EXPECT_FALSE(engine.fully_rejected(pin));
+}
+
+TEST(Engine, CheaperRequestsGetLargerMultiplier) {
+  // With n_e = 1 and update costs {1, 10}, the cheap request's weight grows
+  // by factor (1 + 1/1) vs (1 + 1/10) per augmentation — after the same
+  // floor start, cheap > expensive.
+  Graph g = make_single_edge_graph(1);
+  FractionalEngine engine(g, 1e-3);
+  engine.arrive({0}, 10.0, 10.0);
+  engine.arrive({0}, 1.0, 1.0);
+  EXPECT_GT(engine.weight(1), engine.weight(0));
+}
+
+TEST(Engine, SaturatedEdgeStopsAugmenting) {
+  // Capacity 1, zero_init 1: every arrival instantly fully rejects all
+  // augmentable requests; after they are gone the loop must exit even
+  // though the constraint is unsatisfiable.
+  Graph g = make_single_edge_graph(1);
+  FractionalEngine engine(g, 1.0);
+  for (int i = 0; i < 5; ++i) engine.arrive({0}, 1.0, 1.0);
+  SUCCEED();  // no hang, no throw
+}
+
+TEST(Engine, RejectsBadInputs) {
+  Graph g = make_single_edge_graph(1);
+  EXPECT_THROW(FractionalEngine(g, 0.0), InvalidArgument);
+  EXPECT_THROW(FractionalEngine(g, 1.5), InvalidArgument);
+  FractionalEngine engine(g, 0.5);
+  EXPECT_THROW(engine.arrive({}, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(engine.arrive({0}, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(engine.arrive({5}, 1.0, 1.0), InvalidArgument);
+}
+
+TEST(Engine, AugmentationCountMatchesLemma1Shape) {
+  // Lemma 1: #augmentations = O(α log(gc)).  On a unit-cost single edge
+  // with capacity c and r > c requests, α = r − c.  Verify the count stays
+  // within a small constant of α·log2(2c) for a few (r, c) points.
+  for (std::int64_t c : {2, 4, 8, 16}) {
+    Graph g = make_single_edge_graph(c);
+    FractionalEngine engine(g, 1.0 / static_cast<double>(c));
+    const std::int64_t r = 3 * c;
+    for (std::int64_t i = 0; i < r; ++i) engine.arrive({0}, 1.0, 1.0);
+    const double alpha = static_cast<double>(r - c);
+    const double bound = alpha * std::max(1.0, std::log2(2.0 * static_cast<double>(c)));
+    EXPECT_LE(static_cast<double>(engine.augmentations()), 8.0 * bound + 8.0)
+        << "c=" << c;
+  }
+}
+
+TEST(Engine, Lemma1PotentialDoublesPerAugmentation) {
+  // White-box test of Lemma 1's mechanism.  With f* an optimal fractional
+  // solution, the potential
+  //     Φ = Π_i max(f_i, 1/(gc))^{f*_i · p_i}
+  // (a) starts at (gc)^{-α}, (b) never exceeds 2^α, and (c) is multiplied
+  // by at least 2 in every weight-augmentation step.  We replay a
+  // unit-cost burst (g = 1), take f* from the LP, and check (c) through
+  // the engine's augmentation observer.
+  const std::int64_t c = 4;
+  const std::size_t r = 16;
+  Rng rng(61);
+  AdmissionInstance inst = make_single_edge_burst(
+      c, r, CostModel::unit_costs(), rng);
+  const LpSolution lp = solve_admission_lp(inst);
+  ASSERT_TRUE(lp.optimal());
+  const double alpha = lp.objective;
+  const double gc = static_cast<double>(c);  // g = 1 for unit costs
+
+  FractionalEngine engine(inst.graph(), 1.0 / gc);
+
+  // Φ over the requests that have arrived so far.
+  std::size_t arrived = 0;
+  auto compute_phi = [&]() {
+    long double phi = 1.0L;
+    for (RequestId i = 0; i < arrived; ++i) {
+      const long double base = std::max(
+          static_cast<long double>(engine.weight(i)),
+          static_cast<long double>(1.0 / gc));
+      phi *= std::pow(base, static_cast<long double>(lp.x[i]));  // p_i = 1
+    }
+    return phi;
+  };
+
+  long double last_phi = 1.0L;
+  std::size_t checked = 0;
+  engine.set_augmentation_observer([&](EdgeId) {
+    const long double now = compute_phi();
+    EXPECT_GE(static_cast<double>(now / last_phi), 1.95)
+        << "augmentation " << checked << " did not double the potential";
+    last_phi = now;
+    ++checked;
+  });
+
+  for (std::size_t i = 0; i < r; ++i) {
+    // The arriving request multiplies Φ by (1/gc)^{f*_i} before any
+    // augmentation runs; fold that into the baseline.
+    last_phi *= std::pow(static_cast<long double>(1.0 / gc),
+                         static_cast<long double>(lp.x[i]));
+    ++arrived;
+    engine.arrive(inst.request(static_cast<RequestId>(i)).edges, 1.0, 1.0);
+    last_phi = compute_phi();
+  }
+  EXPECT_GT(checked, 0u) << "no augmentation ever ran";
+  // (b): the final potential respects the 2^α ceiling.
+  EXPECT_LE(static_cast<double>(std::log2(compute_phi())), alpha + 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// FractionalAdmission — unit-cost mode
+// ---------------------------------------------------------------------------
+
+TEST(FracAdmission, UnitModeZeroOptZeroCost) {
+  Graph g = make_line_graph(4, 3);
+  FractionalConfig cfg;
+  cfg.unit_costs = true;
+  FractionalAdmission alg(g, cfg);
+  for (int i = 0; i < 3; ++i) {
+    alg.on_request(Request({0, 1, 2, 3}, 1.0));
+  }
+  EXPECT_DOUBLE_EQ(alg.fractional_cost(), 0.0);
+}
+
+TEST(FracAdmission, UnitModeCompetitiveOnBurst) {
+  Rng rng(3);
+  for (std::int64_t c : {2, 8}) {
+    AdmissionInstance inst =
+        make_single_edge_burst(c, static_cast<std::size_t>(4 * c),
+                               CostModel::unit_costs(), rng);
+    FractionalConfig cfg;
+    cfg.unit_costs = true;
+    FractionalAdmission alg(inst.graph(), cfg);
+    for (const Request& r : inst.requests()) alg.on_request(r);
+    const LpSolution lp = solve_admission_lp(inst);
+    ASSERT_TRUE(lp.optimal());
+    // Theorem 2 (unit costs): O(log c)-competitive vs the fractional OPT.
+    const double bound =
+        8.0 * std::max(1.0, std::log2(2.0 * static_cast<double>(c)));
+    EXPECT_GE(alg.fractional_cost(), lp.objective - 1e-9);
+    EXPECT_LE(alg.fractional_cost(), bound * lp.objective + 1e-9) << "c=" << c;
+  }
+}
+
+TEST(FracAdmission, UnitModeRejectsNonUnitCosts) {
+  Graph g = make_single_edge_graph(1);
+  FractionalConfig cfg;
+  cfg.unit_costs = true;
+  FractionalAdmission alg(g, cfg);
+  EXPECT_THROW(alg.on_request(Request({0}, 2.0)), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// FractionalAdmission — weighted auto-α mode
+// ---------------------------------------------------------------------------
+
+TEST(FracAdmission, AlphaInitializedAtFirstOverflow) {
+  Graph g = make_single_edge_graph(1);
+  FractionalAdmission alg(g);
+  EXPECT_FALSE(alg.alpha_initialized());
+  alg.on_request(Request({0}, 4.0));
+  EXPECT_FALSE(alg.alpha_initialized());  // no overflow yet
+  const auto arrival = alg.on_request(Request({0}, 6.0));
+  EXPECT_TRUE(alg.alpha_initialized());
+  EXPECT_TRUE(arrival.phase_reset);
+  // α = min cost on the overloaded edge = 4.
+  EXPECT_DOUBLE_EQ(alg.alpha(), 4.0);
+}
+
+TEST(FracAdmission, ClassificationBuckets) {
+  Graph g = make_star_graph(4, 1);
+  FractionalConfig cfg;
+  cfg.fixed_alpha = 10.0;  // thresholds: small < 10/(4*1)=2.5, big > 20
+  FractionalAdmission alg(g, cfg);
+  const auto small = alg.on_request(Request({0}, 1.0));
+  EXPECT_EQ(small.cost_class, CostClass::kAutoRejected);
+  const auto big = alg.on_request(Request({1}, 100.0));
+  EXPECT_EQ(big.cost_class, CostClass::kAutoAccepted);
+  const auto mid = alg.on_request(Request({2}, 10.0));
+  EXPECT_EQ(mid.cost_class, CostClass::kEngine);
+  // The small rejection is paid immediately.
+  EXPECT_DOUBLE_EQ(alg.fractional_cost(), 1.0);
+  EXPECT_TRUE(alg.fully_rejected(0));
+  EXPECT_DOUBLE_EQ(alg.weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(alg.weight(1), 0.0);
+}
+
+TEST(FracAdmission, DoublingBoundsCostOnAdversarialStream) {
+  // A stream whose optimum grows forces α to double several times; the
+  // total cost must stay within a constant of the known-α run.
+  Rng rng(5);
+  AdmissionInstance inst = make_single_edge_burst(
+      2, 40, CostModel::spread(1.0, 100.0), rng);
+  FractionalAdmission unknown(inst.graph());
+  for (const Request& r : inst.requests()) unknown.on_request(r);
+
+  const LpSolution lp = solve_admission_lp(inst);
+  ASSERT_TRUE(lp.optimal());
+  ASSERT_GT(lp.objective, 0.0);
+  const double m = 1.0, c = 2.0;
+  const double logmc = std::max(1.0, std::log2(2 * m * c));
+  // Theorem 2 with the doubling overhead: still O(log(mc)) — allow a
+  // generous constant.
+  EXPECT_LE(unknown.fractional_cost(), 64.0 * logmc * lp.objective + 1e-9);
+  EXPECT_GE(unknown.phase_count(), 1u);
+}
+
+TEST(FracAdmission, WeightedCompetitiveVsFractionalOpt) {
+  Rng rng(7);
+  for (int trial = 0; trial < 6; ++trial) {
+    AdmissionInstance inst = make_line_workload(
+        8, 2, 40, 1, 4, CostModel::spread(1.0, 16.0), rng);
+    FractionalAdmission alg(inst.graph());
+    for (const Request& r : inst.requests()) alg.on_request(r);
+    const LpSolution lp = solve_admission_lp(inst);
+    ASSERT_TRUE(lp.optimal());
+    if (lp.objective <= 1e-12) {
+      EXPECT_DOUBLE_EQ(alg.fractional_cost(), 0.0);
+      continue;
+    }
+    const double mc = 8.0 * 2.0;
+    const double bound = 64.0 * std::max(1.0, std::log2(2 * mc));
+    EXPECT_LE(alg.fractional_cost(), bound * lp.objective + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(FracAdmission, ZeroOptMeansZeroCost) {
+  // "the online algorithm must reject 0 requests in case the optimal
+  // solution rejects 0 requests" — no overload, no cost, in both modes.
+  Rng rng(9);
+  AdmissionInstance inst = make_line_workload(
+      6, 30, 20, 1, 3, CostModel::spread(1.0, 10.0), rng);
+  ASSERT_EQ(inst.max_excess(), 0);
+  FractionalAdmission weighted(inst.graph());
+  FractionalConfig unit_cfg;
+  unit_cfg.unit_costs = true;
+  for (const Request& r : inst.requests()) weighted.on_request(r);
+  EXPECT_DOUBLE_EQ(weighted.fractional_cost(), 0.0);
+}
+
+TEST(FracAdmission, MustAcceptNeverWeighted) {
+  Graph g = make_single_edge_graph(1);
+  FractionalAdmission alg(g);
+  alg.on_request(Request({0}, 3.0));
+  const auto pin = alg.on_request(Request({0}, 1.0, true));
+  EXPECT_EQ(pin.cost_class, CostClass::kMustAccept);
+  // The pinned arrival overflows the edge; α initializes from the normal
+  // request and the engine must fully reject it (it is the only candidate).
+  EXPECT_TRUE(alg.alpha_initialized());
+  EXPECT_DOUBLE_EQ(alg.weight(1), 0.0);
+  EXPECT_TRUE(alg.fully_rejected(0));
+}
+
+TEST(FracAdmission, WeightedOnlineNeverBeatsFractionalOpt) {
+  // Regression test for the α-doubling fidelity bugs: the online
+  // fractional solution must remain (near-)feasible across phase changes
+  // — weights carried over, big requests un-pinned as α grows, saturation
+  // forcing a doubling — so its cost can never drop below the fractional
+  // optimum.
+  Rng rng(21);
+  for (int trial = 0; trial < 8; ++trial) {
+    AdmissionInstance inst = make_line_workload(
+        8, 2, 40, 1, 4, CostModel::spread(1.0, 64.0), rng);
+    const LpSolution lp = solve_admission_lp(inst);
+    ASSERT_TRUE(lp.optimal());
+    if (lp.objective <= 1e-9) continue;
+    FractionalAdmission alg(inst.graph());
+    for (const Request& r : inst.requests()) alg.on_request(r);
+    EXPECT_GE(alg.fractional_cost(), 0.98 * lp.objective) << "trial "
+                                                          << trial;
+  }
+}
+
+TEST(FracAdmission, SaturationForcesDoubling) {
+  // One cheap request then many expensive ones on a capacity-1 edge: the
+  // initial α equals the cheap cost, the expensive requests all look
+  // "big" and get pinned, and only the saturation signal can push α up.
+  Graph g = make_single_edge_graph(1);
+  FractionalAdmission alg(g);
+  alg.on_request(Request({0}, 1.0));
+  for (int i = 0; i < 6; ++i) {
+    alg.on_request(Request({0}, 100.0));
+  }
+  // OPT keeps one expensive request: rejects the cheap one plus five of
+  // the expensive ones => 501.  The online cost must be within the
+  // O(log(mc)) envelope of that, which is impossible while α stays at 1.
+  EXPECT_GT(alg.alpha(), 1.0);
+  EXPECT_GE(alg.fractional_cost(), 501.0 * 0.98);
+}
+
+TEST(FracAdmission, AugmentationsWithinLemma1Envelope) {
+  Rng rng(11);
+  AdmissionInstance inst = make_single_edge_burst(
+      4, 24, CostModel::unit_costs(), rng);
+  FractionalConfig cfg;
+  cfg.unit_costs = true;
+  FractionalAdmission alg(inst.graph(), cfg);
+  for (const Request& r : inst.requests()) alg.on_request(r);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  const double alpha = opt.rejected_cost;
+  const double log_gc = std::max(1.0, std::log2(2.0 * 4.0));
+  EXPECT_LE(static_cast<double>(alg.augmentations()),
+            8.0 * alpha * log_gc + 8.0);
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,235 @@
+// Tests for src/graph: graph construction, requests, generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/request.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph
+// ---------------------------------------------------------------------------
+
+TEST(Graph, BuildAndQuery) {
+  Graph g(3, {{0, 1, 2}, {1, 2, 5}});
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.capacity(0), 2);
+  EXPECT_EQ(g.capacity(1), 5);
+  EXPECT_EQ(g.max_capacity(), 5);
+  EXPECT_EQ(g.min_capacity(), 2);
+}
+
+TEST(Graph, RejectsBadInput) {
+  EXPECT_THROW(Graph(0, {}), InvalidArgument);
+  EXPECT_THROW(Graph(2, {{0, 5, 1}}), InvalidArgument);  // endpoint range
+  EXPECT_THROW(Graph(2, {{0, 1, 0}}), InvalidArgument);  // zero capacity
+  EXPECT_THROW(Graph(2, {{0, 1, -3}}), InvalidArgument);
+}
+
+TEST(Graph, OutEdgesAdjacency) {
+  Graph g(4, {{0, 1, 1}, {0, 2, 1}, {1, 3, 1}, {2, 3, 1}});
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(1).size(), 1u);
+  EXPECT_EQ(g.out_edges(3).size(), 0u);
+  // Every out-edge of v must actually start at v.
+  for (VertexId v = 0; v < 4; ++v) {
+    for (EdgeId e : g.out_edges(v)) EXPECT_EQ(g.edge(e).from, v);
+  }
+}
+
+TEST(Graph, EdgelessGraphCapacities) {
+  Graph g(1, {});
+  EXPECT_EQ(g.max_capacity(), 0);
+  EXPECT_EQ(g.min_capacity(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Request / AdmissionInstance
+// ---------------------------------------------------------------------------
+
+TEST(Request, SortsAndDeduplicatesEdges) {
+  Request r({3, 1, 2, 1}, 1.0);
+  EXPECT_EQ(r.edges, (std::vector<EdgeId>{1, 2, 3}));
+}
+
+TEST(AdmissionInstance, ValidatesRequests) {
+  Graph g = make_line_graph(3, 1);
+  EXPECT_THROW(
+      AdmissionInstance(g, {Request({}, 1.0)}), InvalidArgument);
+  EXPECT_THROW(
+      AdmissionInstance(g, {Request({0}, 0.0)}), InvalidArgument);
+  EXPECT_THROW(
+      AdmissionInstance(g, {Request({9}, 1.0)}), InvalidArgument);
+}
+
+TEST(AdmissionInstance, ComputesMaxExcess) {
+  Graph g = make_line_graph(2, 1);
+  std::vector<Request> requests;
+  for (int i = 0; i < 4; ++i) requests.push_back(Request({0}, 1.0));
+  requests.push_back(Request({1}, 1.0));
+  AdmissionInstance inst(std::move(g), std::move(requests));
+  EXPECT_EQ(inst.max_excess(), 3);  // edge 0: 4 requests, capacity 1
+  EXPECT_EQ(inst.edge_load()[0], 4);
+  EXPECT_EQ(inst.edge_load()[1], 1);
+}
+
+TEST(AdmissionInstance, MaxExcessClampedAtZero) {
+  Graph g = make_line_graph(2, 10);
+  AdmissionInstance inst(std::move(g), {Request({0}, 1.0)});
+  EXPECT_EQ(inst.max_excess(), 0);
+}
+
+TEST(AdmissionInstance, TotalCostExcludesMustAccept) {
+  Graph g = make_line_graph(2, 1);
+  AdmissionInstance inst(std::move(g),
+                         {Request({0}, 2.0), Request({1}, 3.0, true)});
+  EXPECT_DOUBLE_EQ(inst.total_cost(), 2.0);
+}
+
+TEST(FeasibilityCheck, DetectsViolations) {
+  Graph g = make_line_graph(2, 1);
+  AdmissionInstance inst(std::move(g),
+                         {Request({0}, 1.0), Request({0}, 1.0)});
+  EXPECT_TRUE(is_feasible_acceptance(inst, {true, false}));
+  EXPECT_TRUE(is_feasible_acceptance(inst, {false, false}));
+  EXPECT_FALSE(is_feasible_acceptance(inst, {true, true}));
+}
+
+TEST(RejectedCost, SumsRejections) {
+  Graph g = make_line_graph(2, 1);
+  AdmissionInstance inst(std::move(g),
+                         {Request({0}, 2.0), Request({1}, 3.5)});
+  EXPECT_DOUBLE_EQ(rejected_cost(inst, {false, true}), 2.0);
+  EXPECT_DOUBLE_EQ(rejected_cost(inst, {false, false}), 5.5);
+  EXPECT_DOUBLE_EQ(rejected_cost(inst, {true, true}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Generators: topologies
+// ---------------------------------------------------------------------------
+
+TEST(Generators, LineGraphShape) {
+  Graph g = make_line_graph(5, 3);
+  EXPECT_EQ(g.vertex_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+  for (EdgeId e = 0; e < 5; ++e) {
+    EXPECT_EQ(g.edge(e).from, e);
+    EXPECT_EQ(g.edge(e).to, e + 1);
+    EXPECT_EQ(g.capacity(e), 3);
+  }
+}
+
+TEST(Generators, StarGraphShape) {
+  Graph g = make_star_graph(4, 2);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  for (EdgeId e = 0; e < 4; ++e) EXPECT_EQ(g.edge(e).from, 0u);
+}
+
+TEST(Generators, BinaryTreeShape) {
+  Graph g = make_binary_tree(3, 1);
+  EXPECT_EQ(g.vertex_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  // Root has two children; leaves have none.
+  EXPECT_EQ(g.out_edges(0).size(), 2u);
+  EXPECT_EQ(g.out_edges(14).size(), 0u);
+}
+
+TEST(Generators, GridGraphShape) {
+  Graph g = make_grid_graph(3, 4, 2);
+  EXPECT_EQ(g.vertex_count(), 12u);
+  // Horizontal: 3 rows x 3, vertical: 2 x 4.
+  EXPECT_EQ(g.edge_count(), 9u + 8u);
+}
+
+TEST(Generators, RandomGraphRespectsParameters) {
+  Rng rng(5);
+  Graph g = make_random_graph(10, 30, 2, 6, rng);
+  EXPECT_EQ(g.vertex_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 30u);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE(e.from, e.to);
+    EXPECT_GE(e.capacity, 2);
+    EXPECT_LE(e.capacity, 6);
+    EXPECT_TRUE(seen.emplace(e.from, e.to).second) << "duplicate edge";
+  }
+}
+
+TEST(Generators, RandomGraphRejectsTooManyEdges) {
+  Rng rng(1);
+  EXPECT_THROW(make_random_graph(3, 7, 1, 1, rng), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Generators: request samplers
+// ---------------------------------------------------------------------------
+
+TEST(Generators, LineRequestIsContiguous) {
+  Graph g = make_line_graph(10, 1);
+  Request r = make_line_request(g, 3, 4, 2.0);
+  EXPECT_EQ(r.edges, (std::vector<EdgeId>{3, 4, 5, 6}));
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(Generators, LineRequestRangeChecked) {
+  Graph g = make_line_graph(5, 1);
+  EXPECT_THROW(make_line_request(g, 3, 3, 1.0), InvalidArgument);
+  EXPECT_THROW(make_line_request(g, 0, 0, 1.0), InvalidArgument);
+}
+
+TEST(Generators, RandomLineRequestsInBounds) {
+  Graph g = make_line_graph(8, 1);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    Request r = random_line_request(g, rng, 2, 5, 1.0);
+    EXPECT_GE(r.edges.size(), 2u);
+    EXPECT_LE(r.edges.size(), 5u);
+    // Contiguity.
+    for (std::size_t k = 1; k < r.edges.size(); ++k) {
+      EXPECT_EQ(r.edges[k], r.edges[k - 1] + 1);
+    }
+  }
+}
+
+TEST(Generators, RandomWalkProducesSimplePath) {
+  Rng rng(11);
+  Graph g = make_grid_graph(4, 4, 1);
+  for (int i = 0; i < 100; ++i) {
+    Request r = random_walk_request(g, rng, 5, 1.0);
+    EXPECT_GE(r.edges.size(), 1u);
+    EXPECT_LE(r.edges.size(), 5u);
+  }
+}
+
+TEST(Generators, TreePathGoesRootToLeaf) {
+  Rng rng(13);
+  Graph g = make_binary_tree(4, 1);
+  for (int i = 0; i < 50; ++i) {
+    Request r = random_tree_path_request(g, rng, 1.0);
+    EXPECT_EQ(r.edges.size(), 4u);  // depth = path length
+  }
+}
+
+TEST(Generators, GridPathIsMonotone) {
+  Rng rng(17);
+  Graph g = make_grid_graph(5, 6, 1);
+  for (int i = 0; i < 100; ++i) {
+    Request r = random_grid_path_request(g, 5, 6, rng, 1.0);
+    EXPECT_GE(r.edges.size(), 1u);
+    // Edges in a staircase path: endpoint of one edge is start of the next.
+    // The Request type sorts edge ids, so recheck connectivity through the
+    // underlying edges is not possible directly; just verify edge count
+    // bound: at most (rows-1)+(cols-1).
+    EXPECT_LE(r.edges.size(), 9u);
+  }
+}
+
+}  // namespace
+}  // namespace minrej

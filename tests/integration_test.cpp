@@ -1,0 +1,222 @@
+// Integration tests: full pipelines across modules — generator → online
+// algorithm → verifier → ratio against exact ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/bicriteria_setcover.h"
+#include "core/online_setcover.h"
+#include "core/randomized_admission.h"
+#include "lp/covering_lp.h"
+#include "offline/admission_opt.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Admission pipelines, parameterized over topology/capacity/cost model.
+// ---------------------------------------------------------------------------
+
+struct AdmissionCase {
+  const char* topology;
+  std::int64_t capacity;
+  bool unit_costs;
+};
+
+std::ostream& operator<<(std::ostream& os, const AdmissionCase& c) {
+  return os << c.topology << "_c" << c.capacity
+            << (c.unit_costs ? "_unit" : "_weighted");
+}
+
+class AdmissionPipelineTest : public ::testing::TestWithParam<AdmissionCase> {
+ protected:
+  AdmissionInstance make_instance(Rng& rng) const {
+    const AdmissionCase& p = GetParam();
+    const CostModel costs = p.unit_costs ? CostModel::unit_costs()
+                                         : CostModel::spread(1.0, 12.0);
+    if (std::string(p.topology) == "line") {
+      return make_line_workload(8, p.capacity, 40, 1, 4, costs, rng);
+    }
+    if (std::string(p.topology) == "star") {
+      return make_star_workload(8, p.capacity, 40, 3, costs, rng);
+    }
+    if (std::string(p.topology) == "tree") {
+      return make_tree_workload(3, p.capacity, 40, costs, rng);
+    }
+    return make_grid_workload(3, 3, p.capacity, 40, costs, rng);
+  }
+};
+
+TEST_P(AdmissionPipelineTest, RandomizedBeatsTrivialAndRespectsOpt) {
+  Rng rng(17);
+  const AdmissionInstance inst = make_instance(rng);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+
+  RandomizedConfig cfg;
+  cfg.unit_costs = GetParam().unit_costs;
+  cfg.seed = 23;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  const AdmissionRun run = run_admission(alg, inst);
+
+  // Sanity: no algorithm can reject less than OPT...
+  EXPECT_GE(run.rejected_cost, opt.rejected_cost - 1e-9);
+  // ...and rejecting everything is always feasible, so it must not pay
+  // more than the whole stream.
+  EXPECT_LE(run.rejected_cost, inst.total_cost() + 1e-9);
+}
+
+TEST_P(AdmissionPipelineTest, FractionalLowerBoundsIntegralOpt) {
+  Rng rng(19);
+  const AdmissionInstance inst = make_instance(rng);
+  const LpSolution lp = solve_admission_lp(inst);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(lp.optimal());
+  ASSERT_TRUE(opt.exact);
+  EXPECT_LE(lp.objective, opt.rejected_cost + 1e-7);
+  if (GetParam().unit_costs) {
+    // The paper's Q bound (Theorem 4 proof): OPT rejects at least the
+    // maximum edge excess when all costs are 1.
+    EXPECT_GE(opt.rejected_cost,
+              static_cast<double>(inst.max_excess()) - 1e-9);
+  }
+}
+
+TEST_P(AdmissionPipelineTest, BaselinesAreFeasibleEndToEnd) {
+  Rng rng(29);
+  const AdmissionInstance inst = make_instance(rng);
+  GreedyNoPreempt greedy(inst.graph());
+  PreemptCheapest cheap(inst.graph());
+  PreemptRandom random(inst.graph(), 7);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  for (OnlineAdmissionAlgorithm* alg :
+       {static_cast<OnlineAdmissionAlgorithm*>(&greedy),
+        static_cast<OnlineAdmissionAlgorithm*>(&cheap),
+        static_cast<OnlineAdmissionAlgorithm*>(&random)}) {
+    const AdmissionRun run = run_admission(*alg, inst);
+    EXPECT_GE(run.rejected_cost, opt.rejected_cost - 1e-9) << alg->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, AdmissionPipelineTest,
+    ::testing::Values(AdmissionCase{"line", 1, true},
+                      AdmissionCase{"line", 3, true},
+                      AdmissionCase{"line", 3, false},
+                      AdmissionCase{"star", 1, true},
+                      AdmissionCase{"star", 2, false},
+                      AdmissionCase{"tree", 2, true},
+                      AdmissionCase{"tree", 2, false},
+                      AdmissionCase{"grid", 1, true},
+                      AdmissionCase{"grid", 2, false}),
+    [](const ::testing::TestParamInfo<AdmissionCase>& param_info) {
+      std::ostringstream os;
+      os << param_info.param;
+      return os.str();
+    });
+
+// ---------------------------------------------------------------------------
+// Set cover pipelines: both online algorithms against exact OPT on the
+// same instances, including the reduction consistency check of E9.
+// ---------------------------------------------------------------------------
+
+struct CoverCase {
+  std::size_t n;
+  std::size_t m;
+  std::size_t repetitions;
+};
+
+class CoverPipelineTest : public ::testing::TestWithParam<CoverCase> {};
+
+TEST_P(CoverPipelineTest, BothAlgorithmsProduceValidCovers) {
+  const CoverCase& p = GetParam();
+  Rng rng(101 + p.n);
+  SetSystem sys = random_uniform_system(
+      p.n, p.m, 3, std::max<std::size_t>(2, p.repetitions), rng);
+  const auto arrivals =
+      arrivals_each_k_times(p.n, p.repetitions, true, rng);
+  CoverInstance inst(sys, arrivals);
+  ASSERT_TRUE(inst.feasible());
+
+  ReductionSetCover randomized(sys);
+  run_setcover(randomized, arrivals);
+  EXPECT_TRUE(covers_demands(inst, randomized.chosen()));
+
+  BicriteriaSetCover bicriteria(sys, BicriteriaConfig{0.5});
+  run_setcover(bicriteria, arrivals);
+  EXPECT_TRUE(covers_demands(inst, bicriteria.chosen(), 0.5));
+}
+
+TEST_P(CoverPipelineTest, RatiosOrderedAgainstOpt) {
+  const CoverCase& p = GetParam();
+  Rng rng(211 + p.m);
+  SetSystem sys = random_uniform_system(
+      p.n, p.m, 3, std::max<std::size_t>(2, p.repetitions), rng);
+  const auto arrivals =
+      arrivals_each_k_times(p.n, p.repetitions, true, rng);
+  CoverInstance inst(sys, arrivals);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  const MulticoverResult greedy = greedy_multicover(inst);
+  ASSERT_TRUE(opt.exact);
+
+  ReductionSetCover randomized(sys);
+  const CoverRun run = run_setcover(randomized, arrivals);
+  // OPT <= greedy <= anything reasonable; online cost >= OPT always.
+  EXPECT_LE(opt.cost, greedy.cost + 1e-9);
+  EXPECT_GE(run.cost, opt.cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CoverPipelineTest,
+                         ::testing::Values(CoverCase{8, 6, 1},
+                                           CoverCase{10, 8, 2},
+                                           CoverCase{12, 10, 3},
+                                           CoverCase{16, 8, 2}),
+                         [](const ::testing::TestParamInfo<CoverCase>& param_info) {
+                           std::ostringstream os;
+                           os << "n" << param_info.param.n << "_m" << param_info.param.m
+                              << "_k" << param_info.param.repetitions;
+                           return os.str();
+                         });
+
+// ---------------------------------------------------------------------------
+// E9-style consistency: running OSCR natively vs hand-driving the reduced
+// admission instance gives covers obeying the same law.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionConsistency, NativeAndManualRunsAgreePerSeed) {
+  Rng rng(401);
+  SetSystem sys = random_uniform_system(10, 8, 3, 2, rng);
+  const auto arrivals = arrivals_each_k_times(10, 2, true, rng);
+
+  RandomizedConfig cfg;
+  cfg.seed = 99;
+  ReductionSetCover native(sys, cfg);
+  run_setcover(native, arrivals);
+
+  // Manual: drive RandomizedAdmission over the reduced instance directly.
+  ReductionInstance red = build_reduction(sys);
+  RandomizedConfig cfg2;
+  cfg2.seed = 99;
+  cfg2.unit_costs = sys.unit_costs();
+  RandomizedAdmission manual(red.graph, cfg2);
+  for (const Request& r : red.phase1) manual.process(r);
+  for (ElementId j : arrivals) manual.process(red.element_request(j));
+
+  // Same seed, same stream: the rejected phase-1 sets must coincide.
+  for (std::size_t s = 0; s < sys.set_count(); ++s) {
+    const bool manual_chosen =
+        manual.state(static_cast<RequestId>(s)) == RequestState::kRejected;
+    EXPECT_EQ(native.chosen()[s], manual_chosen) << "set " << s;
+  }
+}
+
+}  // namespace
+}  // namespace minrej

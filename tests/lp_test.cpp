@@ -1,0 +1,273 @@
+// Tests for src/lp: the simplex solver and the covering-LP builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "lp/covering_lp.h"
+#include "lp/simplex.h"
+#include "setcover/generators.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simplex on hand-checked LPs
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, SimpleMinimization) {
+  // min x + y  s.t.  x + y >= 2, x >= 0, y >= 0  ->  opt 2.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(1.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 2.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, WeightedCoveringPrefersCheapVariable) {
+  // min 3x + y  s.t.  x + y >= 5, y <= 2  ->  x = 3, y = 2, obj 11.
+  LpProblem lp;
+  const auto x = lp.add_variable(3.0);
+  const auto y = lp.add_variable(1.0, 2.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 5.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 11.0, 1e-9);
+  EXPECT_NEAR(sol.x[x], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 2.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min 2x + 3y  s.t.  x + y == 4, x <= 1  ->  x = 1, y = 3, obj 11.
+  LpProblem lp;
+  const auto x = lp.add_variable(2.0, 1.0);
+  const auto y = lp.add_variable(3.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 4.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 11.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2 cannot hold.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0, 1.0);
+  lp.add_constraint({{{x, 1.0}}, Relation::kGreaterEq, 2.0});
+  const LpSolution sol = solve_simplex(lp);
+  EXPECT_EQ(sol.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // min -x with x unbounded above.
+  LpProblem lp;
+  (void)lp.add_variable(-1.0);
+  const LpSolution sol = solve_simplex(lp);
+  EXPECT_EQ(sol.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // -x <= -3  <=>  x >= 3;  min x -> 3.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  lp.add_constraint({{{x, -1.0}}, Relation::kLessEq, -3.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, ZeroIsOptimalWhenUnconstrained) {
+  LpProblem lp;
+  (void)lp.add_variable(5.0);
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, RejectsUnknownVariableInConstraint) {
+  LpProblem lp;
+  (void)lp.add_variable(1.0);
+  EXPECT_THROW(
+      lp.add_constraint({{{7, 1.0}}, Relation::kGreaterEq, 1.0}),
+      InvalidArgument);
+}
+
+TEST(Simplex, MultiConstraintTextbookCase) {
+  // min -(3x + 5y)  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18
+  // (classic maximization example; opt max = 36 at x=2, y=6).
+  LpProblem lp;
+  const auto x = lp.add_variable(-3.0);
+  const auto y = lp.add_variable(-5.0);
+  lp.add_constraint({{{x, 1.0}}, Relation::kLessEq, 4.0});
+  lp.add_constraint({{{y, 2.0}}, Relation::kLessEq, 12.0});
+  lp.add_constraint({{{x, 3.0}, {y, 2.0}}, Relation::kLessEq, 18.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -36.0, 1e-9);
+  EXPECT_NEAR(sol.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 6.0, 1e-9);
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic degenerate LP makes naive pivoting cycle forever;
+  // Bland's rule must terminate at the optimum (-0.05).
+  //   min -0.75a + 150b - 0.02c + 6d
+  //   s.t. 0.25a - 60b - 0.04c + 9d <= 0
+  //        0.5a - 90b - 0.02c + 3d <= 0
+  //        c <= 1
+  LpProblem lp;
+  const auto a = lp.add_variable(-0.75);
+  const auto b = lp.add_variable(150.0);
+  const auto c = lp.add_variable(-0.02, 1.0);
+  const auto d = lp.add_variable(6.0);
+  lp.add_constraint({{{a, 0.25}, {b, -60.0}, {c, -0.04}, {d, 9.0}},
+                     Relation::kLessEq, 0.0});
+  lp.add_constraint({{{a, 0.5}, {b, -90.0}, {c, -0.02}, {d, 3.0}},
+                     Relation::kLessEq, 0.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, -0.05, 1e-6);
+}
+
+TEST(Simplex, RedundantConstraintsHandled) {
+  // The same row twice plus an implied one; phase 1 must cope with the
+  // redundancy.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(1.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 3.0});
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kGreaterEq, 3.0});
+  lp.add_constraint({{{x, 2.0}, {y, 2.0}}, Relation::kGreaterEq, 6.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, EqualityOnlySystem) {
+  // x + y == 2 and x − y == 0 pin x = y = 1 exactly.
+  LpProblem lp;
+  const auto x = lp.add_variable(1.0);
+  const auto y = lp.add_variable(2.0);
+  lp.add_constraint({{{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0});
+  lp.add_constraint({{{x, 1.0}, {y, -1.0}}, Relation::kEqual, 0.0});
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.x[x], 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[y], 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Admission covering LP
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionLp, SingleEdgeBurstIsExcess) {
+  // 5 unit-cost requests on one edge of capacity 2: fractional OPT = 3.
+  Graph g = make_single_edge_graph(2);
+  std::vector<Request> requests(5, Request({0}, 1.0));
+  AdmissionInstance inst(std::move(g), std::move(requests));
+  const LpSolution sol = solve_admission_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 3.0, 1e-7);
+}
+
+TEST(AdmissionLp, WeightedPrefersCheapRejections) {
+  // Capacity 1, requests cost 1 and 10: OPT rejects the cheap one.
+  Graph g = make_single_edge_graph(1);
+  AdmissionInstance inst(std::move(g),
+                         {Request({0}, 1.0), Request({0}, 10.0)});
+  const LpSolution sol = solve_admission_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+TEST(AdmissionLp, NoOverloadMeansZero) {
+  Graph g = make_line_graph(3, 5);
+  AdmissionInstance inst(std::move(g), {Request({0, 1}, 2.0)});
+  const LpSolution sol = solve_admission_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+}
+
+TEST(AdmissionLp, MustAcceptPinsVariableToZero) {
+  // Edge capacity 1; a must_accept and a normal request: LP must reject
+  // the normal one entirely.
+  Graph g = make_single_edge_graph(1);
+  AdmissionInstance inst(
+      std::move(g), {Request({0}, 5.0, true), Request({0}, 2.0)});
+  const LpSolution sol = solve_admission_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-7);
+}
+
+TEST(AdmissionLp, SharedEdgeCouplesConstraints) {
+  // Line of 2 edges, capacity 1 each.  Requests: {0,1} (long, cost 1),
+  // {0} (cost 1), {1} (cost 1).  Each edge has excess 1; rejecting the
+  // long request covers both: fractional OPT = 1.
+  Graph g = make_line_graph(2, 1);
+  AdmissionInstance inst(std::move(g), {Request({0, 1}, 1.0),
+                                        Request({0}, 1.0),
+                                        Request({1}, 1.0)});
+  const LpSolution sol = solve_admission_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Multicover LP
+// ---------------------------------------------------------------------------
+
+TEST(MulticoverLp, MatchesHandComputedInstance) {
+  // Elements {0,1}; sets {0},{1},{0,1} unit cost; demands 1 each.
+  // Fractional OPT = 1 (take the big set).
+  SetSystem sys(2, {{0}, {1}, {0, 1}});
+  CoverInstance inst(sys, {0, 1});
+  const LpSolution sol = solve_multicover_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+TEST(MulticoverLp, RepetitionRaisesDemand) {
+  // Element 0 demanded twice; three unit sets contain it: OPT = 2.
+  SetSystem sys(1, {{0}, {0}, {0}});
+  CoverInstance inst(sys, {0, 0});
+  const LpSolution sol = solve_multicover_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 2.0, 1e-7);
+}
+
+TEST(MulticoverLp, RequiresFeasibleInstance) {
+  SetSystem sys(1, {{0}});
+  CoverInstance inst(sys, {0, 0});  // demand 2, degree 1
+  EXPECT_FALSE(inst.feasible());
+  EXPECT_THROW(solve_multicover_lp(inst), InvalidArgument);
+}
+
+TEST(MulticoverLp, WeightedCostsRespected) {
+  // Sets: {0} cost 10, {0} cost 1 -> demand 1 is met by the cheap one.
+  SetSystem sys(1, {{0}, {0}}, {10.0, 1.0});
+  CoverInstance inst(sys, {0});
+  const LpSolution sol = solve_multicover_lp(inst);
+  ASSERT_TRUE(sol.optimal());
+  EXPECT_NEAR(sol.objective, 1.0, 1e-7);
+}
+
+TEST(MulticoverLp, LowerBoundsGreedyOnRandomInstances) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    SetSystem sys = random_uniform_system(12, 8, 4, 2, rng);
+    CoverInstance inst(sys, arrivals_each_k_times(12, 2, true, rng));
+    const LpSolution sol = solve_multicover_lp(inst);
+    ASSERT_TRUE(sol.optimal());
+    // LP relaxation never exceeds the total cost of all sets and is at
+    // least max demand (each set covers an element at most once).
+    EXPECT_LE(sol.objective, sys.total_cost() + 1e-6);
+    EXPECT_GE(sol.objective, 2.0 - 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,288 @@
+// Tests for src/offline: exact and greedy solvers, cross-checked against
+// brute force and the LP relaxation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/reduction.h"
+#include "graph/generators.h"
+#include "lp/covering_lp.h"
+#include "offline/admission_opt.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+/// Brute-force optimum by enumerating all 2^r acceptance vectors.
+double brute_force_admission(const AdmissionInstance& inst) {
+  const std::size_t r = inst.request_count();
+  EXPECT_LE(r, 20u) << "brute force too large";
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << r); ++mask) {
+    std::vector<bool> accepted(r);
+    bool pins_ok = true;
+    for (std::size_t i = 0; i < r; ++i) {
+      accepted[i] = (mask >> i) & 1;
+      if (inst.request(static_cast<RequestId>(i)).must_accept &&
+          !accepted[i]) {
+        pins_ok = false;
+      }
+    }
+    if (!pins_ok || !is_feasible_acceptance(inst, accepted)) continue;
+    best = std::min(best, rejected_cost(inst, accepted));
+  }
+  return best;
+}
+
+/// Brute-force multicover optimum over all 2^m set choices.
+double brute_force_multicover(const CoverInstance& inst) {
+  const std::size_t m = inst.system().set_count();
+  EXPECT_LE(m, 20u) << "brute force too large";
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    std::vector<bool> chosen(m);
+    for (std::size_t s = 0; s < m; ++s) chosen[s] = (mask >> s) & 1;
+    if (!covers_demands(inst, chosen)) continue;
+    best = std::min(best, chosen_cost(inst.system(), chosen));
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Admission OPT
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionOpt, NoOverloadAcceptsEverything) {
+  Graph g = make_line_graph(4, 10);
+  AdmissionInstance inst(std::move(g),
+                         {Request({0, 1}, 1.0), Request({2, 3}, 2.0)});
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.rejected_cost, 0.0);
+  EXPECT_TRUE(opt.accepted[0]);
+  EXPECT_TRUE(opt.accepted[1]);
+}
+
+TEST(AdmissionOpt, SingleEdgeBurstRejectsExcess) {
+  Rng rng(3);
+  AdmissionInstance inst =
+      make_single_edge_burst(3, 8, CostModel::unit_costs(), rng);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.rejected_cost, 5.0);  // 8 requests, capacity 3
+}
+
+TEST(AdmissionOpt, WeightedPicksCheapRejections) {
+  Graph g = make_single_edge_graph(1);
+  AdmissionInstance inst(
+      std::move(g),
+      {Request({0}, 5.0), Request({0}, 1.0), Request({0}, 3.0)});
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_TRUE(opt.exact);
+  EXPECT_DOUBLE_EQ(opt.rejected_cost, 4.0);  // reject costs 1 and 3
+  EXPECT_TRUE(opt.accepted[0]);
+}
+
+TEST(AdmissionOpt, MatchesBruteForceOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    AdmissionInstance inst = make_line_workload(
+        5, 2, 12, 1, 4, CostModel::spread(1.0, 10.0), rng);
+    const AdmissionOpt opt = solve_admission_opt(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_NEAR(opt.rejected_cost, brute_force_admission(inst), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AdmissionOpt, MatchesBruteForceWithSharedEdges) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    AdmissionInstance inst = make_star_workload(
+        6, 1, 12, 3, CostModel::spread(1.0, 4.0), rng);
+    const AdmissionOpt opt = solve_admission_opt(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_NEAR(opt.rejected_cost, brute_force_admission(inst), 1e-9);
+  }
+}
+
+TEST(AdmissionOpt, RespectsMustAccept) {
+  Graph g = make_single_edge_graph(1);
+  AdmissionInstance inst(
+      std::move(g), {Request({0}, 1.0), Request({0}, 9.0, true)});
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_TRUE(opt.exact);
+  // The cheap request must be rejected because the pin takes the capacity.
+  EXPECT_DOUBLE_EQ(opt.rejected_cost, 1.0);
+  EXPECT_FALSE(opt.accepted[0]);
+  EXPECT_TRUE(opt.accepted[1]);
+}
+
+TEST(AdmissionOpt, ThrowsWhenPinsAloneInfeasible) {
+  Graph g = make_single_edge_graph(1);
+  AdmissionInstance inst(
+      std::move(g),
+      {Request({0}, 1.0, true), Request({0}, 1.0, true)});
+  EXPECT_THROW(solve_admission_opt(inst), InvalidArgument);
+}
+
+TEST(AdmissionOpt, SandwichedByLpAndGreedy) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    AdmissionInstance inst = make_line_workload(
+        6, 2, 18, 1, 4, CostModel::spread(1.0, 8.0), rng);
+    const LpSolution lp = solve_admission_lp(inst);
+    const AdmissionOpt opt = solve_admission_opt(inst);
+    const AdmissionOpt greedy = greedy_admission_rejection(inst);
+    ASSERT_TRUE(lp.optimal());
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(lp.objective, opt.rejected_cost + 1e-7);
+    EXPECT_LE(opt.rejected_cost, greedy.rejected_cost + 1e-9);
+    EXPECT_TRUE(is_feasible_acceptance(inst, greedy.accepted));
+  }
+}
+
+TEST(AdmissionOpt, ExcessLowerBound) {
+  Rng rng(17);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 9, CostModel::unit_costs(), rng);
+  EXPECT_EQ(excess_lower_bound(inst), 7);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_GE(opt.rejected_cost,
+            static_cast<double>(excess_lower_bound(inst)) - 1e-9);
+}
+
+TEST(GreedyAdmission, FeasibleOnAdversarialKiller) {
+  AdmissionInstance inst = make_greedy_killer(6, 2);
+  const AdmissionOpt greedy = greedy_admission_rejection(inst);
+  EXPECT_TRUE(is_feasible_acceptance(inst, greedy.accepted));
+  // Greedy should find the small solution here: rejecting the 2 spanning
+  // requests covers every edge's excess.
+  EXPECT_DOUBLE_EQ(greedy.rejected_cost, 2.0);
+}
+
+TEST(AdmissionOpt, NodeBudgetCapReturnsIncumbent) {
+  // A tiny node budget cannot certify optimality; the solver must still
+  // return a feasible incumbent and flag exact == false.
+  Rng rng(53);
+  AdmissionInstance inst = make_line_workload(
+      8, 2, 40, 1, 5, CostModel::spread(1.0, 8.0), rng);
+  const AdmissionOpt capped = solve_admission_opt(inst, /*node_budget=*/4);
+  EXPECT_FALSE(capped.exact);
+  EXPECT_TRUE(is_feasible_acceptance(inst, capped.accepted));
+  // The incumbent can only improve with a real budget.
+  const AdmissionOpt full = solve_admission_opt(inst);
+  EXPECT_LE(full.rejected_cost, capped.rejected_cost + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Multicover
+// ---------------------------------------------------------------------------
+
+TEST(GreedyMulticover, CoversAllDemands) {
+  Rng rng(19);
+  SetSystem sys = random_uniform_system(15, 10, 4, 3, rng);
+  CoverInstance inst(sys, arrivals_each_k_times(15, 2, true, rng));
+  const MulticoverResult greedy = greedy_multicover(inst);
+  EXPECT_TRUE(covers_demands(inst, greedy.chosen));
+  EXPECT_FALSE(greedy.exact);
+}
+
+TEST(MulticoverOpt, MatchesBruteForceOnRandomInstances) {
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    SetSystem sys = random_uniform_system(10, 8, 3, 2, rng);
+    CoverInstance inst(sys, arrivals_each_k_times(10, 1, true, rng));
+    const MulticoverResult opt = solve_multicover_opt(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_NEAR(opt.cost, brute_force_multicover(inst), 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(MulticoverOpt, MatchesBruteForceWithRepetitions) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    SetSystem sys = random_uniform_system(8, 10, 3, 3, rng);
+    CoverInstance inst(sys, arrivals_each_k_times(8, 2, true, rng));
+    const MulticoverResult opt = solve_multicover_opt(inst);
+    ASSERT_TRUE(opt.exact);
+    EXPECT_NEAR(opt.cost, brute_force_multicover(inst), 1e-9);
+  }
+}
+
+TEST(MulticoverOpt, SandwichedByLpAndGreedy) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    SetSystem sys = random_uniform_system(12, 9, 4, 2, rng);
+    CoverInstance inst(sys, arrivals_each_k_times(12, 2, true, rng));
+    const LpSolution lp = solve_multicover_lp(inst);
+    const MulticoverResult opt = solve_multicover_opt(inst);
+    const MulticoverResult greedy = greedy_multicover(inst);
+    ASSERT_TRUE(lp.optimal());
+    ASSERT_TRUE(opt.exact);
+    EXPECT_LE(lp.objective, opt.cost + 1e-7);
+    EXPECT_LE(opt.cost, greedy.cost + 1e-9);
+  }
+}
+
+TEST(MulticoverOpt, PlantedInstanceFindsPlantedCost) {
+  Rng rng(37);
+  SetSystem sys = planted_cover_system(12, 16, 3, 1, 2, rng);
+  CoverInstance inst(sys, arrivals_each_once(12, rng));
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  // The planted partition gives cost exactly 3 (decoys cannot beat it
+  // since any cover needs >= ceil(12 / max set size) sets).
+  EXPECT_LE(opt.cost, 3.0 + 1e-9);
+}
+
+TEST(MulticoverOpt, InfeasibleThrows) {
+  SetSystem sys(2, {{0}, {0, 1}});
+  CoverInstance inst(sys, {1, 1});
+  EXPECT_THROW(solve_multicover_opt(inst), InvalidArgument);
+  EXPECT_THROW(greedy_multicover(inst), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-check: the §4 reduction preserves the optimum.
+// ---------------------------------------------------------------------------
+
+TEST(ReductionOpt, MulticoverOptEqualsAdmissionOptOfReducedInstance) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    SetSystem sys = random_uniform_system(8, 8, 3, 2, rng);
+    const auto arrivals = arrivals_each_k_times(8, 2, true, rng);
+    CoverInstance cover_inst(sys, arrivals);
+    const MulticoverResult cover_opt = solve_multicover_opt(cover_inst);
+
+    const AdmissionInstance reduced =
+        reduced_admission_instance(sys, arrivals);
+    const AdmissionOpt admission_opt = solve_admission_opt(reduced);
+
+    ASSERT_TRUE(cover_opt.exact);
+    ASSERT_TRUE(admission_opt.exact);
+    EXPECT_NEAR(cover_opt.cost, admission_opt.rejected_cost, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(ReductionOpt, WeightedInstanceAgrees) {
+  Rng rng(43);
+  SetSystem base = random_uniform_system(6, 7, 3, 2, rng);
+  SetSystem sys = with_random_costs(base, 1.0, 9.0, rng);
+  const auto arrivals = arrivals_each_once(6, rng);
+  CoverInstance cover_inst(sys, arrivals);
+  const MulticoverResult cover_opt = solve_multicover_opt(cover_inst);
+  const AdmissionOpt admission_opt =
+      solve_admission_opt(reduced_admission_instance(sys, arrivals));
+  ASSERT_TRUE(cover_opt.exact && admission_opt.exact);
+  EXPECT_NEAR(cover_opt.cost, admission_opt.rejected_cost, 1e-9);
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,194 @@
+// Property-based tests: randomized sweeps asserting the structural
+// invariants of the paper's algorithms on every arrival, across seeds
+// (parameterized with TEST_P over the seed space).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bicriteria_setcover.h"
+#include "core/fractional_admission.h"
+#include "core/fractional_engine.h"
+#include "core/online_setcover.h"
+#include "core/randomized_admission.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Fractional engine invariants under random streams
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, EngineCoveringInvariantHoldsAfterEveryArrival) {
+  Rng rng(GetParam());
+  AdmissionInstance inst = make_line_workload(
+      6, 2, 30, 1, 4, CostModel::unit_costs(), rng);
+  FractionalEngine engine(inst.graph(), 0.25);
+  for (const Request& r : inst.requests()) {
+    engine.arrive(r.edges, 1.0, 1.0);
+    // The §2 invariant must hold on the edges of the arriving request.
+    for (EdgeId e : r.edges) {
+      EXPECT_TRUE(engine.constraint_satisfied(e));
+    }
+  }
+}
+
+TEST_P(SeededProperty, EngineWeightsMonotoneAndCapped) {
+  Rng rng(GetParam() + 1000);
+  AdmissionInstance inst = make_star_workload(
+      5, 2, 30, 3, CostModel::unit_costs(), rng);
+  FractionalEngine engine(inst.graph(), 0.25);
+  std::vector<double> prev;
+  for (const Request& r : inst.requests()) {
+    engine.arrive(r.edges, 1.0, 1.0);
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      EXPECT_GE(engine.weight(static_cast<RequestId>(i)), prev[i] - 1e-12);
+    }
+    prev.clear();
+    for (std::size_t i = 0; i < engine.request_count(); ++i) {
+      prev.push_back(engine.weight(static_cast<RequestId>(i)));
+      // Weights never exceed 2 (the paper: at most 1 + 1/p <= 2).
+      EXPECT_LE(prev.back(), 2.0 + 1e-9);
+    }
+  }
+}
+
+TEST_P(SeededProperty, FractionalCostNeverDecreases) {
+  Rng rng(GetParam() + 2000);
+  AdmissionInstance inst = make_grid_workload(
+      3, 3, 2, 40, CostModel::spread(1.0, 8.0), rng);
+  FractionalAdmission alg(inst.graph());
+  double last = 0.0;
+  for (const Request& r : inst.requests()) {
+    alg.on_request(r);
+    EXPECT_GE(alg.fractional_cost(), last - 1e-9);
+    last = alg.fractional_cost();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized admission invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, RandomizedNeverUnrejects) {
+  Rng rng(GetParam() + 3000);
+  AdmissionInstance inst = make_line_workload(
+      8, 2, 40, 1, 5, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = GetParam();
+  RandomizedAdmission alg(inst.graph(), cfg);
+  std::vector<bool> was_rejected;
+  for (const Request& r : inst.requests()) {
+    alg.process(r);
+    for (std::size_t i = 0; i < was_rejected.size(); ++i) {
+      if (was_rejected[i]) {
+        EXPECT_EQ(alg.state(static_cast<RequestId>(i)),
+                  RequestState::kRejected)
+            << "request " << i << " came back from rejection";
+      }
+    }
+    was_rejected.clear();
+    for (std::size_t i = 0; i < alg.arrivals(); ++i) {
+      was_rejected.push_back(alg.state(static_cast<RequestId>(i)) ==
+                             RequestState::kRejected);
+    }
+  }
+}
+
+TEST_P(SeededProperty, RandomizedRejectedCostMatchesStates) {
+  Rng rng(GetParam() + 4000);
+  AdmissionInstance inst = make_star_workload(
+      6, 2, 40, 2, CostModel::spread(1.0, 6.0), rng);
+  RandomizedConfig cfg;
+  cfg.seed = GetParam() * 31 + 7;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  run_admission(alg, inst);
+  double recomputed = 0.0;
+  for (RequestId i = 0; i < inst.request_count(); ++i) {
+    if (alg.state(i) == RequestState::kRejected) {
+      recomputed += inst.request(i).cost;
+    }
+  }
+  EXPECT_NEAR(recomputed, alg.rejected_cost(), 1e-9);
+}
+
+TEST_P(SeededProperty, RandomizedUsageMatchesAcceptedStates) {
+  Rng rng(GetParam() + 5000);
+  AdmissionInstance inst = make_line_workload(
+      6, 3, 36, 1, 3, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = GetParam();
+  RandomizedAdmission alg(inst.graph(), cfg);
+  run_admission(alg, inst);
+  std::vector<std::int64_t> usage(inst.graph().edge_count(), 0);
+  for (RequestId i = 0; i < inst.request_count(); ++i) {
+    if (alg.state(i) == RequestState::kAccepted) {
+      for (EdgeId e : inst.request(i).edges) ++usage[e];
+    }
+  }
+  for (std::size_t e = 0; e < usage.size(); ++e) {
+    EXPECT_EQ(usage[e], alg.edge_usage()[e]);
+    EXPECT_LE(usage[e], inst.graph().capacity(static_cast<EdgeId>(e)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Set cover invariants
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, ReductionCoverMonotoneAndSufficient) {
+  Rng rng(GetParam() + 6000);
+  SetSystem sys = random_uniform_system(10, 8, 3, 3, rng);
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  RandomizedConfig cfg;
+  cfg.seed = GetParam();
+  ReductionSetCover alg(sys, cfg);
+  std::size_t last_chosen = 0;
+  for (ElementId j : arrivals) {
+    alg.on_element(j);
+    EXPECT_GE(alg.chosen_count(), last_chosen);  // covers only grow
+    last_chosen = alg.chosen_count();
+    EXPECT_GE(alg.covered(j), alg.demand(j));
+  }
+}
+
+TEST_P(SeededProperty, BicriteriaPotentialBoundedThroughout) {
+  Rng rng(GetParam() + 7000);
+  SetSystem sys = random_uniform_system(10, 8, 3, 4, rng);
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  BicriteriaSetCover alg(sys, BicriteriaConfig{0.4});
+  const double n2 = 100.0;
+  for (ElementId j : arrivals) {
+    alg.on_element(j);
+    EXPECT_LE(alg.potential(), n2 * (1 + 1e-9));
+    EXPECT_GE(alg.covered(j),
+              std::min<std::int64_t>(
+                  alg.required_coverage(alg.demand(j)),
+                  static_cast<std::int64_t>(sys.degree(j))));
+  }
+}
+
+TEST_P(SeededProperty, BicriteriaChosenCountMatchesCost) {
+  Rng rng(GetParam() + 8000);
+  SetSystem sys = random_uniform_system(8, 10, 3, 3, rng);
+  BicriteriaSetCover alg(sys, BicriteriaConfig{0.5});
+  run_setcover(alg, arrivals_each_k_times(8, 2, true, rng));
+  // Unit costs: cost equals the number of chosen sets, which equals the
+  // sum of the two instrumentation counters.
+  EXPECT_DOUBLE_EQ(alg.cost(), static_cast<double>(alg.chosen_count()));
+  EXPECT_EQ(alg.chosen_count(),
+            alg.threshold_additions() + alg.rounding_additions());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,266 @@
+// Tests for the §3 randomized admission algorithm and the baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/randomized_admission.h"
+#include "graph/generators.h"
+#include "offline/admission_opt.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Contract enforcement (the base class throws on violations, so simply
+// running the algorithms over adversarial instances is itself a test).
+// ---------------------------------------------------------------------------
+
+TEST(Randomized, FeasibleOnBurst) {
+  Rng rng(1);
+  AdmissionInstance inst =
+      make_single_edge_burst(3, 30, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = 7;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  run_admission(alg, inst);
+  // Feasibility is enforced per arrival by the base class; check the
+  // terminal state explicitly as well.
+  for (std::size_t e = 0; e < inst.graph().edge_count(); ++e) {
+    EXPECT_LE(alg.edge_usage()[e],
+              inst.graph().capacity(static_cast<EdgeId>(e)));
+  }
+}
+
+TEST(Randomized, DeterministicPerSeed) {
+  Rng rng(2);
+  AdmissionInstance inst = make_line_workload(
+      6, 2, 40, 1, 4, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = 123;
+  RandomizedAdmission a(inst.graph(), cfg), b(inst.graph(), cfg);
+  const AdmissionRun ra = run_admission(a, inst);
+  const AdmissionRun rb = run_admission(b, inst);
+  EXPECT_DOUBLE_EQ(ra.rejected_cost, rb.rejected_cost);
+  EXPECT_EQ(ra.rejected_count, rb.rejected_count);
+  for (RequestId i = 0; i < inst.request_count(); ++i) {
+    EXPECT_EQ(a.state(i), b.state(i));
+  }
+}
+
+TEST(Randomized, SeedsDiffer) {
+  // With the paper's constants the rejection probabilities clamp to 1 on
+  // tiny instances and all seeds coincide; a small factor keeps the coin
+  // flips fractional so the seed actually matters.
+  Rng rng(3);
+  AdmissionInstance inst = make_line_workload(
+      8, 2, 60, 1, 4, CostModel::unit_costs(), rng);
+  double first = -1;
+  bool varies = false;
+  for (std::uint64_t seed = 0; seed < 8 && !varies; ++seed) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.factor = 0.25;
+    cfg.seed = seed;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    const AdmissionRun run = run_admission(alg, inst);
+    if (first < 0) first = run.rejected_cost;
+    else if (run.rejected_cost != first) varies = true;
+  }
+  EXPECT_TRUE(varies) << "all seeds produced identical rejections";
+}
+
+TEST(Randomized, ZeroOptZeroRejections) {
+  Rng rng(4);
+  AdmissionInstance inst = make_line_workload(
+      6, 40, 30, 1, 3, CostModel::unit_costs(), rng);
+  ASSERT_EQ(inst.max_excess(), 0);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  const AdmissionRun run = run_admission(alg, inst);
+  EXPECT_DOUBLE_EQ(run.rejected_cost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Competitive ratio envelopes (Theorems 3 and 4).
+// ---------------------------------------------------------------------------
+
+TEST(Randomized, UnweightedWithinTheorem4Envelope) {
+  // Mean ratio across seeds must stay within a constant times
+  // log(m)·log(c) on unit-cost line workloads.
+  Rng rng(5);
+  const std::size_t m = 8;
+  const std::int64_t c = 2;
+  AdmissionInstance inst = make_line_workload(
+      m, c, 36, 1, 4, CostModel::unit_costs(), rng);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  if (opt.rejected_cost <= 0) GTEST_SKIP() << "instance has zero OPT";
+
+  RunningStats ratios;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = seed;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    const AdmissionRun run = run_admission(alg, inst);
+    ratios.add(competitive_ratio(run.rejected_cost, opt.rejected_cost));
+  }
+  const double logm = std::max(1.0, std::log2(static_cast<double>(m)));
+  const double logc = std::max(1.0, std::log2(static_cast<double>(c)));
+  // Generous constant: the paper's constants (4, 12) already inflate the
+  // practical ratio; anything within 40·logm·logc confirms the envelope.
+  EXPECT_LE(ratios.mean(), 40.0 * logm * logc) << ratios.mean();
+}
+
+TEST(Randomized, WeightedWithinTheorem3Envelope) {
+  Rng rng(6);
+  const std::size_t m = 8;
+  const std::int64_t c = 2;
+  AdmissionInstance inst = make_line_workload(
+      m, c, 48, 1, 4, CostModel::spread(1.0, 16.0), rng);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  if (opt.rejected_cost <= 0) GTEST_SKIP() << "instance has zero OPT";
+
+  RunningStats ratios;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    RandomizedConfig cfg;
+    cfg.seed = seed;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    const AdmissionRun run = run_admission(alg, inst);
+    ratios.add(competitive_ratio(run.rejected_cost, opt.rejected_cost));
+  }
+  const double logmc =
+      std::max(1.0, std::log2(static_cast<double>(m) * static_cast<double>(c)));
+  EXPECT_LE(ratios.mean(), 60.0 * logmc * logmc) << ratios.mean();
+}
+
+TEST(Randomized, CalibratedFactorStillFeasible) {
+  // The factor override trades constants for sharper shape measurements;
+  // it must never break feasibility (enforced by the base class).
+  Rng rng(7);
+  AdmissionInstance inst = make_line_workload(
+      10, 2, 60, 1, 5, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.factor = 1.0;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  run_admission(alg, inst);
+  SUCCEED();
+}
+
+TEST(Randomized, MustAcceptAlwaysAccepted) {
+  Graph g = make_single_edge_graph(2);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  RandomizedAdmission alg(g, cfg);
+  alg.process(Request({0}, 1.0));
+  alg.process(Request({0}, 1.0));
+  // Edge full; a must_accept arrival must be admitted, preempting at
+  // least one accepted request (the threshold rule of step 2 may reject
+  // both, which is legal — §3 pays for over-rejection in the analysis).
+  const ArrivalResult r = alg.process(Request({0}, 1.0, true));
+  EXPECT_TRUE(r.accepted);
+  EXPECT_GE(r.preempted.size(), 1u);
+  EXPECT_LE(alg.edge_usage()[0], 2);
+}
+
+TEST(Randomized, GreedyKillerStaysPolylog) {
+  const std::size_t m = 32;
+  AdmissionInstance inst = make_greedy_killer(m, 1);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  ASSERT_DOUBLE_EQ(opt.rejected_cost, 1.0);  // reject the spanning request
+
+  RunningStats ratios;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = seed;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    const AdmissionRun run = run_admission(alg, inst);
+    ratios.add(run.rejected_cost);  // OPT = 1
+  }
+  const double logm = std::log2(static_cast<double>(m));
+  // Polylog, far below the Ω(m) the no-preempt baseline pays.
+  EXPECT_LE(ratios.mean(), 10.0 * logm * logm);
+}
+
+// ---------------------------------------------------------------------------
+// Baselines
+// ---------------------------------------------------------------------------
+
+TEST(Baselines, GreedyNoPreemptPaysLinearOnKiller) {
+  const std::size_t m = 16;
+  AdmissionInstance inst = make_greedy_killer(m, 1);
+  GreedyNoPreempt alg(inst.graph());
+  const AdmissionRun run = run_admission(alg, inst);
+  // Greedy accepts the spanning request and rejects every singleton.
+  EXPECT_DOUBLE_EQ(run.rejected_cost, static_cast<double>(m));
+}
+
+TEST(Baselines, GreedyNoPreemptZeroWhenFeasible) {
+  Rng rng(8);
+  AdmissionInstance inst = make_line_workload(
+      5, 10, 20, 1, 3, CostModel::unit_costs(), rng);
+  ASSERT_EQ(inst.max_excess(), 0);
+  GreedyNoPreempt alg(inst.graph());
+  EXPECT_DOUBLE_EQ(run_admission(alg, inst).rejected_cost, 0.0);
+}
+
+TEST(Baselines, PreemptCheapestHandlesKillerWell) {
+  const std::size_t m = 16;
+  AdmissionInstance inst = make_greedy_killer(m, 1);
+  PreemptCheapest alg(inst.graph());
+  const AdmissionRun run = run_admission(alg, inst);
+  // Equal costs: the exchange rule (victims strictly cheaper) refuses to
+  // preempt, so it behaves like greedy here — documenting the baseline's
+  // weakness on the killer family.
+  EXPECT_GE(run.rejected_cost, static_cast<double>(m) - 1e-9);
+}
+
+TEST(Baselines, PreemptCheapestExchangesForExpensive) {
+  Graph g = make_single_edge_graph(1);
+  PreemptCheapest alg(g);
+  alg.process(Request({0}, 1.0));
+  const ArrivalResult r = alg.process(Request({0}, 5.0));
+  EXPECT_TRUE(r.accepted);
+  ASSERT_EQ(r.preempted.size(), 1u);
+  EXPECT_EQ(r.preempted[0], 0u);
+  EXPECT_DOUBLE_EQ(alg.rejected_cost(), 1.0);
+}
+
+TEST(Baselines, PreemptRandomAlwaysMakesRoom) {
+  Rng rng(9);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 20, CostModel::unit_costs(), rng);
+  PreemptRandom alg(inst.graph(), /*seed=*/5);
+  const AdmissionRun run = run_admission(alg, inst);
+  // Every arrival beyond capacity preempts exactly one: 18 rejections.
+  EXPECT_DOUBLE_EQ(run.rejected_cost, 18.0);
+  EXPECT_LE(alg.edge_usage()[0], 2);
+}
+
+TEST(Baselines, AllRespectCapacityOnRandomWorkloads) {
+  Rng rng(10);
+  AdmissionInstance inst = make_grid_workload(
+      4, 4, 2, 60, CostModel::spread(1.0, 8.0), rng);
+  GreedyNoPreempt greedy(inst.graph());
+  PreemptCheapest cheap(inst.graph());
+  PreemptRandom random(inst.graph(), 3);
+  run_admission(greedy, inst);
+  run_admission(cheap, inst);
+  run_admission(random, inst);
+  SUCCEED();  // per-arrival checks are inside the base class
+}
+
+}  // namespace
+}  // namespace minrej

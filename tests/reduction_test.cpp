@@ -1,0 +1,286 @@
+// Tests for the §4 reduction and the randomized online set cover built on
+// top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fractional_setcover.h"
+#include "core/online_setcover.h"
+#include "core/reduction.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reduction structure
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, EdgeCapacitiesEqualDegrees) {
+  SetSystem sys(3, {{0, 1}, {1, 2}, {0, 1, 2}});
+  const ReductionInstance red = build_reduction(sys);
+  EXPECT_EQ(red.graph.edge_count(), 3u);
+  EXPECT_EQ(red.graph.capacity(0), 2);  // element 0 in sets {0, 2}
+  EXPECT_EQ(red.graph.capacity(1), 3);
+  EXPECT_EQ(red.graph.capacity(2), 2);
+}
+
+TEST(Reduction, PhaseOneMirrorsSets) {
+  SetSystem sys(3, {{0, 2}, {1}}, {4.0, 7.0});
+  const ReductionInstance red = build_reduction(sys);
+  ASSERT_EQ(red.phase1.size(), 2u);
+  EXPECT_EQ(red.phase1[0].edges, (std::vector<EdgeId>{0, 2}));
+  EXPECT_DOUBLE_EQ(red.phase1[0].cost, 4.0);
+  EXPECT_EQ(red.phase1[1].edges, (std::vector<EdgeId>{1}));
+  EXPECT_DOUBLE_EQ(red.phase1[1].cost, 7.0);
+  EXPECT_FALSE(red.phase1[0].must_accept);
+}
+
+TEST(Reduction, ElementRequestsAreMustAcceptSingletons) {
+  SetSystem sys(2, {{0, 1}});
+  const ReductionInstance red = build_reduction(sys);
+  const Request r = red.element_request(1);
+  EXPECT_EQ(r.edges, (std::vector<EdgeId>{1}));
+  EXPECT_TRUE(r.must_accept);
+}
+
+TEST(Reduction, RejectsZeroDegreeElements) {
+  // Element 2 is in no set.
+  SetSystem sys(3, {{0}, {1}});
+  EXPECT_THROW(build_reduction(sys), InvalidArgument);
+}
+
+TEST(Reduction, ReducedInstanceCountsRequests) {
+  Rng rng(1);
+  SetSystem sys = random_uniform_system(6, 5, 3, 2, rng);
+  const auto arrivals = arrivals_each_once(6, rng);
+  const AdmissionInstance inst = reduced_admission_instance(sys, arrivals);
+  EXPECT_EQ(inst.request_count(), 5u + 6u);
+}
+
+// ---------------------------------------------------------------------------
+// ReductionSetCover behaviour
+// ---------------------------------------------------------------------------
+
+TEST(ReductionSetCover, CoversEveryArrival) {
+  Rng rng(2);
+  SetSystem sys = random_uniform_system(12, 10, 4, 3, rng);
+  RandomizedConfig cfg;
+  cfg.seed = 11;
+  ReductionSetCover alg(sys, cfg);
+  const auto arrivals = arrivals_each_k_times(12, 2, true, rng);
+  // The base class asserts covered(j) >= demand(j) after every arrival.
+  run_setcover(alg, arrivals);
+  for (ElementId j = 0; j < 12; ++j) {
+    EXPECT_GE(alg.covered(j), alg.demand(j));
+  }
+}
+
+TEST(ReductionSetCover, ChosenSetsFormValidMulticover) {
+  Rng rng(3);
+  SetSystem sys = random_uniform_system(10, 8, 3, 3, rng);
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  ReductionSetCover alg(sys);
+  run_setcover(alg, arrivals);
+  CoverInstance inst(sys, arrivals);
+  EXPECT_TRUE(covers_demands(inst, alg.chosen()));
+}
+
+TEST(ReductionSetCover, RepetitionsUseDistinctSets) {
+  // Element 0 in exactly 3 sets, demanded 3 times: all 3 must be chosen.
+  SetSystem sys(2, {{0, 1}, {0}, {0, 1}});
+  ReductionSetCover alg(sys);
+  alg.on_element(0);
+  alg.on_element(0);
+  alg.on_element(0);
+  EXPECT_EQ(alg.covered(0), 3);
+  EXPECT_EQ(alg.chosen_count(), 3u);
+}
+
+TEST(ReductionSetCover, DeterministicPerSeed) {
+  Rng rng(4);
+  SetSystem sys = random_uniform_system(10, 8, 3, 2, rng);
+  const auto arrivals = arrivals_each_k_times(10, 2, true, rng);
+  RandomizedConfig cfg;
+  cfg.seed = 77;
+  ReductionSetCover a(sys, cfg), b(sys, cfg);
+  const CoverRun ra = run_setcover(a, arrivals);
+  const CoverRun rb = run_setcover(b, arrivals);
+  EXPECT_DOUBLE_EQ(ra.cost, rb.cost);
+  EXPECT_EQ(a.chosen(), b.chosen());
+}
+
+TEST(ReductionSetCover, InfeasibleDemandThrows) {
+  SetSystem sys(1, {{0}});
+  ReductionSetCover alg(sys);
+  alg.on_element(0);
+  EXPECT_THROW(alg.on_element(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// FractionalSetCover — the fractional solution underneath the rounding
+// ---------------------------------------------------------------------------
+
+TEST(FractionalSetCover, CoverIdentity) {
+  // After every arrival, Σ_{S∋j} min(x_S,1) >= demand_j — the §2 covering
+  // invariant translated through the reduction (see the header).
+  Rng rng(31);
+  SetSystem sys = random_uniform_system(10, 8, 3, 3, rng);
+  FractionalSetCover frac(sys);
+  const auto arrivals = arrivals_each_k_times(10, 3, true, rng);
+  for (ElementId j : arrivals) {
+    frac.on_element(j);
+    EXPECT_GE(frac.coverage(j),
+              static_cast<double>(frac.demand(j)) - 1e-6);
+  }
+}
+
+TEST(FractionalSetCover, FractionsMonotoneAndBounded) {
+  Rng rng(32);
+  SetSystem sys = random_uniform_system(8, 6, 3, 2, rng);
+  FractionalSetCover frac(sys);
+  std::vector<double> last(6, 0.0);
+  for (ElementId j : arrivals_each_k_times(8, 2, true, rng)) {
+    frac.on_element(j);
+    for (SetId s = 0; s < 6; ++s) {
+      EXPECT_GE(frac.fraction(s), last[s] - 1e-12);
+      EXPECT_LE(frac.fraction(s), 1.0 + 1e-12);
+      last[s] = frac.fraction(s);
+    }
+  }
+}
+
+TEST(FractionalSetCover, CostLowerBoundsRandomizedRounding) {
+  // The rounding can only pay more than the fractional solution it
+  // rounds (in expectation; across seeds the mean dominates).
+  Rng rng(33);
+  SetSystem sys = random_uniform_system(12, 10, 4, 2, rng);
+  const auto arrivals = arrivals_each_k_times(12, 2, true, rng);
+  FractionalSetCover frac(sys);
+  for (ElementId j : arrivals) frac.on_element(j);
+
+  RunningStats rounded;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.seed = seed;
+    ReductionSetCover alg(sys, cfg);
+    rounded.add(run_setcover(alg, arrivals).cost);
+  }
+  EXPECT_GE(rounded.mean(), 0.5 * frac.fractional_cost());
+}
+
+TEST(FractionalSetCover, WeightedInstanceIdentityHolds) {
+  Rng rng(34);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(8, 8, 3, 2, rng), 1.0, 8.0, rng);
+  FractionalSetCover frac(sys);
+  for (ElementId j : arrivals_each_k_times(8, 2, true, rng)) {
+    frac.on_element(j);
+    EXPECT_GE(frac.coverage(j),
+              static_cast<double>(frac.demand(j)) - 1e-6);
+  }
+}
+
+TEST(FractionalSetCover, OverDemandThrows) {
+  SetSystem sys(1, {{0}});
+  FractionalSetCover frac(sys);
+  frac.on_element(0);
+  EXPECT_THROW(frac.on_element(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Competitive behaviour (the O(log m log n) claim, empirically)
+// ---------------------------------------------------------------------------
+
+TEST(ReductionSetCover, RatioWithinPolylogOnRandomInstances) {
+  Rng rng(5);
+  SetSystem sys = random_uniform_system(16, 12, 4, 2, rng);
+  const auto arrivals = arrivals_each_k_times(16, 2, true, rng);
+  CoverInstance inst(sys, arrivals);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  ASSERT_GT(opt.cost, 0.0);
+
+  RunningStats ratios;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.seed = seed;
+    ReductionSetCover alg(sys, cfg);
+    const CoverRun run = run_setcover(alg, arrivals);
+    ratios.add(competitive_ratio(run.cost, opt.cost));
+  }
+  const double logm = std::max(1.0, std::log2(12.0));
+  const double logn = std::max(1.0, std::log2(16.0));
+  EXPECT_LE(ratios.mean(), 40.0 * logm * logn) << ratios.mean();
+}
+
+TEST(ReductionSetCover, SingletonsPlusBlockBeatsNaive) {
+  // OPT buys the block (cost 1).  The randomized algorithm should stay
+  // polylogarithmic, not linear in the block size.
+  const std::size_t n = 32;
+  SetSystem sys = singletons_plus_block_system(n, n);
+  std::vector<ElementId> arrivals(n);
+  for (std::size_t j = 0; j < n; ++j) arrivals[j] = static_cast<ElementId>(j);
+
+  RunningStats costs;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.seed = seed;
+    ReductionSetCover alg(sys, cfg);
+    costs.add(run_setcover(alg, arrivals).cost);
+  }
+  const double logm = std::log2(static_cast<double>(n + 1));
+  const double logn = std::log2(static_cast<double>(n));
+  // OPT = 1; mean cost must be well below n (the naive answer).
+  EXPECT_LE(costs.mean(), 12.0 * logm * logn);
+}
+
+TEST(ReductionSetCover, WeightedSystemCoversAndStaysPolylog) {
+  // The weighted case of the reduction: O(log²(mn)) per the paper.  The
+  // admission side runs in weighted mode (auto-α, classification), which
+  // exercises the doubling machinery underneath the reduction.
+  Rng rng(7);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(12, 10, 4, 3, rng), 1.0, 16.0, rng);
+  ASSERT_FALSE(sys.unit_costs());
+  const auto arrivals = arrivals_each_k_times(12, 2, true, rng);
+  CoverInstance inst(sys, arrivals);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  ASSERT_GT(opt.cost, 0.0);
+
+  RunningStats ratios;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    RandomizedConfig cfg;
+    cfg.seed = seed;
+    ReductionSetCover alg(sys, cfg);
+    const CoverRun run = run_setcover(alg, arrivals);
+    EXPECT_TRUE(covers_demands(inst, alg.chosen())) << "seed " << seed;
+    ratios.add(competitive_ratio(run.cost, opt.cost));
+  }
+  const double lognm = std::max(1.0, std::log2(10.0 * 12.0));
+  EXPECT_LE(ratios.mean(), 20.0 * lognm * lognm);
+}
+
+TEST(ReductionSetCover, AdaptiveAdversaryStaysBounded) {
+  Rng rng(6);
+  SetSystem sys = dyadic_interval_system(16);
+  RandomizedConfig cfg;
+  cfg.seed = 5;
+  ReductionSetCover alg(sys, cfg);
+  const auto played = run_adaptive_adversary(alg, 24);
+  ASSERT_FALSE(played.empty());
+  CoverInstance inst(sys, played);
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  const double ratio = competitive_ratio(alg.cost(), opt.cost);
+  const double logm = std::log2(31.0), logn = std::log2(16.0);
+  EXPECT_LE(ratio, 40.0 * logm * logn);
+}
+
+}  // namespace
+}  // namespace minrej

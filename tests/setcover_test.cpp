@@ -1,0 +1,222 @@
+// Tests for src/setcover: set systems, cover instances, generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "setcover/generators.h"
+#include "setcover/instance.h"
+#include "setcover/set_system.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SetSystem
+// ---------------------------------------------------------------------------
+
+TEST(SetSystem, BuildsIncidenceBothWays) {
+  SetSystem sys(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(sys.element_count(), 4u);
+  EXPECT_EQ(sys.set_count(), 4u);
+  EXPECT_EQ(sys.degree(0), 2u);
+  EXPECT_EQ(sys.degree(1), 2u);
+  // sets_of must be consistent with elements_of.
+  for (SetId s = 0; s < 4; ++s) {
+    for (ElementId j : sys.elements_of(s)) {
+      const auto owners = sys.sets_of(j);
+      EXPECT_NE(std::find(owners.begin(), owners.end(), s), owners.end());
+    }
+  }
+}
+
+TEST(SetSystem, DeduplicatesMembers) {
+  SetSystem sys(3, {{1, 1, 2, 2}});
+  EXPECT_EQ(sys.elements_of(0).size(), 2u);
+}
+
+TEST(SetSystem, UnitCostDetection) {
+  SetSystem unit(2, {{0}, {1}});
+  EXPECT_TRUE(unit.unit_costs());
+  SetSystem weighted(2, {{0}, {1}}, {1.0, 2.0});
+  EXPECT_FALSE(weighted.unit_costs());
+  EXPECT_DOUBLE_EQ(weighted.total_cost(), 3.0);
+}
+
+TEST(SetSystem, RejectsBadInput) {
+  EXPECT_THROW(SetSystem(0, {{0}}), InvalidArgument);
+  EXPECT_THROW(SetSystem(2, {}), InvalidArgument);
+  EXPECT_THROW(SetSystem(2, {{}}), InvalidArgument);          // empty set
+  EXPECT_THROW(SetSystem(2, {{5}}), InvalidArgument);         // range
+  EXPECT_THROW(SetSystem(2, {{0}}, {0.0}), InvalidArgument);  // zero cost
+  EXPECT_THROW(SetSystem(2, {{0}}, {1.0, 2.0}), InvalidArgument);  // size
+}
+
+// ---------------------------------------------------------------------------
+// CoverInstance
+// ---------------------------------------------------------------------------
+
+TEST(CoverInstance, CountsDemands) {
+  SetSystem sys(3, {{0, 1}, {1, 2}, {0, 2}});
+  CoverInstance inst(sys, {0, 1, 1, 2});
+  EXPECT_EQ(inst.demand()[0], 1);
+  EXPECT_EQ(inst.demand()[1], 2);
+  EXPECT_EQ(inst.demand()[2], 1);
+  EXPECT_EQ(inst.max_demand(), 2);
+  EXPECT_TRUE(inst.feasible());
+}
+
+TEST(CoverInstance, DetectsInfeasibleDemand) {
+  SetSystem sys(2, {{0}, {0, 1}});
+  // Element 1 has degree 1 but demanded twice.
+  CoverInstance inst(sys, {1, 1});
+  EXPECT_FALSE(inst.feasible());
+}
+
+TEST(CoverInstance, RejectsUnknownElement) {
+  SetSystem sys(2, {{0, 1}});
+  EXPECT_THROW(CoverInstance(sys, {5}), InvalidArgument);
+}
+
+TEST(CoversDemands, ExactMulticover) {
+  SetSystem sys(2, {{0}, {0}, {1}});
+  CoverInstance inst(sys, {0, 0, 1});
+  EXPECT_TRUE(covers_demands(inst, {true, true, true}));
+  EXPECT_FALSE(covers_demands(inst, {true, false, true}));  // 0 needs 2
+  EXPECT_FALSE(covers_demands(inst, {true, true, false}));  // 1 needs 1
+}
+
+TEST(CoversDemands, BicriteriaFraction) {
+  SetSystem sys(1, {{0}, {0}, {0}, {0}});
+  CoverInstance inst(sys, {0, 0, 0, 0});  // demand 4
+  // (1-0.5)*4 = 2 sets suffice at fraction 0.5.
+  EXPECT_TRUE(covers_demands(inst, {true, true, false, false}, 0.5));
+  EXPECT_FALSE(covers_demands(inst, {true, false, false, false}, 0.5));
+  // Full coverage requires all 4.
+  EXPECT_FALSE(covers_demands(inst, {true, true, true, false}, 1.0));
+  EXPECT_TRUE(covers_demands(inst, {true, true, true, true}, 1.0));
+}
+
+TEST(ChosenCost, SumsCosts) {
+  SetSystem sys(2, {{0}, {1}}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(chosen_cost(sys, {true, true}), 5.0);
+  EXPECT_DOUBLE_EQ(chosen_cost(sys, {false, true}), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(CoverGenerators, RandomUniformRespectsShape) {
+  Rng rng(3);
+  SetSystem sys = random_uniform_system(20, 10, 4, 2, rng);
+  EXPECT_EQ(sys.element_count(), 20u);
+  EXPECT_EQ(sys.set_count(), 10u);
+  for (ElementId j = 0; j < 20; ++j) EXPECT_GE(sys.degree(j), 2u);
+}
+
+TEST(CoverGenerators, RandomDensityPatchesDegrees) {
+  Rng rng(7);
+  SetSystem sys = random_density_system(30, 12, 0.05, 3, rng);
+  for (ElementId j = 0; j < 30; ++j) EXPECT_GE(sys.degree(j), 3u);
+  for (SetId s = 0; s < 12; ++s) EXPECT_GE(sys.elements_of(s).size(), 1u);
+}
+
+TEST(CoverGenerators, PlantedCoverHasSmallOpt) {
+  Rng rng(11);
+  const std::size_t k_opt = 4, copies = 2;
+  SetSystem sys = planted_cover_system(24, 20, k_opt, copies, 3, rng);
+  EXPECT_EQ(sys.set_count(), 20u);
+  // The first k_opt*copies sets partition X with multiplicity `copies`:
+  // choosing the first k_opt of them covers everything once.
+  std::vector<std::int64_t> covered(24, 0);
+  for (std::size_t b = 0; b < k_opt * copies; ++b) {
+    for (ElementId j : sys.elements_of(static_cast<SetId>(b))) ++covered[j];
+  }
+  for (std::int64_t c : covered) EXPECT_EQ(c, static_cast<std::int64_t>(copies));
+}
+
+TEST(CoverGenerators, DyadicSystemStructure) {
+  SetSystem sys = dyadic_interval_system(8);
+  EXPECT_EQ(sys.element_count(), 8u);
+  EXPECT_EQ(sys.set_count(), 15u);  // 8 + 4 + 2 + 1
+  // Every element lies in exactly log2(8)+1 = 4 dyadic intervals.
+  for (ElementId j = 0; j < 8; ++j) EXPECT_EQ(sys.degree(j), 4u);
+}
+
+TEST(CoverGenerators, DyadicRequiresPowerOfTwo) {
+  EXPECT_THROW(dyadic_interval_system(6), InvalidArgument);
+  EXPECT_THROW(dyadic_interval_system(1), InvalidArgument);
+}
+
+TEST(CoverGenerators, SingletonsPlusBlock) {
+  SetSystem sys = singletons_plus_block_system(10, 6);
+  EXPECT_EQ(sys.set_count(), 11u);
+  EXPECT_EQ(sys.elements_of(10).size(), 6u);  // the block
+  for (SetId s = 0; s < 10; ++s) EXPECT_EQ(sys.elements_of(s).size(), 1u);
+}
+
+TEST(CoverGenerators, WithRandomCostsPreservesMembership) {
+  Rng rng(13);
+  SetSystem base = random_uniform_system(10, 6, 3, 1, rng);
+  SetSystem weighted = with_random_costs(base, 1.0, 50.0, rng);
+  EXPECT_FALSE(weighted.unit_costs() && weighted.total_cost() == 6.0);
+  for (SetId s = 0; s < 6; ++s) {
+    const auto a = base.elements_of(s);
+    const auto b = weighted.elements_of(s);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    EXPECT_GE(weighted.cost(s), 1.0);
+    EXPECT_LE(weighted.cost(s), 50.0);
+  }
+}
+
+TEST(Arrivals, EachOnceIsAPermutation) {
+  Rng rng(17);
+  const auto arrivals = arrivals_each_once(10, rng);
+  std::set<ElementId> unique(arrivals.begin(), arrivals.end());
+  EXPECT_EQ(arrivals.size(), 10u);
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Arrivals, EachKTimesCounts) {
+  Rng rng(19);
+  for (bool interleave : {false, true}) {
+    const auto arrivals = arrivals_each_k_times(6, 3, interleave, rng);
+    EXPECT_EQ(arrivals.size(), 18u);
+    std::vector<int> counts(6, 0);
+    for (ElementId j : arrivals) ++counts[j];
+    for (int c : counts) EXPECT_EQ(c, 3);
+  }
+}
+
+TEST(Arrivals, ConsecutiveModeKeepsRunsTogether) {
+  Rng rng(23);
+  const auto arrivals = arrivals_each_k_times(5, 4, /*interleave=*/false, rng);
+  // Runs of identical elements of length exactly 4.
+  for (std::size_t i = 0; i < arrivals.size(); i += 4) {
+    for (std::size_t k = 1; k < 4; ++k) {
+      EXPECT_EQ(arrivals[i], arrivals[i + k]);
+    }
+  }
+}
+
+TEST(Arrivals, ZipfStaysFeasible) {
+  Rng rng(29);
+  SetSystem sys = random_uniform_system(20, 10, 4, 2, rng);
+  const auto arrivals = arrivals_zipf(sys, 60, 1.0, rng);
+  CoverInstance inst(sys, arrivals);
+  EXPECT_TRUE(inst.feasible());
+}
+
+TEST(Arrivals, ZipfUniformExponentCoversGround) {
+  Rng rng(31);
+  SetSystem sys = random_uniform_system(12, 30, 5, 4, rng);
+  const auto arrivals = arrivals_zipf(sys, 48, 0.0, rng);
+  EXPECT_EQ(arrivals.size(), 48u);
+  CoverInstance inst(sys, arrivals);
+  EXPECT_TRUE(inst.feasible());
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,176 @@
+// Tests for src/sim: workload builders and the runner utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include <algorithm>
+
+#include "core/baselines.h"
+#include "sim/runner.h"
+#include "sim/trace.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, UnitAlwaysOne) {
+  Rng rng(1);
+  const CostModel unit = CostModel::unit_costs();
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(unit.sample(rng), 1.0);
+}
+
+TEST(CostModel, SpreadStaysInRange) {
+  Rng rng(2);
+  const CostModel spread = CostModel::spread(2.0, 32.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double c = spread.sample(rng);
+    EXPECT_GE(c, 2.0);
+    EXPECT_LE(c, 32.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload builders
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, LineWorkloadShape) {
+  Rng rng(3);
+  AdmissionInstance inst = make_line_workload(
+      10, 3, 40, 2, 5, CostModel::unit_costs(), rng);
+  EXPECT_EQ(inst.graph().edge_count(), 10u);
+  EXPECT_EQ(inst.request_count(), 40u);
+  for (const Request& r : inst.requests()) {
+    EXPECT_GE(r.edges.size(), 2u);
+    EXPECT_LE(r.edges.size(), 5u);
+  }
+}
+
+TEST(Workloads, StarWorkloadSpokeBounds) {
+  Rng rng(4);
+  AdmissionInstance inst = make_star_workload(
+      6, 2, 30, 3, CostModel::unit_costs(), rng);
+  for (const Request& r : inst.requests()) {
+    EXPECT_GE(r.edges.size(), 1u);
+    EXPECT_LE(r.edges.size(), 3u);
+  }
+}
+
+TEST(Workloads, TreeWorkloadUsesRootToLeafPaths) {
+  Rng rng(5);
+  AdmissionInstance inst = make_tree_workload(
+      3, 2, 20, CostModel::unit_costs(), rng);
+  for (const Request& r : inst.requests()) {
+    EXPECT_EQ(r.edges.size(), 3u);  // depth-length paths
+  }
+}
+
+TEST(Workloads, SingleEdgeBurstAllOnOneEdge) {
+  Rng rng(6);
+  AdmissionInstance inst =
+      make_single_edge_burst(3, 12, CostModel::unit_costs(), rng);
+  EXPECT_EQ(inst.max_excess(), 9);
+  for (const Request& r : inst.requests()) {
+    EXPECT_EQ(r.edges, (std::vector<EdgeId>{0}));
+  }
+}
+
+TEST(Workloads, GreedyKillerStructure) {
+  AdmissionInstance inst = make_greedy_killer(6, 3);
+  // 3 spanning + 6*3 singles.
+  EXPECT_EQ(inst.request_count(), 21u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(inst.request(static_cast<RequestId>(i)).edges.size(), 6u);
+  }
+  for (std::size_t i = 3; i < 21; ++i) {
+    EXPECT_EQ(inst.request(static_cast<RequestId>(i)).edges.size(), 1u);
+  }
+  // Every edge's load: 3 spanning + 3 singles = 6 vs capacity 3.
+  EXPECT_EQ(inst.max_excess(), 3);
+}
+
+TEST(Workloads, BadParametersThrow) {
+  Rng rng(7);
+  EXPECT_THROW(make_greedy_killer(1, 1), InvalidArgument);
+  EXPECT_THROW(
+      make_star_workload(4, 1, 10, 9, CostModel::unit_costs(), rng),
+      InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Runner utilities
+// ---------------------------------------------------------------------------
+
+TEST(Runner, CompetitiveRatioConventions) {
+  EXPECT_DOUBLE_EQ(competitive_ratio(0.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isinf(competitive_ratio(1.0, 0.0)));
+  EXPECT_DOUBLE_EQ(competitive_ratio(6.0, 2.0), 3.0);
+}
+
+TEST(Runner, RunAdmissionReportsTotals) {
+  Rng rng(8);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 10, CostModel::unit_costs(), rng);
+  GreedyNoPreempt alg(inst.graph());
+  const AdmissionRun run = run_admission(alg, inst);
+  EXPECT_EQ(run.arrivals, 10u);
+  EXPECT_DOUBLE_EQ(run.rejected_cost, 8.0);
+  EXPECT_EQ(run.rejected_count, 8u);
+  EXPECT_GE(run.seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TEST(Trace, CapturesEveryArrival) {
+  Rng rng(9);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 8, CostModel::unit_costs(), rng);
+  GreedyNoPreempt alg(inst.graph());
+  TraceRecorder recorder;
+  const auto& rows = recorder.record(alg, inst);
+  ASSERT_EQ(rows.size(), 8u);
+  // First two accepted, the rest rejected (no preemption, capacity 2).
+  EXPECT_TRUE(rows[0].accepted);
+  EXPECT_TRUE(rows[1].accepted);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_FALSE(rows[i].accepted);
+    EXPECT_EQ(rows[i].preempted, 0u);
+  }
+  // Running totals are monotone and end at the algorithm's totals.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].rejected_cost_total, rows[i - 1].rejected_cost_total);
+  }
+  EXPECT_DOUBLE_EQ(rows.back().rejected_cost_total, alg.rejected_cost());
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Rng rng(10);
+  AdmissionInstance inst =
+      make_single_edge_burst(1, 3, CostModel::unit_costs(), rng);
+  GreedyNoPreempt alg(inst.graph());
+  TraceRecorder recorder;
+  recorder.record(alg, inst);
+  const std::string csv = recorder.to_csv();
+  EXPECT_NE(csv.find("arrival,cost"), std::string::npos);
+  // Header + 3 data rows = 4 newlines.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 4);
+}
+
+TEST(Runner, ParallelTrialsReturnsPerTrialValues) {
+  const auto results = parallel_trials(
+      10, [](std::size_t i) { return static_cast<double>(i * i); }, 4);
+  ASSERT_EQ(results.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(results[i], static_cast<double>(i * i));
+  }
+}
+
+}  // namespace
+}  // namespace minrej

@@ -1,0 +1,214 @@
+// Randomized stress tests: larger batteries cross-checking the solvers
+// against each other and against structural ground truth, parameterized
+// over seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fractional_admission.h"
+#include "core/online_setcover.h"
+#include "core/randomized_admission.h"
+#include "graph/generators.h"
+#include "lp/covering_lp.h"
+#include "offline/admission_opt.h"
+#include "offline/multicover.h"
+#include "setcover/generators.h"
+#include "sim/runner.h"
+#include "sim/workloads.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+class StressSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// LP solver: solutions must be primal-feasible and dominate every integral
+// feasible point we can construct cheaply.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, SimplexSolutionsAreFeasible) {
+  Rng rng(GetParam() + 100);
+  AdmissionInstance inst = make_star_workload(
+      6, 2, 24, 3, CostModel::spread(1.0, 8.0), rng);
+  const LpProblem lp = build_admission_lp(inst);
+  const LpSolution sol = solve_simplex(lp);
+  ASSERT_TRUE(sol.optimal());
+  // Variable bounds.
+  for (std::size_t v = 0; v < lp.variable_count(); ++v) {
+    EXPECT_GE(sol.x[v], -1e-7);
+    EXPECT_LE(sol.x[v], lp.uppers()[v] + 1e-7);
+  }
+  // Constraint rows.
+  for (const LinearConstraint& row : lp.constraints()) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : row.terms) lhs += coef * sol.x[var];
+    switch (row.relation) {
+      case Relation::kGreaterEq:
+        EXPECT_GE(lhs, row.rhs - 1e-6);
+        break;
+      case Relation::kLessEq:
+        EXPECT_LE(lhs, row.rhs + 1e-6);
+        break;
+      case Relation::kEqual:
+        EXPECT_NEAR(lhs, row.rhs, 1e-6);
+        break;
+    }
+  }
+}
+
+TEST_P(StressSeeds, LpNeverExceedsAnyFeasibleIntegralSolution) {
+  Rng rng(GetParam() + 200);
+  AdmissionInstance inst = make_line_workload(
+      5, 2, 16, 1, 3, CostModel::spread(1.0, 6.0), rng);
+  const LpSolution lp = solve_admission_lp(inst);
+  ASSERT_TRUE(lp.optimal());
+  // Greedy and exact integral solutions are feasible points of the LP.
+  const AdmissionOpt greedy = greedy_admission_rejection(inst);
+  const AdmissionOpt opt = solve_admission_opt(inst);
+  EXPECT_LE(lp.objective, greedy.rejected_cost + 1e-7);
+  EXPECT_LE(lp.objective, opt.rejected_cost + 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Offline solvers under weighted multicover (brute-force cross-check).
+// ---------------------------------------------------------------------------
+
+double brute_force_weighted_multicover(const CoverInstance& inst) {
+  const std::size_t m = inst.system().set_count();
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << m); ++mask) {
+    std::vector<bool> chosen(m);
+    for (std::size_t s = 0; s < m; ++s) chosen[s] = (mask >> s) & 1;
+    if (!covers_demands(inst, chosen)) continue;
+    best = std::min(best, chosen_cost(inst.system(), chosen));
+  }
+  return best;
+}
+
+TEST_P(StressSeeds, WeightedMulticoverMatchesBruteForce) {
+  Rng rng(GetParam() + 300);
+  SetSystem sys = with_random_costs(
+      random_uniform_system(8, 9, 3, 2, rng), 1.0, 7.0, rng);
+  CoverInstance inst(sys, arrivals_each_k_times(8, 2, true, rng));
+  const MulticoverResult opt = solve_multicover_opt(inst);
+  ASSERT_TRUE(opt.exact);
+  EXPECT_NEAR(opt.cost, brute_force_weighted_multicover(inst), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Fractional engine under mixed multi-edge requests.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, EngineInvariantAcrossTopologies) {
+  Rng rng(GetParam() + 400);
+  Graph g = make_hypercube_graph(3, 2);
+  FractionalEngine engine(g, 0.2);
+  for (int i = 0; i < 50; ++i) {
+    const Request r = random_walk_request(g, rng, 4, 1.0);
+    engine.arrive(r.edges, 1.0, 1.0);
+    for (EdgeId e : r.edges) {
+      EXPECT_TRUE(engine.constraint_satisfied(e));
+    }
+  }
+  // Deltas are capped: no reported weight exceeds 1 in the objective.
+  for (RequestId i = 0; i < engine.request_count(); ++i) {
+    if (engine.fully_rejected(i)) {
+      EXPECT_GE(engine.weight(i), 1.0 - 1e-12);
+    }
+  }
+}
+
+TEST_P(StressSeeds, RestoreEdgesIsIdempotent) {
+  Rng rng(GetParam() + 500);
+  Graph g = make_star_graph(4, 1);
+  FractionalEngine engine(g, 0.25);
+  std::vector<EdgeId> all_edges{0, 1, 2, 3};
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t spoke = rng.index(4);
+    engine.arrive({static_cast<EdgeId>(spoke)}, 1.0, 1.0);
+  }
+  const double cost_before = engine.fractional_cost();
+  const auto& deltas = engine.restore_edges(all_edges);
+  // All constraints were already satisfied by the per-arrival loops, so a
+  // second restoration must be a no-op.
+  EXPECT_TRUE(deltas.empty());
+  EXPECT_DOUBLE_EQ(engine.fractional_cost(), cost_before);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized admission: the §3 edge-request cap.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, EdgeRequestCapRejectsEverythingBeyondIt) {
+  // m = 1, c = 1 gives cap 4mc² = 4: from the fourth request on, the edge
+  // is "capped" and everything on it is rejected.
+  Graph g = make_single_edge_graph(1);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = GetParam();
+  RandomizedAdmission alg(g, cfg);
+  for (int i = 0; i < 8; ++i) alg.process(Request({0}, 1.0));
+  for (RequestId i = 3; i < 8; ++i) {
+    EXPECT_EQ(alg.state(i), RequestState::kRejected) << "request " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sweep determinism: results must not depend on thread count.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, ParallelTrialsIndependentOfThreadCount) {
+  Rng rng(GetParam() + 600);
+  AdmissionInstance inst = make_line_workload(
+      8, 2, 40, 1, 4, CostModel::unit_costs(), rng);
+  auto body = [&](std::size_t s) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.seed = s;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    return run_admission(alg, inst).rejected_cost;
+  };
+  const auto serial = parallel_trials(16, body, 1);
+  const auto parallel = parallel_trials(16, body, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive adversary termination and feasibility.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, AdaptiveAdversaryStopsAtDegreeLimits) {
+  SetSystem sys(2, {{0}, {0}, {1}});  // degrees: 2 and 1
+  RandomizedConfig cfg;
+  cfg.seed = GetParam();
+  ReductionSetCover alg(sys, cfg);
+  const auto played = run_adaptive_adversary(alg, 100);
+  // At most degree(0) + degree(1) = 3 arrivals are possible.
+  EXPECT_LE(played.size(), 3u);
+  CoverInstance inst(sys, played);
+  EXPECT_TRUE(inst.feasible());
+}
+
+// ---------------------------------------------------------------------------
+// Weighted fractional wrapper on bursty weighted streams: cost sandwich.
+// ---------------------------------------------------------------------------
+
+TEST_P(StressSeeds, FractionalCostSandwich) {
+  Rng rng(GetParam() + 700);
+  AdmissionInstance inst = make_single_edge_burst(
+      3, 24, CostModel::spread(1.0, 32.0), rng);
+  const LpSolution lp = solve_admission_lp(inst);
+  ASSERT_TRUE(lp.optimal());
+  FractionalAdmission alg(inst.graph());
+  for (const Request& r : inst.requests()) alg.on_request(r);
+  EXPECT_GE(alg.fractional_cost(), 0.98 * lp.objective);
+  const double bound = 64.0 * std::max(1.0, std::log2(2.0 * 3.0));
+  EXPECT_LE(alg.fractional_cost(), bound * std::max(lp.objective, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeeds,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace minrej
