@@ -19,15 +19,15 @@ FractionalEngine::FractionalEngine(const Graph& graph, double zero_init)
 
 RequestId FractionalEngine::pin(const std::vector<EdgeId>& edges) {
   MINREJ_REQUIRE(!edges.empty(), "pinned request needs edges");
+  for (EdgeId e : edges) {
+    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  }
   const auto id = static_cast<RequestId>(requests_.size());
   RequestRecord rec;
   rec.edges = edges;
   rec.pinned = true;
   requests_.push_back(std::move(rec));
-  for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-    ++pinned_count_[e];
-  }
+  for (EdgeId e : edges) ++pinned_count_[e];
   return id;
 }
 
@@ -137,7 +137,12 @@ void FractionalEngine::augment_edge(EdgeId e) {
     for (RequestId i : members_[e]) {
       RequestRecord& rec = requests_[i];
       touch(static_cast<RequestId>(i));
-      rec.weight *= 1.0 + 1.0 / (ne * rec.update_cost);
+      const double w = rec.weight * (1.0 + 1.0 / (ne * rec.update_cost));
+      // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
+      // form that is true for NaN as well as genuine negatives, so a
+      // poisoned weight fails loudly instead of corrupting invariant sums.
+      MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
+      rec.weight = std::min(w, kWeightClamp);
     }
     // (c) requests crossing 1 leave every ALIVE list.
     for (RequestId i : members_[e]) {
@@ -154,10 +159,20 @@ RequestId FractionalEngine::admit_existing(const std::vector<EdgeId>& edges,
                                            double report_cost,
                                            double initial_weight) {
   MINREJ_REQUIRE(!edges.empty(), "request needs at least one edge");
-  MINREJ_REQUIRE(update_cost > 0.0 && report_cost > 0.0,
-                 "request costs must be positive");
+  // isfinite rejects ±inf; the > 0 comparison rejects NaN (every ordered
+  // comparison against NaN is false) as well as non-positive costs.
+  MINREJ_REQUIRE(std::isfinite(update_cost) && update_cost > 0.0,
+                 "update cost must be positive and finite");
+  MINREJ_REQUIRE(std::isfinite(report_cost) && report_cost > 0.0,
+                 "report cost must be positive and finite");
   MINREJ_REQUIRE(initial_weight >= 0.0 && initial_weight < 1.0,
                  "initial weight must be in [0, 1)");
+  // Validate every edge before mutating anything: InvalidArgument is
+  // recoverable, so a rejected arrival must not leave a half-registered
+  // phantom request behind.
+  for (EdgeId e : edges) {
+    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  }
   const auto id = static_cast<RequestId>(requests_.size());
   RequestRecord rec;
   rec.edges = edges;
@@ -166,7 +181,6 @@ RequestId FractionalEngine::admit_existing(const std::vector<EdgeId>& edges,
   rec.weight = initial_weight;
   requests_.push_back(std::move(rec));
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
     members_[e].push_back(id);
     ++alive_count_[e];
   }
@@ -182,16 +196,19 @@ const std::vector<FractionalEngine::Delta>& FractionalEngine::arrive(
 
 const std::vector<FractionalEngine::Delta>& FractionalEngine::restore_edges(
     const std::vector<EdgeId>& edges) {
+  // Validate before augmenting anything: a mid-loop throw would leave
+  // weights raised but the objective never charged for them.
+  for (EdgeId e : edges) {
+    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  }
+
   ++epoch_;
   touched_.clear();
   deltas_.clear();
 
   // Restore the invariant on each edge, in the given order ("in an
   // arbitrary order" per the paper).
-  for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-    augment_edge(e);
-  }
+  for (EdgeId e : edges) augment_edge(e);
 
   // Collect weight increases and update the fractional objective.
   for (RequestId i : touched_) {

@@ -46,6 +46,12 @@ class FractionalEngine {
     double delta = 0.0;  ///< f_new − f_old (f capped at 1 for reporting)
   };
 
+  /// Ceiling for stored weights.  Any weight ≥ 1 means "fully rejected" and
+  /// is reported as 1, so values beyond this clamp carry no information —
+  /// but without it an adversarially small update_cost could push a weight
+  /// toward overflow/inf through the multiplicative step.
+  static constexpr double kWeightClamp = 2.0;
+
   /// `zero_init` is the paper's 1/(g·c) floor for step (a); must be in
   /// (0, 1).
   FractionalEngine(const Graph& graph, double zero_init);

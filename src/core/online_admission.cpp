@@ -1,6 +1,7 @@
 #include "core/online_admission.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace minrej {
 
@@ -33,7 +34,13 @@ void OnlineAdmissionAlgorithm::apply_rejection(RequestId id) {
 
 ArrivalResult OnlineAdmissionAlgorithm::process(const Request& request) {
   MINREJ_REQUIRE(!request.edges.empty(), "empty request");
-  MINREJ_REQUIRE(request.cost > 0.0, "request cost must be positive");
+  // isfinite rejects ±inf (which would poison rejected_cost_ forever); the
+  // > 0 comparison rejects NaN as well as non-positive costs.
+  MINREJ_REQUIRE(std::isfinite(request.cost) && request.cost > 0.0,
+                 "request cost must be positive and finite");
+  for (EdgeId e : request.edges) {
+    MINREJ_REQUIRE(e < graph_.edge_count(), "request edge out of range");
+  }
 
   const auto id = static_cast<RequestId>(requests_.size());
   requests_.push_back(request);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/fractional_admission.h"
 #include "core/fractional_engine.h"
@@ -10,6 +11,7 @@
 #include "lp/covering_lp.h"
 #include "offline/admission_opt.h"
 #include "sim/workloads.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace minrej {
@@ -395,6 +397,67 @@ TEST(FracAdmission, AugmentationsWithinLemma1Envelope) {
   const double log_gc = std::max(1.0, std::log2(2.0 * 4.0));
   EXPECT_LE(static_cast<double>(alg.augmentations()),
             8.0 * alpha * log_gc + 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// NaN / range-clamp guards on fractional weights
+// ---------------------------------------------------------------------------
+
+TEST(EngineGuards, RejectsNonFiniteCosts) {
+  Graph g = make_line_graph(2, 1);
+  FractionalEngine engine(g, 0.5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(engine.arrive({0}, nan, 1.0), InvalidArgument);
+  EXPECT_THROW(engine.arrive({0}, 1.0, nan), InvalidArgument);
+  EXPECT_THROW(engine.arrive({0}, inf, 1.0), InvalidArgument);
+  EXPECT_THROW(engine.arrive({0}, 1.0, inf), InvalidArgument);
+  EXPECT_THROW(engine.admit_existing({0}, nan, 1.0), InvalidArgument);
+  // A rejected arrival must not leave a half-registered request behind.
+  EXPECT_EQ(engine.request_count(), 0u);
+  EXPECT_DOUBLE_EQ(engine.fractional_cost(), 0.0);
+}
+
+TEST(EngineGuards, OutOfRangeEdgeLeavesNoPhantomRequest) {
+  Graph g = make_line_graph(2, 1);
+  FractionalEngine engine(g, 0.5);
+  EXPECT_THROW(engine.arrive({0, 7}, 1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(engine.pin({7}), InvalidArgument);
+  EXPECT_EQ(engine.request_count(), 0u);
+  // The rejected arrivals must not have touched edge 0's bookkeeping:
+  // filling the edge to capacity must still trigger no augmentation.
+  engine.arrive({0}, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(engine.fractional_cost(), 0.0);
+  EXPECT_EQ(engine.augmentations(), 0u);
+}
+
+TEST(EngineGuards, RejectsNanZeroInitAndInitialWeight) {
+  Graph g = make_line_graph(2, 1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN fails every ordered comparison, so the (0, 1] range requirement
+  // must reject it rather than let it seep into step (a)'s floor.
+  EXPECT_THROW(FractionalEngine(g, nan), InvalidArgument);
+  FractionalEngine engine(g, 0.5);
+  EXPECT_THROW(engine.admit_existing({0}, 1.0, 1.0, nan), InvalidArgument);
+}
+
+TEST(EngineGuards, TinyUpdateCostIsClampedFinite) {
+  // An adversarially small update cost makes the multiplicative step's
+  // factor huge; the clamp keeps stored weights finite (and semantically
+  // unchanged: anything ≥ 1 is fully rejected either way).
+  Graph g = make_single_edge_graph(1);
+  FractionalEngine engine(g, 0.5);
+  engine.arrive({0}, 1e-12, 1.0);  // under capacity: no augmentation
+  engine.arrive({0}, 1e-12, 1.0);  // overload: one huge augmentation step
+  EXPECT_TRUE(engine.fully_rejected(0));
+  EXPECT_TRUE(engine.fully_rejected(1));
+  for (RequestId i = 0; i < 2; ++i) {
+    EXPECT_TRUE(std::isfinite(engine.weight(i))) << "request " << i;
+    EXPECT_LE(engine.weight(i), FractionalEngine::kWeightClamp);
+  }
+  // Both weights were driven from 0 to ≥ 1, so the reported (capped)
+  // objective is exactly 2 at unit report costs.
+  EXPECT_NEAR(engine.fractional_cost(), 2.0, test::COST_TOLERANCE);
 }
 
 }  // namespace

@@ -7,9 +7,11 @@
 #include <algorithm>
 
 #include "core/baselines.h"
+#include "core/randomized_admission.h"
 #include "sim/runner.h"
 #include "sim/trace.h"
 #include "sim/workloads.h"
+#include "test_util.h"
 #include "util/rng.h"
 
 namespace minrej {
@@ -170,6 +172,64 @@ TEST(Runner, ParallelTrialsReturnsPerTrialValues) {
   for (std::size_t i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(results[i], static_cast<double>(i * i));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: one seed, one trajectory
+// ---------------------------------------------------------------------------
+
+class Determinism : public test::SeededTest {};
+
+TEST_F(Determinism, WorkloadGenerationIsSeedStable) {
+  Rng a = fresh_rng();
+  Rng b = fresh_rng();
+  const AdmissionInstance ia = test::small_line_instance(a);
+  const AdmissionInstance ib = test::small_line_instance(b);
+  test::expect_same_instance(ia, ib);
+}
+
+TEST_F(Determinism, RandomizedAdmissionTrajectoryIsSeedStable) {
+  const AdmissionInstance inst = test::small_line_instance(rng);
+  RandomizedConfig cfg;
+  cfg.seed = 42;
+  RandomizedAdmission first(inst.graph(), cfg);
+  RandomizedAdmission second(inst.graph(), cfg);
+  TraceRecorder trace_first;
+  TraceRecorder trace_second;
+  trace_first.record(first, inst);
+  trace_second.record(second, inst);
+
+  ASSERT_EQ(trace_first.rows().size(), trace_second.rows().size());
+  for (std::size_t i = 0; i < trace_first.rows().size(); ++i) {
+    const TraceRow& a = trace_first.rows()[i];
+    const TraceRow& b = trace_second.rows()[i];
+    EXPECT_EQ(a.accepted, b.accepted) << "arrival " << i;
+    EXPECT_EQ(a.preempted, b.preempted) << "arrival " << i;
+    EXPECT_DOUBLE_EQ(a.rejected_cost_total, b.rejected_cost_total)
+        << "arrival " << i;
+    EXPECT_EQ(a.rejected_count_total, b.rejected_count_total)
+        << "arrival " << i;
+  }
+  EXPECT_DOUBLE_EQ(first.rejected_cost(), second.rejected_cost());
+  EXPECT_EQ(first.rejected_count(), second.rejected_count());
+  EXPECT_EQ(first.edge_usage(), second.edge_usage());
+}
+
+TEST_F(Determinism, ParallelTrialsAreScheduleIndependent) {
+  // Trial i always seeds its own generators from the trial index, so the
+  // per-trial costs must not depend on how trials are scheduled.
+  const auto body = [](std::size_t trial) {
+    Rng trial_rng(1234 + trial);
+    const AdmissionInstance inst = make_single_edge_burst(
+        2, 12, CostModel::spread(1.0, 4.0), trial_rng);
+    RandomizedConfig cfg;
+    cfg.seed = trial + 1;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    return run_admission(alg, inst).rejected_cost;
+  };
+  const std::vector<double> serial = parallel_trials(8, body, /*threads=*/1);
+  const std::vector<double> threaded = parallel_trials(8, body, /*threads=*/4);
+  EXPECT_EQ(serial, threaded);
 }
 
 }  // namespace
