@@ -49,6 +49,9 @@ class BicriteriaSetCover : public OnlineSetCoverAlgorithm {
 
   /// Total weight augmentations performed (Lemma 5: O(α log m)).
   std::uint64_t augmentations() const noexcept { return augmentations_; }
+  std::uint64_t augmentation_steps() const noexcept override {
+    return augmentations_;
+  }
 
   /// Sets added by the threshold rule (step b) vs the rounding rule
   /// (step c) — instrumentation for the Theorem 7 accounting.

@@ -1,0 +1,28 @@
+// engine_types.h — types shared by the weight-augmentation engine
+// implementations (the flat production engine and the naive reference
+// engine, see DESIGN.md §3).  Consumers select an implementation through
+// the FractionalEngine alias defined at the bottom of fractional_engine.h.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace minrej {
+
+/// One request's weight increase during a single arrival.  Deltas are
+/// reported in increasing request id (a canonical order, so the randomized
+/// rounding layer consumes its random stream identically regardless of
+/// which engine implementation produced them).
+struct WeightDelta {
+  RequestId id = 0;
+  double delta = 0.0;  ///< f_new − f_old (f capped at 1 for reporting)
+};
+
+/// Ceiling for stored weights.  Any weight ≥ 1 means "fully rejected" and
+/// is reported as 1, so values beyond this clamp carry no information —
+/// but without it an adversarially small update_cost could push a weight
+/// toward overflow/inf through the multiplicative step.
+inline constexpr double kEngineWeightClamp = 2.0;
+
+}  // namespace minrej

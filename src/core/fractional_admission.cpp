@@ -108,6 +108,7 @@ void FractionalAdmission::start_phase() {
   if (engine_) {
     paid_past_phases_ += engine_->fractional_cost();
     past_augmentations_ += engine_->augmentations();
+    past_compactions_ += engine_->compactions();
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& rec = records_[i];
       if (rec.cost_class == CostClass::kEngine &&
@@ -319,6 +320,10 @@ double FractionalAdmission::fractional_cost() const noexcept {
 
 std::uint64_t FractionalAdmission::augmentations() const noexcept {
   return past_augmentations_ + (engine_ ? engine_->augmentations() : 0);
+}
+
+std::uint64_t FractionalAdmission::compactions() const noexcept {
+  return past_compactions_ + (engine_ ? engine_->compactions() : 0);
 }
 
 double FractionalAdmission::weight(RequestId id) const {

@@ -97,6 +97,10 @@ class FractionalAdmission {
   /// Cumulative weight augmentations across all phases (Lemma 1).
   std::uint64_t augmentations() const noexcept;
 
+  /// Cumulative engine member-list compactions across all phases (flat
+  /// engine: threshold-gated; naive engine: every loop iteration).
+  std::uint64_t compactions() const noexcept;
+
   const Graph& graph() const noexcept { return graph_; }
   std::size_t request_count() const noexcept { return records_.size(); }
 
@@ -154,6 +158,7 @@ class FractionalAdmission {
   double paid_auto_rejected_ = 0.0;
   double paid_past_phases_ = 0.0;
   std::uint64_t past_augmentations_ = 0;
+  std::uint64_t past_compactions_ = 0;
 };
 
 }  // namespace minrej

@@ -7,157 +7,224 @@
 
 namespace minrej {
 
-FractionalEngine::FractionalEngine(const Graph& graph, double zero_init)
-    : graph_(graph), zero_init_(zero_init),
+namespace {
+/// Relative half-width of the numerical band around the covering boundary
+/// within which the termination check falls back to an exact rescan.  The
+/// incremental sum's drift between resynchronizations is orders of
+/// magnitude below this, so outside the band the O(1) comparison is
+/// already exact in effect.
+constexpr double kSumBand = 1e-9;
+}  // namespace
+
+FlatFractionalEngine::FlatFractionalEngine(const Graph& graph,
+                                           double zero_init)
+    : graph_(graph), zero_init_(zero_init), edge_begin_{0},
       members_(graph.edge_count()), alive_count_(graph.edge_count(), 0),
-      pinned_count_(graph.edge_count(), 0) {
+      pinned_count_(graph.edge_count(), 0),
+      dead_count_(graph.edge_count(), 0),
+      alive_sum_(graph.edge_count(), 0.0) {
   // zero_init == 1 is legal: it is what the unweighted case degenerates to
   // when g·c == 1, and it simply means step (a) already fully rejects.
   MINREJ_REQUIRE(zero_init > 0.0 && zero_init <= 1.0,
                  "zero_init must be in (0, 1]");
 }
 
-RequestId FractionalEngine::pin(const std::vector<EdgeId>& edges) {
+RequestId FlatFractionalEngine::append_request(std::span<const EdgeId> edges,
+                                               double update_cost,
+                                               double report_cost,
+                                               double initial_weight,
+                                               bool pinned) {
+  const auto id = static_cast<RequestId>(hot_.size());
+  edge_pool_.insert(edge_pool_.end(), edges.begin(), edges.end());
+  edge_begin_.push_back(edge_pool_.size());
+  hot_.push_back(HotRow{initial_weight, update_cost, 0.0, 0});
+  report_cost_.push_back(report_cost);
+  alive_.push_back(1);
+  pinned_.push_back(pinned ? 1 : 0);
+  return id;
+}
+
+RequestId FlatFractionalEngine::pin(std::span<const EdgeId> edges) {
   MINREJ_REQUIRE(!edges.empty(), "pinned request needs edges");
   for (EdgeId e : edges) {
     MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
   }
-  const auto id = static_cast<RequestId>(requests_.size());
-  RequestRecord rec;
-  rec.edges = edges;
-  rec.pinned = true;
-  requests_.push_back(std::move(rec));
+  const RequestId id =
+      append_request(edges, 1.0, 1.0, 0.0, /*pinned=*/true);
   for (EdgeId e : edges) ++pinned_count_[e];
   return id;
 }
 
-double FractionalEngine::weight(RequestId id) const {
-  MINREJ_REQUIRE(id < requests_.size(), "unknown request id");
-  return requests_[id].weight;
+double FlatFractionalEngine::weight(RequestId id) const {
+  MINREJ_REQUIRE(id < hot_.size(), "unknown request id");
+  return hot_[id].weight;
 }
 
-bool FractionalEngine::is_pinned(RequestId id) const {
-  MINREJ_REQUIRE(id < requests_.size(), "unknown request id");
-  return requests_[id].pinned;
+bool FlatFractionalEngine::is_pinned(RequestId id) const {
+  MINREJ_REQUIRE(id < hot_.size(), "unknown request id");
+  return pinned_[id] != 0;
 }
 
-bool FractionalEngine::fully_rejected(RequestId id) const {
-  MINREJ_REQUIRE(id < requests_.size(), "unknown request id");
-  return !requests_[id].pinned && !requests_[id].alive;
+bool FlatFractionalEngine::fully_rejected(RequestId id) const {
+  MINREJ_REQUIRE(id < hot_.size(), "unknown request id");
+  return pinned_[id] == 0 && alive_[id] == 0;
 }
 
-std::int64_t FractionalEngine::excess(EdgeId e) const {
+std::int64_t FlatFractionalEngine::excess(EdgeId e) const {
   MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
   return alive_count_[e] + pinned_count_[e] - graph_.capacity(e);
 }
 
-double FractionalEngine::alive_weight_sum(EdgeId e) const {
+double FlatFractionalEngine::alive_weight_sum(EdgeId e) const {
   MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-  double sum = 0.0;
-  for (RequestId i : members_[e]) {
-    if (requests_[i].alive) sum += requests_[i].weight;
-  }
-  return sum;
+  return alive_sum_[e];
 }
 
-bool FractionalEngine::saturated(EdgeId e) const {
+bool FlatFractionalEngine::saturated(EdgeId e) const {
   MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
   return excess(e) > 0 && alive_count_[e] == 0;
 }
 
-bool FractionalEngine::constraint_satisfied(EdgeId e) const {
+bool FlatFractionalEngine::constraint_satisfied(EdgeId e) const {
   const std::int64_t n_e = excess(e);
   if (n_e <= 0) return true;
   if (alive_count_[e] == 0) return true;  // unsatisfiable => saturated
   // Tolerance: the multiplicative updates accumulate rounding error.
-  return alive_weight_sum(e) >= static_cast<double>(n_e) - 1e-9;
+  return alive_sum_[e] >= static_cast<double>(n_e) - 1e-9;
 }
 
-std::vector<RequestId> FractionalEngine::alive_requests(EdgeId e) const {
+std::size_t FlatFractionalEngine::member_list_size(EdgeId e) const {
+  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  return members_[e].size();
+}
+
+std::vector<RequestId> FlatFractionalEngine::alive_requests(EdgeId e) const {
   MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
   std::vector<RequestId> result;
+  result.reserve(static_cast<std::size_t>(alive_count_[e]));
   for (RequestId i : members_[e]) {
-    if (requests_[i].alive) result.push_back(i);
+    if (alive_[i]) result.push_back(i);
   }
   return result;
 }
 
-void FractionalEngine::touch(RequestId id) {
-  RequestRecord& rec = requests_[id];
-  if (rec.touch_epoch != epoch_) {
-    rec.touch_epoch = epoch_;
-    rec.weight_at_touch = std::min(rec.weight, 1.0);
-    touched_.push_back(id);
+double FlatFractionalEngine::exact_alive_sum(EdgeId e) const {
+  // Member-list order, skipping dead entries: the same addition sequence
+  // the naive engine performs over its compacted list, so the two engines
+  // agree bit-for-bit on boundary decisions.
+  double sum = 0.0;
+  for (RequestId i : members_[e]) {
+    if (alive_[i]) sum += hot_[i].weight;
   }
+  return sum;
 }
 
-void FractionalEngine::mark_fully_rejected(RequestId id) {
-  RequestRecord& rec = requests_[id];
-  MINREJ_CHECK(!rec.pinned, "pinned request cannot be rejected");
-  MINREJ_CHECK(rec.alive, "request already fully rejected");
-  rec.alive = false;
-  for (EdgeId e : rec.edges) --alive_count_[e];
-  // Member lists are cleaned lazily in compact().
-}
-
-void FractionalEngine::compact(EdgeId e) {
+void FlatFractionalEngine::compact(EdgeId e) {
+  ++compactions_;
   auto& list = members_[e];
   list.erase(std::remove_if(list.begin(), list.end(),
-                            [this](RequestId i) {
-                              return !requests_[i].alive;
-                            }),
+                            [this](RequestId i) { return alive_[i] == 0; }),
              list.end());
+  dead_count_[e] = 0;
+  alive_sum_[e] = exact_alive_sum(e);  // walk is paid for; resync exactly
 }
 
-void FractionalEngine::augment_edge(EdgeId e) {
+void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
   // Augmentation loop (§2 step 2): runs while the covering constraint is
   // unmet and there is still an augmentable alive request to raise.
+  //
+  // The covering sum lives in a register for the whole loop.  It starts
+  // from the incremental per-edge cache — which is exact at arrival
+  // boundaries — unless an earlier edge of this same arrival already ran
+  // augmentation steps (`sum_maybe_stale`), in which case one exact rescan
+  // seeds it (the cache itself is refreshed once, at the end of the
+  // arrival, by restore_edges' fix-up pass).  Each step is one fused sweep
+  // over the member list (paper steps a+b+c in a single pass — legal
+  // because within a step each request's update depends only on its own
+  // weight and the step-start n_e) that also compacts the list in place
+  // (two-pointer): entries that died — here or during another edge's sweep
+  // — are simply not written back, so the swept edge never pays for lazy
+  // deletion with an extra pass.
+  double s = sum_maybe_stale ? exact_alive_sum(e) : alive_sum_[e];
   for (;;) {
-    const std::int64_t n_e = excess(e);
+    const std::int64_t n_e =
+        alive_count_[e] + pinned_count_[e] - graph_.capacity(e);
     if (n_e <= 0) return;
     if (alive_count_[e] == 0) return;  // saturated; wrapper's cost guard acts
-    compact(e);
-
-    double sum = 0.0;
-    for (RequestId i : members_[e]) sum += requests_[i].weight;
-    if (sum >= static_cast<double>(n_e)) return;
+    const double ne = static_cast<double>(n_e);
+    // Termination check against the running sum; within a numerical band
+    // of the boundary it falls back to an exact rescan (in member-list
+    // order — the same additions the naive engine performs, so both
+    // engines take identical termination decisions).
+    if (std::abs(s - ne) <= kSumBand * (1.0 + std::abs(s) + ne)) {
+      s = exact_alive_sum(e);
+    }
+    if (s >= ne) return;
 
     ++augmentations_;
-    const double ne = static_cast<double>(n_e);
+    // Unit update costs (the unweighted Theorem-4 setting, and by far the
+    // hottest configuration) make the step multiplier the same for every
+    // member: hoist it so the sweep runs divide-free.  1/(n_e·1) ≡ 1/n_e
+    // bit-for-bit, so the fast path changes nothing observable.
+    const double unit_mult = 1.0 + 1.0 / ne;
 
-    // (a) zero weights jump to the floor 1/(g·c).
-    for (RequestId i : members_[e]) {
-      RequestRecord& rec = requests_[i];
-      if (rec.weight == 0.0) {
-        touch(static_cast<RequestId>(i));
-        rec.weight = zero_init_;
+    auto& list = members_[e];
+    double step_sum = 0.0;
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      const RequestId i = list[k];
+      HotRow& row = hot_[i];
+      // Member lists hold only augmentable requests, for which death is
+      // exactly weight ≥ 1 — so the dead-entry skip reads the hot row the
+      // sweep needs anyway instead of the cold alive_ array.
+      const double old = row.weight;
+      if (old >= 1.0) continue;  // killed via another edge: drop entry
+      if (row.touch_epoch != epoch_) {
+        row.touch_epoch = epoch_;
+        row.weight_at_touch = old;  // alive, so already < 1
+        touched_.push_back(i);
       }
-    }
-    // (b) multiplicative step f_i *= (1 + 1/(n_e p_i)).
-    for (RequestId i : members_[e]) {
-      RequestRecord& rec = requests_[i];
-      touch(static_cast<RequestId>(i));
-      const double w = rec.weight * (1.0 + 1.0 / (ne * rec.update_cost));
+      // (a) zero weights jump to the floor 1/(g·c)...
+      const double base = old == 0.0 ? zero_init_ : old;
+      // (b) ...then the multiplicative step f_i *= (1 + 1/(n_e p_i)).
+      const double mult = row.update_cost == 1.0
+                              ? unit_mult
+                              : 1.0 + 1.0 / (ne * row.update_cost);
+      const double w = base * mult;
       // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
       // form that is true for NaN as well as genuine negatives, so a
       // poisoned weight fails loudly instead of corrupting invariant sums.
       MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
-      rec.weight = std::min(w, kWeightClamp);
-    }
-    // (c) requests crossing 1 leave every ALIVE list.
-    for (RequestId i : members_[e]) {
-      if (requests_[i].alive && requests_[i].weight >= 1.0) {
-        mark_fully_rejected(i);
+      const double now = std::min(w, kWeightClamp);
+      row.weight = now;
+      if (now >= 1.0) {
+        // (c) the request crosses 1 and leaves every ALIVE list.  Net
+        // effect on a covering sum that never saw the increase: −old.
+        // Alive/dead counts are maintained eagerly (excess() stays O(1));
+        // the covering-sum caches are refreshed by the arrival-end fix-up.
+        alive_[i] = 0;
+        step_sum -= old;
+        for (EdgeId f : edges_of(i)) {
+          --alive_count_[f];
+          ++dead_count_[f];  // f's list still holds the entry
+        }
+        --dead_count_[e];  // except e's: dropped from it right here
+        continue;
       }
+      step_sum += now - old;
+      list[out++] = i;
     }
+    list.resize(out);
+    dead_count_[e] = 0;  // in-place sweep dropped every dead entry
+    s += step_sum;
     if (observer_) observer_(e);
   }
 }
 
-RequestId FractionalEngine::admit_existing(const std::vector<EdgeId>& edges,
-                                           double update_cost,
-                                           double report_cost,
-                                           double initial_weight) {
+RequestId FlatFractionalEngine::admit_existing(std::span<const EdgeId> edges,
+                                               double update_cost,
+                                               double report_cost,
+                                               double initial_weight) {
   MINREJ_REQUIRE(!edges.empty(), "request needs at least one edge");
   // isfinite rejects ±inf; the > 0 comparison rejects NaN (every ordered
   // comparison against NaN is false) as well as non-positive costs.
@@ -173,29 +240,31 @@ RequestId FractionalEngine::admit_existing(const std::vector<EdgeId>& edges,
   for (EdgeId e : edges) {
     MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
   }
-  const auto id = static_cast<RequestId>(requests_.size());
-  RequestRecord rec;
-  rec.edges = edges;
-  rec.update_cost = update_cost;
-  rec.report_cost = report_cost;
-  rec.weight = initial_weight;
-  requests_.push_back(std::move(rec));
+  const RequestId id = append_request(edges, update_cost, report_cost,
+                                      initial_weight, /*pinned=*/false);
   for (EdgeId e : edges) {
+    // An edge that is never augmented again would otherwise accumulate
+    // entries killed through its siblings forever; reclaim at 1/2 dead so
+    // each compaction pass is charged to the deaths that forced it.
+    if (dead_count_[e] > 0 &&
+        static_cast<std::size_t>(dead_count_[e]) * 2 >= members_[e].size()) {
+      compact(e);
+    }
     members_[e].push_back(id);
     ++alive_count_[e];
+    alive_sum_[e] += initial_weight;
   }
   return id;
 }
 
-const std::vector<FractionalEngine::Delta>& FractionalEngine::arrive(
-    const std::vector<EdgeId>& edges, double update_cost,
-    double report_cost) {
+const std::vector<FlatFractionalEngine::Delta>& FlatFractionalEngine::arrive(
+    std::span<const EdgeId> edges, double update_cost, double report_cost) {
   admit_existing(edges, update_cost, report_cost);
   return restore_edges(edges);
 }
 
-const std::vector<FractionalEngine::Delta>& FractionalEngine::restore_edges(
-    const std::vector<EdgeId>& edges) {
+const std::vector<FlatFractionalEngine::Delta>&
+FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   // Validate before augmenting anything: a mid-loop throw would leave
   // weights raised but the objective never charged for them.
   for (EdgeId e : edges) {
@@ -206,20 +275,77 @@ const std::vector<FractionalEngine::Delta>& FractionalEngine::restore_edges(
   touched_.clear();
   deltas_.clear();
 
-  // Restore the invariant on each edge, in the given order ("in an
-  // arbitrary order" per the paper).
-  for (EdgeId e : edges) augment_edge(e);
+  // Periodic exact resync of this arrival's sum caches (they are boundary-
+  // exact right now): keeps the fix-up pass's floating-point drift bounded
+  // on streams far longer than the band tolerance was sized for.
+  if ((epoch_ & 1023u) == 0) {
+    for (EdgeId e : edges) alive_sum_[e] = exact_alive_sum(e);
+  }
 
-  // Collect weight increases and update the fractional objective.
+  // Restore the invariant on each edge, in the given order ("in an
+  // arbitrary order" per the paper).  Once some edge has run augmentation
+  // steps, later edges of the same arrival can no longer trust their
+  // incremental sum cache (a shared member may have grown or died) and
+  // seed their loop with one exact rescan instead.
+  bool stepped = false;
+  for (EdgeId e : edges) {
+    const std::uint64_t before = augmentations_;
+    augment_edge(e, stepped);
+    stepped = stepped || augmentations_ != before;
+  }
+
+  // Collect weight increases and update the fractional objective in
+  // increasing request id — the canonical report order shared with the
+  // naive engine.  Member lists are append-ordered and ids are assigned
+  // in admission order, so a single-edge arrival touches in increasing id
+  // by construction; the sort only ever runs for multi-edge arrivals (a
+  // handful of sorted runs).
+  if (edges.size() > 1 &&
+      !std::is_sorted(touched_.begin(), touched_.end())) {
+    std::sort(touched_.begin(), touched_.end());
+  }
+  // One fused pass over the touched requests does two jobs:
+  //   * delta emission, branch-free: always store, advance the cursor only
+  //     for real increases (zero deltas contribute an exact +0.0 to the
+  //     objective, so the cost matches a filtered loop bit-for-bit);
+  //   * the covering-sum fix-up: each incident edge's incremental cache
+  //     receives the request's net alive-contribution change — once per
+  //     arrival instead of once per augmentation step.  Contributions to
+  //     this arrival's own edges are batched in registers (they receive
+  //     every member's update; a dense burst would otherwise serialize on
+  //     one cache line).
+  constexpr std::size_t kMaxBatchedEdges = 8;
+  double batched[kMaxBatchedEdges] = {0.0};
+  const std::size_t batch_count = std::min(edges.size(), kMaxBatchedEdges);
+  deltas_.resize(touched_.size());
+  std::size_t count = 0;
   for (RequestId i : touched_) {
-    const RequestRecord& r = requests_[i];
-    const double now = std::min(r.weight, 1.0);
-    const double delta = now - r.weight_at_touch;
-    if (delta > 0.0) {
-      deltas_.push_back({i, delta});
-      fractional_cost_ += delta * r.report_cost;
+    const HotRow& row = hot_[i];
+    const double now = std::min(row.weight, 1.0);
+    const double delta = now - row.weight_at_touch;
+    deltas_[count] = {i, delta};
+    count += delta > 0.0 ? 1 : 0;
+    fractional_cost_ += std::max(delta, 0.0) * report_cost_[i];
+    // Net change of i's contribution to any incident covering sum over
+    // this whole arrival (dead requests stop contributing entirely).
+    const double sum_delta =
+        (row.weight < 1.0 ? row.weight : 0.0) - row.weight_at_touch;
+    for (EdgeId f : edges_of(i)) {
+      bool found = false;
+      for (std::size_t j = 0; j < batch_count; ++j) {
+        if (edges[j] == f) {
+          batched[j] += sum_delta;
+          found = true;
+          break;
+        }
+      }
+      if (!found) alive_sum_[f] += sum_delta;
     }
   }
+  for (std::size_t j = 0; j < batch_count; ++j) {
+    alive_sum_[edges[j]] += batched[j];
+  }
+  deltas_.resize(count);
   return deltas_;
 }
 

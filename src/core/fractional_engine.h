@@ -26,39 +26,51 @@
 // Costs come in two flavours per request: `update_cost` (the normalized
 // p_i the multiplicative step uses — the §2 analysis assumes these lie in
 // [1, g]) and `report_cost` (raw units for the objective Σ min(f_i,1)·p_i).
+//
+// FlatFractionalEngine is the production implementation (DESIGN.md §3):
+// structure-of-arrays request storage over a CSR-style request→edge
+// incidence arena (one flat EdgeId pool plus per-request offsets — no
+// per-request heap vector), with the per-edge covering sums and dead
+// counts maintained *incrementally* so the augmentation-loop termination
+// check, constraint_satisfied(), alive_weight_sum(), and saturated() are
+// all O(1) and the paper's three per-step passes fuse into a single
+// cache-friendly sweep.  Member lists are compacted only when their dead
+// fraction crosses a threshold (amortized O(1) per death).  The retained
+// reference implementation lives in naive_engine.h; the FractionalEngine
+// alias at the bottom of this header selects between them at compile time
+// (-DMINREJ_NAIVE_ENGINE=ON), and the differential test suite holds the
+// two to identical outputs.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "core/engine_types.h"
 #include "graph/graph.h"
 #include "graph/types.h"
 
 namespace minrej {
 
-/// Weight-augmentation engine (one instance per α-phase).
-class FractionalEngine {
+/// Flat-storage weight-augmentation engine (one instance per α-phase).
+class FlatFractionalEngine {
  public:
-  /// One request's weight increase during a single arrival.
-  struct Delta {
-    RequestId id = 0;
-    double delta = 0.0;  ///< f_new − f_old (f capped at 1 for reporting)
-  };
+  using Delta = WeightDelta;
 
-  /// Ceiling for stored weights.  Any weight ≥ 1 means "fully rejected" and
-  /// is reported as 1, so values beyond this clamp carry no information —
-  /// but without it an adversarially small update_cost could push a weight
-  /// toward overflow/inf through the multiplicative step.
-  static constexpr double kWeightClamp = 2.0;
+  static constexpr double kWeightClamp = kEngineWeightClamp;
 
   /// `zero_init` is the paper's 1/(g·c) floor for step (a); must be in
-  /// (0, 1).
-  FractionalEngine(const Graph& graph, double zero_init);
+  /// (0, 1].
+  FlatFractionalEngine(const Graph& graph, double zero_init);
 
   /// Registers a permanently-accepted request occupying capacity on
   /// `edges` (no weight, never rejected).  Returns its id.
-  RequestId pin(const std::vector<EdgeId>& edges);
+  RequestId pin(std::span<const EdgeId> edges);
+  RequestId pin(std::initializer_list<EdgeId> edges) {
+    return pin(std::span<const EdgeId>(edges.begin(), edges.size()));
+  }
 
   /// Registers an augmentable request WITHOUT running the augmentation
   /// loop.  Used by the α-doubling wrapper when a new phase re-admits the
@@ -67,25 +79,39 @@ class FractionalEngine {
   /// weights are monotone over the whole run, so a phase change must not
   /// reset them (only the phase's *cost accounting* restarts; the carried
   /// weight is already paid for).  Must be in [0, 1).
-  RequestId admit_existing(const std::vector<EdgeId>& edges,
+  RequestId admit_existing(std::span<const EdgeId> edges, double update_cost,
+                           double report_cost, double initial_weight = 0.0);
+  RequestId admit_existing(std::initializer_list<EdgeId> edges,
                            double update_cost, double report_cost,
-                           double initial_weight = 0.0);
+                           double initial_weight = 0.0) {
+    return admit_existing(std::span<const EdgeId>(edges.begin(), edges.size()),
+                          update_cost, report_cost, initial_weight);
+  }
 
   /// Processes the arrival of an augmentable request.  Runs the
   /// augmentation loop on each of its edges (in the given order) and
-  /// returns the per-request weight increases of this arrival, including
-  /// the arriving request itself.  The returned reference is valid until
-  /// the next arrive()/pin()/restore_edges() call.
-  const std::vector<Delta>& arrive(const std::vector<EdgeId>& edges,
+  /// returns the per-request weight increases of this arrival (in
+  /// increasing request id), including the arriving request itself.  The
+  /// returned reference is valid until the next arrive()/pin()/
+  /// restore_edges() call.
+  const std::vector<Delta>& arrive(std::span<const EdgeId> edges,
                                    double update_cost, double report_cost);
+  const std::vector<Delta>& arrive(std::initializer_list<EdgeId> edges,
+                                   double update_cost, double report_cost) {
+    return arrive(std::span<const EdgeId>(edges.begin(), edges.size()),
+                  update_cost, report_cost);
+  }
 
   /// Runs the augmentation loop on the given edges without a new arrival
   /// (used right after a phase rebuild, when the triggering request was
   /// admitted passively).  Returns the weight increases, same contract as
   /// arrive().
-  const std::vector<Delta>& restore_edges(const std::vector<EdgeId>& edges);
+  const std::vector<Delta>& restore_edges(std::span<const EdgeId> edges);
+  const std::vector<Delta>& restore_edges(std::initializer_list<EdgeId> edges) {
+    return restore_edges(std::span<const EdgeId>(edges.begin(), edges.size()));
+  }
 
-  std::size_t request_count() const noexcept { return requests_.size(); }
+  std::size_t request_count() const noexcept { return hot_.size(); }
 
   double weight(RequestId id) const;
   bool is_pinned(RequestId id) const;
@@ -99,6 +125,13 @@ class FractionalEngine {
   /// this by O(α log(g·c))).
   std::uint64_t augmentations() const noexcept { return augmentations_; }
 
+  /// Member-list compaction passes.  Gated on the incrementally-tracked
+  /// per-edge dead count crossing half the list, so an augmentation loop
+  /// in which nothing died performs none (DESIGN.md §3.2; the
+  /// EngineCompaction tests in engine_differential_test.cpp pin this
+  /// down).
+  std::uint64_t compactions() const noexcept { return compactions_; }
+
   /// Test hook: invoked after every single augmentation step with the
   /// edge that was augmented.  The Lemma-1 white-box test uses this to
   /// verify the paper's potential Φ = Π max(f_i, 1/gc)^{f*_i·p_i} at
@@ -110,52 +143,96 @@ class FractionalEngine {
   // -- introspection for tests and the randomized layer ---------------------
 
   /// n_e = |ALIVE_e| − c_e (alive = not fully rejected, incl. pinned).
+  /// O(1).
   std::int64_t excess(EdgeId e) const;
-  /// Σ of weights of alive augmentable requests on e.
+  /// Σ of weights of alive augmentable requests on e.  O(1): maintained
+  /// incrementally (resynchronized exactly on compaction, so drift stays
+  /// below the covering-check tolerance).
   double alive_weight_sum(EdgeId e) const;
   /// Invariant of §2: true iff alive_weight_sum(e) >= excess(e), or the
-  /// edge has no augmentable alive request left.
+  /// edge has no augmentable alive request left.  O(1).
   bool constraint_satisfied(EdgeId e) const;
   /// True iff the edge has positive excess but no augmentable alive
   /// request — the covering constraint is unsatisfiable at the current
   /// classification.  In auto-α mode this is proof that α is too small
   /// (only pinned cost->2α requests remain, and OPT must reject fractions
-  /// of them), so the wrapper doubles α on this signal.
+  /// of them), so the wrapper doubles α on this signal.  O(1).
   bool saturated(EdgeId e) const;
   /// Alive augmentable request ids on edge e (compacted view).
   std::vector<RequestId> alive_requests(EdgeId e) const;
+  /// Raw member-list length of edge e, dead entries included (tests: the
+  /// in-place sweep keeps this equal to the alive count on swept edges).
+  std::size_t member_list_size(EdgeId e) const;
 
  private:
-  struct RequestRecord {
-    std::vector<EdgeId> edges;
-    double weight = 0.0;
-    double update_cost = 1.0;
-    double report_cost = 1.0;
-    bool pinned = false;
-    bool alive = true;  ///< weight < 1 (pinned requests stay alive forever)
-    // Delta bookkeeping for the current arrival.
-    std::uint64_t touch_epoch = 0;
-    double weight_at_touch = 0.0;
-  };
+  /// Runs the §2 augmentation loop for one edge.  `sum_maybe_stale` is set
+  /// when an earlier edge of the same arrival already ran steps, in which
+  /// case the loop seeds its covering sum with one exact rescan instead of
+  /// the incremental cache (which is only refreshed at arrival end).
+  void augment_edge(EdgeId e, bool sum_maybe_stale);
 
-  /// Runs the §2 augmentation loop for one edge.
-  void augment_edge(EdgeId e);
+  /// Exact Σ of alive member weights on e, in member-list order.
+  double exact_alive_sum(EdgeId e) const;
 
-  /// Removes dead entries from an edge's member list (lazy deletion).
+  /// Removes dead entries from an edge's member list and resynchronizes
+  /// alive_sum_[e].  Swept edges self-compact inside augment_edge; this
+  /// handles lists that only ever receive *cross-edge* deaths, and is
+  /// gated on the tracked dead count crossing half the list.
   void compact(EdgeId e);
 
-  void touch(RequestId id);
-  void mark_fully_rejected(RequestId id);
+  /// Request i's edge set in the incidence arena.
+  std::span<const EdgeId> edges_of(RequestId i) const {
+    return {edge_pool_.data() + edge_begin_[i],
+            edge_begin_[i + 1] - edge_begin_[i]};
+  }
+
+  /// Appends a request's SoA row + arena slice (shared by pin and
+  /// admit_existing; edges are pre-validated by the callers).
+  RequestId append_request(std::span<const EdgeId> edges, double update_cost,
+                           double report_cost, double initial_weight,
+                           bool pinned);
+
+  /// The per-request fields the augmentation sweep reads and writes,
+  /// packed into one 32-byte row so a member costs the sweep a single
+  /// cache line even when member ids are scattered (hot-edge lists under
+  /// skewed traffic are exactly that).  Everything the sweep does not need
+  /// stays in the cold arrays below.
+  struct HotRow {
+    double weight = 0.0;
+    double update_cost = 1.0;
+    // Delta bookkeeping for the current arrival.
+    double weight_at_touch = 0.0;
+    std::uint64_t touch_epoch = 0;
+  };
+  static_assert(sizeof(HotRow) == 32);
 
   const Graph& graph_;
   double zero_init_;
-  std::vector<RequestRecord> requests_;
-  // Augmentable members per edge (alive and dead; compacted lazily).
+
+  // -- request store: hot rows + cold SoA + CSR incidence arena -------------
+  std::vector<HotRow> hot_;
+  std::vector<std::size_t> edge_begin_;  ///< per-request offset; size n+1
+  std::vector<EdgeId> edge_pool_;        ///< flat arena of all edge lists
+  std::vector<double> report_cost_;
+  /// weight < 1 (pinned: always 1).  Maintained for the O(1) public
+  /// queries; the sweep itself infers death from weight ≥ 1 (equivalent
+  /// for the non-pinned requests member lists hold) to stay off this
+  /// array.
+  std::vector<std::uint8_t> alive_;
+  std::vector<std::uint8_t> pinned_;
+
+  // -- per-edge state --------------------------------------------------------
+  /// Augmentable members per edge (alive and dead; compacted when the dead
+  /// fraction crosses 1/2).
   std::vector<std::vector<RequestId>> members_;
-  std::vector<std::int64_t> alive_count_;   // augmentable alive per edge
-  std::vector<std::int64_t> pinned_count_;  // pinned per edge
+  std::vector<std::int64_t> alive_count_;   ///< augmentable alive per edge
+  std::vector<std::int64_t> pinned_count_;  ///< pinned per edge
+  std::vector<std::int64_t> dead_count_;    ///< dead entries in members_[e]
+  std::vector<double> alive_sum_;  ///< incremental Σ alive member weights
+
   double fractional_cost_ = 0.0;
   std::uint64_t augmentations_ = 0;
+  std::uint64_t compactions_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<RequestId> touched_;  // requests touched this arrival
   std::vector<Delta> deltas_;       // output buffer
@@ -163,3 +240,16 @@ class FractionalEngine {
 };
 
 }  // namespace minrej
+
+#if defined(MINREJ_NAIVE_ENGINE)
+#include "core/naive_engine.h"
+namespace minrej {
+/// Engine every consumer layer builds against (reference build).
+using FractionalEngine = NaiveFractionalEngine;
+}  // namespace minrej
+#else
+namespace minrej {
+/// Engine every consumer layer builds against (flat-storage build).
+using FractionalEngine = FlatFractionalEngine;
+}  // namespace minrej
+#endif

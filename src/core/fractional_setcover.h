@@ -48,6 +48,11 @@ class FractionalSetCover {
 
   std::int64_t demand(ElementId j) const;
 
+  /// Cumulative §2 weight-augmentation steps underneath the reduction.
+  std::uint64_t augmentations() const noexcept {
+    return admission_->augmentations();
+  }
+
   /// The underlying admission algorithm (tests).
   const FractionalAdmission& admission() const noexcept {
     return *admission_;

@@ -60,6 +60,12 @@ class OnlineAdmissionAlgorithm {
   double rejected_cost() const noexcept { return rejected_cost_; }
   std::size_t rejected_count() const noexcept { return rejected_count_; }
 
+  /// Weight-augmentation steps this algorithm's primal-dual core has
+  /// performed so far (0 for algorithms without one, e.g. the greedy
+  /// baselines).  Surfaced per-run by sim::run_admission so the perf bench
+  /// can report work done, not just wall time.
+  virtual std::uint64_t augmentation_steps() const noexcept { return 0; }
+
   /// Accepted load per edge (always <= capacity between arrivals).
   const std::vector<std::int64_t>& edge_usage() const noexcept {
     return usage_;

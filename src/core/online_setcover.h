@@ -52,6 +52,11 @@ class OnlineSetCoverAlgorithm {
   /// ⌈(1−ε)k⌉.  (Always capped by degree(j).)
   virtual std::int64_t required_coverage(std::int64_t k) const { return k; }
 
+  /// Weight-augmentation steps the algorithm's primal-dual core has
+  /// performed so far (0 when it has none).  Surfaced per-run by
+  /// sim::run_setcover.
+  virtual std::uint64_t augmentation_steps() const noexcept { return 0; }
+
  protected:
   /// Subclass hook: choose the sets to add for this arrival of j.  The
   /// base applies them (deduplicated; re-adding a chosen set is an error).
@@ -81,6 +86,10 @@ class ReductionSetCover : public OnlineSetCoverAlgorithm {
 
   /// The underlying admission algorithm (tests/experiments).
   const RandomizedAdmission& admission() const noexcept { return *admission_; }
+
+  std::uint64_t augmentation_steps() const noexcept override {
+    return admission_->augmentation_steps();
+  }
 
  protected:
   std::vector<SetId> handle_element(ElementId j) override;

@@ -73,6 +73,12 @@ class RandomizedAdmission : public OnlineAdmissionAlgorithm {
   /// Rejection threshold 1/(F·L) currently in force.
   double weight_threshold() const noexcept { return 1.0 / (factor_ * log_); }
 
+  /// Cumulative §2 weight-augmentation steps of the underlying fractional
+  /// algorithm (all phases).
+  std::uint64_t augmentation_steps() const noexcept override {
+    return frac_.augmentations();
+  }
+
  protected:
   ArrivalResult handle(RequestId id, const Request& request) override;
 

@@ -40,6 +40,9 @@ class WeightedBicriteriaSetCover : public OnlineSetCoverAlgorithm {
   double potential() const;
 
   std::uint64_t augmentations() const noexcept { return augmentations_; }
+  std::uint64_t augmentation_steps() const noexcept override {
+    return augmentations_;
+  }
   double set_weight(SetId s) const;
 
  protected:

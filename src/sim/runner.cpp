@@ -1,39 +1,84 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "util/check.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace minrej {
 
+namespace {
+
+/// Fills the shared latency fields of AdmissionRun/CoverRun from the
+/// per-arrival samples (sorts in place).
+template <typename RunT>
+void fill_latency_quantiles(RunT& run, std::vector<double>& latencies) {
+  if (latencies.empty()) return;
+  std::sort(latencies.begin(), latencies.end());
+  run.p50_arrival_s = quantile_sorted(latencies, 0.50);
+  run.p95_arrival_s = quantile_sorted(latencies, 0.95);
+  run.max_arrival_s = latencies.back();
+}
+
+}  // namespace
+
 AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
-                           const AdmissionInstance& instance) {
+                           const AdmissionInstance& instance,
+                           const RunOptions& options) {
   MINREJ_REQUIRE(&algorithm.graph() != nullptr, "algorithm without graph");
-  Timer timer;
-  for (const Request& request : instance.requests()) {
-    algorithm.process(request);
-  }
+  std::vector<double> latencies;
   AdmissionRun run;
+  Timer timer;
+  if (options.collect_latencies) {
+    latencies.reserve(instance.request_count());
+    Timer arrival_timer;
+    for (const Request& request : instance.requests()) {
+      arrival_timer.reset();
+      algorithm.process(request);
+      latencies.push_back(arrival_timer.elapsed_s());
+    }
+  } else {
+    for (const Request& request : instance.requests()) {
+      algorithm.process(request);
+    }
+  }
+  run.seconds = timer.elapsed_s();
   run.rejected_cost = algorithm.rejected_cost();
   run.rejected_count = algorithm.rejected_count();
   run.arrivals = instance.request_count();
-  run.seconds = timer.elapsed_s();
+  run.augmentation_steps = algorithm.augmentation_steps();
+  fill_latency_quantiles(run, latencies);
   return run;
 }
 
 CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
-                      const std::vector<ElementId>& arrivals) {
-  Timer timer;
-  for (ElementId j : arrivals) {
-    algorithm.on_element(j);
-  }
+                      const std::vector<ElementId>& arrivals,
+                      const RunOptions& options) {
+  std::vector<double> latencies;
   CoverRun run;
+  Timer timer;
+  if (options.collect_latencies) {
+    latencies.reserve(arrivals.size());
+    Timer arrival_timer;
+    for (ElementId j : arrivals) {
+      arrival_timer.reset();
+      algorithm.on_element(j);
+      latencies.push_back(arrival_timer.elapsed_s());
+    }
+  } else {
+    for (ElementId j : arrivals) {
+      algorithm.on_element(j);
+    }
+  }
+  run.seconds = timer.elapsed_s();
   run.cost = algorithm.cost();
   run.chosen_count = algorithm.chosen_count();
   run.arrivals = arrivals.size();
-  run.seconds = timer.elapsed_s();
+  run.augmentation_steps = algorithm.augmentation_steps();
+  fill_latency_quantiles(run, latencies);
   return run;
 }
 

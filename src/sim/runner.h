@@ -19,17 +19,39 @@
 
 namespace minrej {
 
+/// Knobs for run_admission/run_setcover.
+struct RunOptions {
+  /// Record every arrival's processing latency (two steady_clock reads
+  /// plus a store per arrival, inside the timed region).  Off by default
+  /// so the per-arrival instrumentation cannot perturb benches that only
+  /// read totals; the perf bench (E10) opts in.  When off, the p50/p95/
+  /// max latency fields stay 0.
+  bool collect_latencies = false;
+};
+
 /// Outcome of running one admission algorithm over one instance.
 struct AdmissionRun {
   double rejected_cost = 0.0;
   std::size_t rejected_count = 0;
   std::size_t arrivals = 0;
   double seconds = 0.0;
+  /// Weight-augmentation steps the algorithm's primal-dual core performed
+  /// over the whole run (0 for engines without one).
+  std::uint64_t augmentation_steps = 0;
+  /// Per-arrival processing latency quantiles and maximum, in seconds.
+  double p50_arrival_s = 0.0;
+  double p95_arrival_s = 0.0;
+  double max_arrival_s = 0.0;
+
+  double arrivals_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
+  }
 };
 
 /// Feeds every request of the instance to the algorithm, in order.
 AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
-                           const AdmissionInstance& instance);
+                           const AdmissionInstance& instance,
+                           const RunOptions& options = {});
 
 /// Outcome of running one set cover algorithm over one arrival sequence.
 struct CoverRun {
@@ -37,11 +59,21 @@ struct CoverRun {
   std::size_t chosen_count = 0;
   std::size_t arrivals = 0;
   double seconds = 0.0;
+  /// See AdmissionRun: same counters for the set-cover side.
+  std::uint64_t augmentation_steps = 0;
+  double p50_arrival_s = 0.0;
+  double p95_arrival_s = 0.0;
+  double max_arrival_s = 0.0;
+
+  double arrivals_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
+  }
 };
 
 /// Feeds every arrival to the algorithm, in order.
 CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
-                      const std::vector<ElementId>& arrivals);
+                      const std::vector<ElementId>& arrivals,
+                      const RunOptions& options = {});
 
 /// Adaptive adversary for online set cover: at each step requests the
 /// element with the least coverage slack (covered − demand), i.e. the one

@@ -1,6 +1,7 @@
 #include "sim/workloads.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/generators.h"
 #include "util/check.h"
@@ -77,6 +78,54 @@ AdmissionInstance make_single_edge_burst(std::int64_t capacity,
   requests.reserve(request_count);
   for (std::size_t i = 0; i < request_count; ++i) {
     requests.emplace_back(std::vector<EdgeId>{0}, costs.sample(rng));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_power_law_workload(std::size_t edge_count,
+                                          std::int64_t capacity,
+                                          std::size_t request_count,
+                                          std::size_t max_edges,
+                                          double exponent,
+                                          const CostModel& costs, Rng& rng) {
+  MINREJ_REQUIRE(edge_count >= 1, "power-law workload needs edges");
+  MINREJ_REQUIRE(max_edges >= 1 && max_edges <= edge_count, "bad max_edges");
+  MINREJ_REQUIRE(exponent >= 0.0, "exponent must be non-negative");
+  Graph graph = make_star_graph(edge_count, capacity);
+  // Cumulative Zipf mass over the spokes; inverted per draw by binary
+  // search (exponent 0 degenerates to the uniform star workload).
+  std::vector<double> cumulative(edge_count, 0.0);
+  double total = 0.0;
+  for (std::size_t e = 0; e < edge_count; ++e) {
+    total += 1.0 / std::pow(static_cast<double>(e + 1), exponent);
+    cumulative[e] = total;
+  }
+  auto draw_edge = [&] {
+    const double u = rng.uniform() * total;
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), u);
+    return static_cast<EdgeId>(
+        std::min<std::size_t>(edge_count - 1,
+                              static_cast<std::size_t>(
+                                  it - cumulative.begin())));
+  };
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  std::vector<EdgeId> edges;
+  for (std::size_t i = 0; i < request_count; ++i) {
+    const std::size_t want = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(max_edges)));
+    edges.clear();
+    // Rejection-sample distinct edges; the duplicate rate is high only on
+    // the hot spokes, so cap the attempts and settle for fewer edges.
+    for (std::size_t attempt = 0;
+         edges.size() < want && attempt < 8 * max_edges; ++attempt) {
+      const EdgeId e = draw_edge();
+      if (std::find(edges.begin(), edges.end(), e) == edges.end()) {
+        edges.push_back(e);
+      }
+    }
+    requests.emplace_back(edges, costs.sample(rng));
   }
   return AdmissionInstance(std::move(graph), std::move(requests));
 }

@@ -61,6 +61,19 @@ AdmissionInstance make_single_edge_burst(std::int64_t capacity,
                                          std::size_t request_count,
                                          const CostModel& costs, Rng& rng);
 
+/// Skewed-popularity workload on a star of `edge_count` spokes: each
+/// request touches 1..max_edges distinct edges drawn from a Zipf(exponent)
+/// popularity law over the spokes (edge e with probability ∝ 1/(e+1)^s).
+/// A handful of hot edges absorb most of the traffic — the production
+/// traffic shape the perf bench (E10) measures the engine's member-list
+/// handling on, complementing the uniform families above.
+AdmissionInstance make_power_law_workload(std::size_t edge_count,
+                                          std::int64_t capacity,
+                                          std::size_t request_count,
+                                          std::size_t max_edges,
+                                          double exponent,
+                                          const CostModel& costs, Rng& rng);
+
 /// The no-preemption killer (unit costs): a line of `edge_count` edges of
 /// capacity `capacity`; first `capacity` requests span the whole line,
 /// then every edge receives `capacity` single-edge requests.  An algorithm

@@ -7,7 +7,9 @@
 #include <algorithm>
 
 #include "core/baselines.h"
+#include "core/online_setcover.h"
 #include "core/randomized_admission.h"
+#include "setcover/generators.h"
 #include "sim/runner.h"
 #include "sim/trace.h"
 #include "sim/workloads.h"
@@ -124,6 +126,64 @@ TEST(Runner, RunAdmissionReportsTotals) {
   EXPECT_DOUBLE_EQ(run.rejected_cost, 8.0);
   EXPECT_EQ(run.rejected_count, 8u);
   EXPECT_GE(run.seconds, 0.0);
+  // Greedy has no primal-dual core: no augmentation steps to report.
+  EXPECT_EQ(run.augmentation_steps, 0u);
+}
+
+TEST(Runner, RunAdmissionSurfacesEngineAndLatencyCounters) {
+  Rng rng(9);
+  AdmissionInstance inst =
+      make_single_edge_burst(2, 24, CostModel::unit_costs(), rng);
+  RandomizedConfig cfg;
+  cfg.unit_costs = true;
+  cfg.seed = 5;
+  RandomizedAdmission alg(inst.graph(), cfg);
+  const AdmissionRun run =
+      run_admission(alg, inst, RunOptions{.collect_latencies = true});
+  // An overloaded burst forces weight augmentations, and the run must
+  // report exactly what the algorithm counted.
+  EXPECT_GT(run.augmentation_steps, 0u);
+  EXPECT_EQ(run.augmentation_steps, alg.augmentation_steps());
+  // Latency quantiles come from real timings: ordered and positive.
+  EXPECT_GT(run.p50_arrival_s, 0.0);
+  EXPECT_LE(run.p50_arrival_s, run.p95_arrival_s);
+  EXPECT_LE(run.p95_arrival_s, run.max_arrival_s);
+  EXPECT_GT(run.arrivals_per_sec(), 0.0);
+}
+
+TEST(Runner, RunSetcoverSurfacesEngineCounters) {
+  Rng rng(10);
+  SetSystem sys = random_uniform_system(8, 8, 4, 3, rng);
+  const auto arrivals = arrivals_each_k_times(8, 2, true, rng);
+  RandomizedConfig cfg;
+  cfg.seed = 3;
+  ReductionSetCover alg(sys, cfg);
+  const CoverRun run =
+      run_setcover(alg, arrivals, RunOptions{.collect_latencies = true});
+  EXPECT_EQ(run.arrivals, arrivals.size());
+  EXPECT_EQ(run.augmentation_steps, alg.augmentation_steps());
+  EXPECT_LE(run.p50_arrival_s, run.p95_arrival_s);
+}
+
+TEST(Workloads, PowerLawWorkloadShape) {
+  Rng rng(12);
+  AdmissionInstance inst = make_power_law_workload(
+      16, 2, 200, 3, 1.5, CostModel::unit_costs(), rng);
+  EXPECT_EQ(inst.graph().edge_count(), 16u);
+  EXPECT_EQ(inst.request_count(), 200u);
+  std::size_t max_edges_seen = 0;
+  for (const Request& r : inst.requests()) {
+    ASSERT_GE(r.edges.size(), 1u);
+    ASSERT_LE(r.edges.size(), 3u);
+    max_edges_seen = std::max(max_edges_seen, r.edges.size());
+  }
+  EXPECT_GT(max_edges_seen, 1u);
+  // Zipf skew: the hottest edge must carry far more than the coolest.
+  const auto& load = inst.edge_load();
+  EXPECT_GT(load[0], 4 * std::max<std::int64_t>(1, load[15]));
+  EXPECT_THROW(make_power_law_workload(4, 1, 10, 9, 1.0,
+                                       CostModel::unit_costs(), rng),
+               InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------
