@@ -1,109 +1,43 @@
 // bench_common.h — shared helpers for the experiment binaries.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <type_traits>
 #include <vector>
 
 #include "graph/request.h"
 #include "sim/runner.h"
+#include "util/build_info.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace minrej::bench {
 
 // ---------------------------------------------------------------------------
-// Machine-readable output: a minimal JSON emitter plus the shared --json
-// flag convention.  Experiment binaries print tables for humans; CI and the
-// perf-trajectory tooling consume BENCH_<slug>.json.
+// Machine-readable output: the JSON emitter lives in util/json.h (shared
+// with tools/minrej_serve); experiment binaries print tables for humans
+// while CI and the perf-trajectory tooling consume BENCH_<slug>.json.
+// The schema is documented in docs/SCENARIOS.md.
 // ---------------------------------------------------------------------------
 
-/// Formats a double as a JSON number ("null" for non-finite values, which
-/// JSON cannot represent).
-inline std::string json_num(double v) {
-  if (!std::isfinite(v)) return "null";
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-/// Escapes a string for use as a JSON string literal (quotes included).
-inline std::string json_str(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-/// Incrementally-built JSON object; field order follows insertion order.
-/// Nest objects/arrays through raw(): `obj.raw("inner", other.dump())`.
-class JsonObject {
- public:
-  JsonObject& field(const std::string& key, double v) {
-    return raw(key, json_num(v));
-  }
-  /// Exact match for every integral width, so callers never hit the
-  /// integral→double conversion ambiguity.
-  template <typename Int,
-            typename = std::enable_if_t<std::is_integral_v<Int>>>
-  JsonObject& field(const std::string& key, Int v) {
-    return raw(key, std::to_string(v));
-  }
-  JsonObject& field(const std::string& key, const std::string& v) {
-    return raw(key, json_str(v));
-  }
-  JsonObject& field(const std::string& key, const char* v) {
-    return raw(key, json_str(v));
-  }
-  JsonObject& raw(const std::string& key, const std::string& json) {
-    if (!first_) body_ += ',';
-    first_ = false;
-    body_ += json_str(key) + ':' + json;
-    return *this;
-  }
-  std::string dump() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-  bool first_ = true;
-};
-
-/// Joins pre-rendered JSON values into an array literal.
-inline std::string json_array(const std::vector<std::string>& items) {
-  std::string out = "[";
-  for (std::size_t i = 0; i < items.size(); ++i) {
-    if (i) out += ',';
-    out += items[i];
-  }
-  out += ']';
-  return out;
-}
-
-/// The shared --json convention: bare `--json` writes BENCH_<slug>.json in
-/// the working directory, `--json=path` writes to `path`, absence writes
-/// nothing.  Callers must list "json" among their known flags.
-inline void emit_json(const CliFlags& flags, const std::string& slug,
-                      const std::string& payload) {
-  if (!flags.has("json")) return;
-  const std::string given = flags.get_string("json", "");
-  const std::string path =
-      (given.empty() || given == "true") ? "BENCH_" + slug + ".json" : given;
-  std::ofstream out(path);
-  out << payload << '\n';
-  std::cout << "wrote " << path << '\n';
+/// Root object of every BENCH_*.json, pre-stamped with the provenance
+/// fields the perf trajectory needs to attribute a number: the bench slug,
+/// the git SHA and build type baked in at configure time, and the scenario
+/// the run measured ("mixed" when one file covers several).
+inline JsonObject bench_root(const std::string& bench,
+                             const std::string& scenario) {
+  JsonObject root;
+  root.field("bench", bench)
+      .field("git_sha", build_git_sha())
+      .field("build_type", build_type())
+      .field("scenario", scenario);
+  return root;
 }
 
 /// log2(x) clamped to >= 1, the convention used throughout the paper's

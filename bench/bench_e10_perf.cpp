@@ -352,9 +352,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> duel_json;
   duel_json.reserve(duels.size());
   for (const HeadToHead& h : duels) duel_json.push_back(h2h_json(h));
-  JsonObject root;
-  root.field("bench", "e10")
-      .field("requests", requests)
+  JsonObject root = bench_root("e10", "mixed");
+  root.field("requests", requests)
       .field("burst_capacity", burst_capacity)
       .field("trials", trials)
       .field("naive_trials", naive_trials)

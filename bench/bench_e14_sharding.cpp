@@ -1,0 +1,276 @@
+// E14 — sharded-service scaling (DESIGN.md §6, docs/SCENARIOS.md).
+//
+// For every catalog scenario, pumps the same instance through an
+// AdmissionService at 1, 2, 4, ... shards and reports arrivals/sec and
+// the speedup over the unsharded (1-shard) run.  Two honesty checks ride
+// along:
+//
+//   * identity — on the shard-disjoint scenarios (single-edge requests:
+//     dense_burst, diurnal, adversarial_single_edge; tenant-aligned
+//     partition: multi_tenant), a *deterministic* engine-backed
+//     configuration (randomized rounding with the random step disabled)
+//     is run sharded and unsharded and every per-request decision plus
+//     the rejected cost must match exactly — the DESIGN.md §6.1
+//     partitioning invariant, measured rather than assumed;
+//   * single-edge scenarios cannot scale (all traffic lands in one
+//     shard) and their flat speedup column is reported, not hidden.
+//
+// `--json[=path]` writes BENCH_e14.json (provenance-stamped; committed at
+// the repo root so the scaling trajectory is attributable).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/randomized_admission.h"
+#include "service/admission_service.h"
+#include "sim/workloads.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace minrej::bench {
+namespace {
+
+/// Identity factory: deterministic engine-backed configuration — the
+/// random rejection step is disabled, so every decision is a function of
+/// the (deterministic) fractional weights alone and sharded-vs-unsharded
+/// bit-identity is checkable.  Weighted instances additionally fix α so
+/// the doubling schedule cannot couple disjoint edges (DESIGN.md §6.1).
+ShardAlgorithmFactory identity_factory(bool unit_costs) {
+  return [unit_costs](const Graph& graph, std::size_t) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = unit_costs;
+    cfg.step3_random = false;
+    cfg.seed = 7;
+    if (!unit_costs) cfg.fractional.fixed_alpha = 8.0;
+    return std::make_unique<RandomizedAdmission>(graph, cfg);
+  };
+}
+
+/// Tenant-aligned partition for the multi_tenant scenario (block = 8
+/// consecutive edges per tenant in the catalog configuration).
+std::size_t tenant_partition(EdgeId e, std::size_t block,
+                             std::size_t shards) {
+  return (static_cast<std::size_t>(e) / block) % shards;
+}
+
+struct ShardPoint {
+  std::size_t shards = 0;
+  ServiceStats stats;
+  /// Wall-clock speedup vs the 1-shard run.  Bounded by the host's core
+  /// count — flat on a 1-core box no matter how well the traffic shards.
+  double wall_speedup = 0.0;
+  /// Critical-path speedup vs the 1-shard run: max-shard-busy ratio, i.e.
+  /// the scaling a deployment with one core per shard sustains.  This is
+  /// the partitioning quality signal (DESIGN.md §6.2).
+  double cp_speedup = 0.0;
+};
+
+std::string point_json(const ShardPoint& p) {
+  JsonObject o;
+  o.field("shards", p.shards)
+      .field("seconds", p.stats.seconds)
+      .field("arrivals_per_sec", p.stats.arrivals_per_sec())
+      .field("speedup_vs_1", p.wall_speedup)
+      .field("critical_path_arrivals_per_sec",
+             p.stats.critical_path_arrivals_per_sec())
+      .field("critical_path_speedup_vs_1", p.cp_speedup)
+      .field("accepted", p.stats.accepted)
+      .field("rejected", p.stats.rejected)
+      .field("rejected_cost", p.stats.rejected_cost)
+      .field("augmentation_steps", p.stats.augmentation_steps)
+      .field("max_shard_busy_s", p.stats.max_shard_busy_s)
+      .field("total_busy_s", p.stats.total_busy_s)
+      .field("p50_arrival_us", p.stats.p50_arrival_s * 1e6)
+      .field("p95_arrival_us", p.stats.p95_arrival_s * 1e6);
+  return o.dump();
+}
+
+}  // namespace
+}  // namespace minrej::bench
+
+int main(int argc, char** argv) {
+  using namespace minrej;
+  using namespace minrej::bench;
+  const CliFlags flags = CliFlags::parse(
+      argc, argv,
+      {"requests", "edges", "max_shards", "batch", "trials", "seed",
+       "csv_dir", "json"});
+  ScenarioParams params;
+  params.requests = static_cast<std::size_t>(flags.get_int("requests", 60000));
+  params.edges = static_cast<std::size_t>(flags.get_int("edges", 64));
+  const std::size_t max_shards =
+      static_cast<std::size_t>(flags.get_int("max_shards", 8));
+  const std::size_t batch =
+      static_cast<std::size_t>(flags.get_int("batch", 1024));
+  const std::size_t trials =
+      static_cast<std::size_t>(flags.get_int("trials", 3));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::string csv_dir = flags.get_string("csv_dir", "");
+  MINREJ_REQUIRE(max_shards >= 1 && trials >= 1, "bad --max_shards/--trials");
+
+  std::vector<std::size_t> shard_counts;
+  for (std::size_t k = 1; k <= max_shards; k *= 2) shard_counts.push_back(k);
+
+  std::cout << "=== E14: sharded-service scaling over the scenario catalog "
+               "===\n\n";
+
+  Table scaling("E14 — arrivals/sec vs shards (best of " +
+                    std::to_string(trials) + ", batch " +
+                    std::to_string(batch) + "; cp = critical path, the "
+                    "one-core-per-shard throughput)",
+                {"scenario", "shards", "arr/s", "wall x", "cp arr/s",
+                 "cp x", "rej cost", "aug steps", "p95 us"});
+  std::vector<std::string> scenario_json;
+
+  for (const ScenarioInfo& info : scenario_catalog()) {
+    const std::string name = info.name;
+    Rng rng(seed);
+    ScenarioParams scenario_params = params;
+    if (name == "adversarial_single_edge") {
+      // Single-edge: cannot shard, and its preemption churn is quadratic
+      // in the arrival count — run it at a bounded size (the JSON records
+      // the actual request count).
+      scenario_params.requests = std::min<std::size_t>(params.requests, 12000);
+    }
+    const AdmissionInstance instance =
+        make_scenario(name, scenario_params, rng);
+    const bool unit = all_unit_costs(instance);
+    // Single-edge topologies put all traffic in one shard by construction.
+    const bool single_edge = instance.graph().edge_count() == 1;
+    const bool tenant_aligned = name == "multi_tenant";
+    const std::size_t tenant_block =
+        std::max<std::size_t>(1, params.edges / 8);
+
+    std::vector<ShardPoint> points;
+    for (const std::size_t shards : shard_counts) {
+      ShardPoint point;
+      point.shards = shards;
+      for (std::size_t t = 0; t < trials; ++t) {
+        ServiceConfig cfg;
+        cfg.shards = shards;
+        cfg.batch = batch;
+        cfg.collect_latencies = true;
+        if (tenant_aligned) {
+          cfg.partition = [tenant_block, shards](EdgeId e) {
+            return tenant_partition(e, tenant_block, shards);
+          };
+        }
+        AdmissionService service(instance.graph(),
+                                 randomized_shard_factory(unit, seed), cfg);
+        const ServiceStats stats = service.run(instance);
+        if (t == 0 || stats.seconds < point.stats.seconds) {
+          point.stats = stats;
+        }
+      }
+      point.wall_speedup = points.empty()
+                               ? 1.0
+                               : points.front().stats.seconds /
+                                     std::max(1e-12, point.stats.seconds);
+      point.cp_speedup =
+          points.empty() ? 1.0
+                         : points.front().stats.max_shard_busy_s /
+                               std::max(1e-12, point.stats.max_shard_busy_s);
+      points.push_back(point);
+      scaling.add_row({name, point.shards,
+                       Cell(point.stats.arrivals_per_sec(), 0),
+                       Cell(point.wall_speedup, 2),
+                       Cell(point.stats.critical_path_arrivals_per_sec(), 0),
+                       Cell(point.cp_speedup, 2),
+                       Cell(point.stats.rejected_cost, 1),
+                       static_cast<long long>(
+                           point.stats.augmentation_steps),
+                       Cell(point.stats.p95_arrival_s * 1e6, 2)});
+    }
+
+    // Identity: deterministic config, K shards vs unsharded, exact match
+    // of every per-request final decision and the total rejected cost.
+    // Only meaningful on shard-disjoint traffic (see header comment).
+    const bool disjoint_checkable = single_edge || tenant_aligned ||
+                                    name == "dense_burst" ||
+                                    name == "diurnal";
+    bool bit_identical = false;
+    std::size_t identity_shards = 0;
+    if (disjoint_checkable) {
+      identity_shards = single_edge ? 2 : std::min<std::size_t>(4, max_shards);
+      ServiceConfig sharded_cfg;
+      sharded_cfg.shards = identity_shards;
+      sharded_cfg.batch = batch;
+      if (tenant_aligned) {
+        const std::size_t k = identity_shards;
+        sharded_cfg.partition = [tenant_block, k](EdgeId e) {
+          return tenant_partition(e, tenant_block, k);
+        };
+      }
+      AdmissionService sharded(instance.graph(), identity_factory(unit),
+                               sharded_cfg);
+      ServiceConfig unsharded_cfg;
+      unsharded_cfg.shards = 1;
+      unsharded_cfg.batch = batch;
+      AdmissionService unsharded(instance.graph(), identity_factory(unit),
+                                 unsharded_cfg);
+      sharded.run(instance);
+      unsharded.run(instance);
+      bit_identical = true;
+      for (std::size_t i = 0; i < instance.request_count(); ++i) {
+        if (sharded.is_accepted(i) != unsharded.is_accepted(i)) {
+          bit_identical = false;
+          break;
+        }
+      }
+      // Aggregate cost: same multiset of request costs, summed per shard
+      // instead of in arrival order — equal up to FP reassociation
+      // (DESIGN.md §6.2), exactly equal under unit costs.
+      const double ca = sharded.aggregate().rejected_cost;
+      const double cb = unsharded.aggregate().rejected_cost;
+      if (std::abs(ca - cb) > 1e-9 * std::max(1.0, std::abs(cb))) {
+        bit_identical = false;
+      }
+      if (!bit_identical) {
+        std::cerr << "WARNING: sharded/unsharded divergence on " << name
+                  << " — the §6.1 partitioning invariant is broken\n";
+      }
+    }
+
+    JsonObject record;
+    record.field("scenario", name)
+        .field("requests", instance.request_count())
+        .field("edges", instance.graph().edge_count())
+        .field("unit_costs", unit)
+        .field("shardable", !single_edge);
+    std::vector<std::string> point_jsons;
+    point_jsons.reserve(points.size());
+    for (const ShardPoint& p : points) point_jsons.push_back(point_json(p));
+    record.raw("shard_counts", json_array(point_jsons));
+    if (disjoint_checkable) {
+      JsonObject identity;
+      identity.field("algorithm", "randomized(det: step3 off)")
+          .field("shards", identity_shards)
+          .field("partition",
+                 tenant_aligned ? "tenant_aligned" : "hash")
+          .field("bit_identical", bit_identical);
+      record.raw("identity", identity.dump());
+    }
+    scenario_json.push_back(record.dump());
+  }
+  emit(scaling, "e14_sharding", csv_dir);
+
+  JsonObject root = bench_root("e14", "catalog");
+  root.field("requests", params.requests)
+      .field("edges", params.edges)
+      .field("batch", batch)
+      .field("trials", trials)
+      .field("max_shards", max_shards)
+      // Wall-clock speedup is bounded by this; the critical-path columns
+      // are the host-independent scaling signal.
+      .field("hardware_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()))
+      .raw("scenarios", json_array(scenario_json));
+  emit_json(flags, "e14", root.dump());
+  return EXIT_SUCCESS;
+}

@@ -70,6 +70,20 @@ class TokenReader {
 }  // namespace
 
 void save_admission_instance(std::ostream& out,
+                             const AdmissionInstance& instance,
+                             const std::string& comment) {
+  std::size_t begin = 0;
+  while (begin < comment.size()) {
+    const std::size_t end = comment.find('\n', begin);
+    const std::size_t stop = end == std::string::npos ? comment.size() : end;
+    out << "# " << comment.substr(begin, stop - begin) << '\n';
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  save_admission_instance(out, instance);
+}
+
+void save_admission_instance(std::ostream& out,
                              const AdmissionInstance& instance) {
   const Graph& g = instance.graph();
   // max_digits10 round-trips every double exactly.
@@ -210,6 +224,13 @@ void save_admission_file(const std::string& path,
                          const AdmissionInstance& instance) {
   auto out = open_out(path);
   save_admission_instance(out, instance);
+}
+
+void save_admission_file(const std::string& path,
+                         const AdmissionInstance& instance,
+                         const std::string& comment) {
+  auto out = open_out(path);
+  save_admission_instance(out, instance, comment);
 }
 
 AdmissionInstance load_admission_file(const std::string& path) {

@@ -29,6 +29,13 @@ namespace minrej {
 
 void save_admission_instance(std::ostream& out,
                              const AdmissionInstance& instance);
+/// Same, but writes `# <comment>` provenance lines above the header (one
+/// per line of `comment`).  Loaders skip comments, so a stamped file
+/// round-trips identically; minrej_serve --dump stamps the scenario name
+/// and seed this way so a replayed trace is attributable.
+void save_admission_instance(std::ostream& out,
+                             const AdmissionInstance& instance,
+                             const std::string& comment);
 AdmissionInstance load_admission_instance(std::istream& in);
 
 void save_cover_instance(std::ostream& out, const CoverInstance& instance);
@@ -38,6 +45,9 @@ CoverInstance load_cover_instance(std::istream& in);
 /// opened.
 void save_admission_file(const std::string& path,
                          const AdmissionInstance& instance);
+void save_admission_file(const std::string& path,
+                         const AdmissionInstance& instance,
+                         const std::string& comment);
 AdmissionInstance load_admission_file(const std::string& path);
 void save_cover_file(const std::string& path, const CoverInstance& instance);
 CoverInstance load_cover_file(const std::string& path);

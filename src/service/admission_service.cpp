@@ -1,0 +1,235 @@
+#include "service/admission_service.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/randomized_admission.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace minrej {
+
+ShardAlgorithmFactory randomized_shard_factory(bool unit_costs,
+                                               std::uint64_t seed) {
+  return [unit_costs, seed](const Graph& graph, std::size_t shard) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = unit_costs;
+    cfg.seed = seed + shard;
+    return std::make_unique<RandomizedAdmission>(graph, cfg);
+  };
+}
+
+namespace {
+
+std::size_t pool_threads(const ServiceConfig& config) {
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t want =
+      config.threads > 0 ? config.threads : std::min(config.shards, hw);
+  return std::max<std::size_t>(1, std::min(want, config.shards));
+}
+
+}  // namespace
+
+AdmissionService::AdmissionService(const Graph& graph,
+                                   ShardAlgorithmFactory factory,
+                                   ServiceConfig config)
+    : graph_(graph), config_(std::move(config)),
+      pool_(pool_threads(config_)) {
+  MINREJ_REQUIRE(config_.shards >= 1, "service needs at least one shard");
+  MINREJ_REQUIRE(config_.batch >= 1, "batch must be positive");
+  MINREJ_REQUIRE(static_cast<bool>(factory), "null algorithm factory");
+  MINREJ_REQUIRE(graph_.edge_count() >= 1, "graph has no edges");
+  shards_.resize(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_[s].algorithm = factory(graph_, s);
+    MINREJ_REQUIRE(shards_[s].algorithm != nullptr,
+                   "factory returned a null algorithm");
+    MINREJ_REQUIRE(&shards_[s].algorithm->graph() == &graph_,
+                   "shard algorithm must be built on the service graph");
+  }
+}
+
+std::size_t AdmissionService::hash_edge_to_shard(
+    EdgeId e, std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  // splitmix64 of the edge id: spreads hot low-id edges (the Zipf head)
+  // across shards instead of clustering them in shard 0.
+  std::uint64_t state = static_cast<std::uint64_t>(e) + 1;
+  return static_cast<std::size_t>(splitmix64(state) %
+                                  static_cast<std::uint64_t>(shard_count));
+}
+
+std::size_t AdmissionService::shard_of_edge(EdgeId e) const {
+  MINREJ_REQUIRE(e < graph_.edge_count(), "edge id out of range");
+  if (!config_.partition) return hash_edge_to_shard(e, shards_.size());
+  const std::size_t s = config_.partition(e);
+  MINREJ_REQUIRE(s < shards_.size(),
+                 "partition returned a shard out of range");
+  return s;
+}
+
+std::size_t AdmissionService::shard_of_request(const Request& request) const {
+  MINREJ_REQUIRE(!request.edges.empty(), "empty request");
+  return shard_of_edge(request.edges.front());
+}
+
+std::vector<bool> AdmissionService::submit_batch(
+    std::span<const Request> batch) {
+  Timer wall;
+  for (Shard& shard : shards_) shard.pending.clear();
+  const std::size_t base = placement_.size();
+  placement_.reserve(base + batch.size());
+
+  // Route on the caller's thread: placement (shard + shard-local id) is
+  // fully determined before any worker runs, so it never races and the
+  // shard-local id sequence is arrival-ordered by construction.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t s = shard_of_request(batch[i]);
+    const auto local = static_cast<RequestId>(shards_[s].algorithm->arrivals() +
+                                              shards_[s].pending.size());
+    shards_[s].pending.push_back(i);
+    placement_.emplace_back(static_cast<std::uint32_t>(s), local);
+  }
+
+  decisions_.assign(batch.size(), 0);
+  // Per-shard arrival counts before the pump: on a shard failure these
+  // locate the first unprocessed arrival so its placement can be voided.
+  std::vector<std::size_t> processed_before(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    processed_before[s] = shards_[s].arrivals;
+  }
+  std::size_t busy_shards = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shards_[s].pending.empty()) continue;
+    ++busy_shards;
+    pool_.submit([this, s, batch] {
+      Shard& shard = shards_[s];
+      try {
+        Timer busy;
+        Timer arrival_timer;
+        for (const std::size_t idx : shard.pending) {
+          if (config_.collect_latencies) arrival_timer.reset();
+          const ArrivalResult result = shard.algorithm->process(batch[idx]);
+          if (config_.collect_latencies) {
+            shard.latencies_s.push_back(arrival_timer.elapsed_s());
+          }
+          decisions_[idx] = result.accepted ? 1 : 0;
+          ++shard.arrivals;
+        }
+        shard.busy_seconds += busy.elapsed_s();
+      } catch (...) {
+        shard.error = std::current_exception();
+      }
+    });
+  }
+  if (busy_shards > 0) pool_.wait_idle();
+  pumped_seconds_ += wall.elapsed_s();
+
+  std::exception_ptr first_error;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (!shard.error) continue;
+    if (!first_error) first_error = shard.error;
+    shard.error = nullptr;
+    // The shard stopped mid-sub-batch: its algorithm never assigned ids
+    // to the remaining arrivals.  Void their placements so a later batch
+    // cannot alias those local ids onto the stale entries (is_accepted on
+    // a voided arrival throws instead of answering for the wrong
+    // request).
+    const std::size_t processed = shard.arrivals - processed_before[s];
+    for (std::size_t j = processed; j < shard.pending.size(); ++j) {
+      placement_[base + shard.pending[j]].second = kInvalidId;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<bool> accepted(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    accepted[i] = decisions_[i] != 0;
+  }
+  return accepted;
+}
+
+ServiceStats AdmissionService::run(const AdmissionInstance& instance) {
+  MINREJ_REQUIRE(instance.graph().edge_count() == graph_.edge_count(),
+                 "instance graph does not match the service graph");
+  Timer wall;
+  const std::vector<Request>& requests = instance.requests();
+  for (std::size_t offset = 0; offset < requests.size();
+       offset += config_.batch) {
+    const std::size_t count =
+        std::min(config_.batch, requests.size() - offset);
+    submit_batch(std::span<const Request>(requests.data() + offset, count));
+  }
+  ServiceStats stats = aggregate();
+  stats.seconds = wall.elapsed_s();
+  return stats;
+}
+
+bool AdmissionService::is_accepted(std::size_t arrival_index) const {
+  const auto [shard, local] = placement(arrival_index);
+  MINREJ_REQUIRE(local != kInvalidId,
+                 "arrival was never processed (its shard failed mid-batch)");
+  return shards_[shard].algorithm->is_accepted(local);
+}
+
+std::pair<std::size_t, RequestId> AdmissionService::placement(
+    std::size_t arrival_index) const {
+  MINREJ_REQUIRE(arrival_index < placement_.size(),
+                 "arrival index out of range");
+  const auto& [shard, local] = placement_[arrival_index];
+  return {static_cast<std::size_t>(shard), local};
+}
+
+const OnlineAdmissionAlgorithm& AdmissionService::shard_algorithm(
+    std::size_t shard) const {
+  MINREJ_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return *shards_[shard].algorithm;
+}
+
+ShardStats AdmissionService::shard_stats(std::size_t shard) const {
+  MINREJ_REQUIRE(shard < shards_.size(), "shard index out of range");
+  const Shard& s = shards_[shard];
+  ShardStats stats;
+  stats.shard = shard;
+  stats.arrivals = s.arrivals;
+  stats.rejected = s.algorithm->rejected_count();
+  stats.accepted = s.arrivals - stats.rejected;
+  stats.rejected_cost = s.algorithm->rejected_cost();
+  stats.augmentation_steps = s.algorithm->augmentation_steps();
+  stats.busy_seconds = s.busy_seconds;
+  stats.latencies_s = s.latencies_s;
+  return stats;
+}
+
+ServiceStats AdmissionService::aggregate() const {
+  ServiceStats stats;
+  stats.shards = shards_.size();
+  stats.seconds = pumped_seconds_;
+  std::vector<double> latencies;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = shards_[s];
+    stats.arrivals += shard.arrivals;
+    const std::size_t rejected = shard.algorithm->rejected_count();
+    stats.rejected += rejected;
+    stats.accepted += shard.arrivals - rejected;
+    stats.rejected_cost += shard.algorithm->rejected_cost();
+    stats.augmentation_steps += shard.algorithm->augmentation_steps();
+    stats.max_shard_busy_s =
+        std::max(stats.max_shard_busy_s, shard.busy_seconds);
+    stats.total_busy_s += shard.busy_seconds;
+    latencies.insert(latencies.end(), shard.latencies_s.begin(),
+                     shard.latencies_s.end());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    stats.p50_arrival_s = quantile_sorted(latencies, 0.50);
+    stats.p95_arrival_s = quantile_sorted(latencies, 0.95);
+    stats.max_arrival_s = latencies.back();
+  }
+  return stats;
+}
+
+}  // namespace minrej

@@ -1,0 +1,205 @@
+// admission_service.h — sharded batch-arrival service over the online
+// admission algorithms (docs/API.md "AdmissionService"; DESIGN.md §6).
+//
+// The algorithms in core/ are strictly sequential: one arrival at a time
+// through OnlineAdmissionAlgorithm::process.  AdmissionService scales them
+// out the way the MPC/local-computation literature decomposes online
+// allocation (PAPERS.md: Łącki et al. arXiv:2506.04524, Mansour et al.
+// arXiv:1205.1312): the edge set is partitioned into K *shards*, each
+// shard owns a full, independent algorithm instance over the same graph,
+// and every arriving request is routed to the shard of its first (lowest)
+// edge.  Batches of arrivals are pumped through the util/thread_pool —
+// one sequential task per shard per batch — so shard trajectories are
+// deterministic regardless of scheduling: shard s always sees exactly the
+// subsequence of arrivals routed to it, in arrival order.
+//
+// Partitioning invariant (DESIGN.md §6.1): when every request's edges lie
+// in a single shard ("shard-disjoint" traffic — single-edge requests under
+// any partition, or multi-tenant traffic under a tenant-aligned
+// partition), the sharded system is *exactly* the unsharded one: per-shard
+// capacity enforcement equals global enforcement, and each shard's
+// competitive guarantee holds verbatim on its sub-instance.  For
+// deterministic algorithm configurations the sharded and unsharded runs
+// are bit-identical (tests/service_test.cpp pins this down).  For traffic
+// that does cross shards, the owning shard enforces capacities against its
+// own view only — admission decisions remain safe per shard but edges
+// shared across shards may be oversubscribed globally; see DESIGN.md §6.1
+// for why this is the documented relaxation rather than an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/online_admission.h"
+#include "graph/request.h"
+#include "util/thread_pool.h"
+
+namespace minrej {
+
+/// Builds the algorithm instance owned by one shard.  Must construct on
+/// the graph it is given (the service's graph — shards share the topology;
+/// only the traffic is partitioned).  The shard index lets factories
+/// derive per-shard seeds.
+using ShardAlgorithmFactory =
+    std::function<std::unique_ptr<OnlineAdmissionAlgorithm>(
+        const Graph& graph, std::size_t shard)>;
+
+/// Service knobs.
+struct ServiceConfig {
+  /// Number of shards K (>= 1).  K == 1 is the unsharded reference.
+  std::size_t shards = 1;
+  /// Arrivals per pump in run(); submit_batch takes what it is given.
+  std::size_t batch = 256;
+  /// Worker threads; 0 selects one per shard (capped at hardware).
+  std::size_t threads = 0;
+  /// Record per-arrival processing latency (two clock reads per arrival
+  /// inside the shard task).  Off by default, same rationale as
+  /// RunOptions::collect_latencies.
+  bool collect_latencies = false;
+  /// Optional edge → shard override (must return values < shards).  The
+  /// default is the splitmix64 hash partition; a tenant-aligned override
+  /// makes multi-tenant traffic shard-disjoint (DESIGN.md §6.1).
+  std::function<std::size_t(EdgeId)> partition;
+};
+
+/// Counters for one shard.  accepted/rejected/rejected_cost/augmentations
+/// are read from the shard's algorithm at query time; arrivals, busy time
+/// and latencies are tracked by the pump.
+struct ShardStats {
+  std::size_t shard = 0;
+  std::size_t arrivals = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double rejected_cost = 0.0;
+  std::uint64_t augmentation_steps = 0;
+  /// Time this shard's tasks spent processing (sums over batches; the
+  /// max over shards is the critical path of the pump).
+  double busy_seconds = 0.0;
+  /// Per-arrival latencies in seconds, arrival order (empty unless
+  /// ServiceConfig::collect_latencies).
+  std::vector<double> latencies_s;
+};
+
+/// Merged view across all shards (util/stats quantile merge).
+struct ServiceStats {
+  std::size_t shards = 0;
+  std::size_t arrivals = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double rejected_cost = 0.0;
+  std::uint64_t augmentation_steps = 0;
+  /// Wall-clock seconds: run() reports its own wall time; aggregate()
+  /// reports the summed wall time of all submit_batch calls.
+  double seconds = 0.0;
+  /// Largest per-shard busy_seconds — the pump's critical path.
+  double max_shard_busy_s = 0.0;
+  /// Summed per-shard busy_seconds (the serialized work).
+  double total_busy_s = 0.0;
+  /// Per-arrival latency quantiles over the merged shard samples, in
+  /// seconds (0 when latencies were not collected).
+  double p50_arrival_s = 0.0;
+  double p95_arrival_s = 0.0;
+  double max_arrival_s = 0.0;
+
+  double arrivals_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
+  }
+
+  /// Throughput of the pump's critical path: arrivals / max shard busy
+  /// time.  This is what the sharded system sustains when every shard has
+  /// its own core — on a machine with fewer cores than shards the wall
+  /// clock serializes the shards and arrivals_per_sec() cannot show the
+  /// sharding gain, while this number still does (DESIGN.md §6.2).
+  double critical_path_arrivals_per_sec() const noexcept {
+    return max_shard_busy_s > 0.0
+               ? static_cast<double>(arrivals) / max_shard_busy_s
+               : 0.0;
+  }
+};
+
+/// Convenience factory shared by the service driver and benches: one §3
+/// RandomizedAdmission per shard in the given cost mode, seeded
+/// `seed + shard` so shard trajectories draw independent random streams.
+ShardAlgorithmFactory randomized_shard_factory(bool unit_costs,
+                                               std::uint64_t seed);
+
+/// The sharded batch-arrival admission service.
+class AdmissionService {
+ public:
+  /// Builds `config.shards` algorithm instances via `factory` (each must
+  /// be constructed on `graph` — checked) and spins up the worker pool.
+  AdmissionService(const Graph& graph, ShardAlgorithmFactory factory,
+                   ServiceConfig config = {});
+
+  /// The default partition: splitmix64 hash of the edge id, mod K.
+  static std::size_t hash_edge_to_shard(EdgeId e,
+                                        std::size_t shard_count) noexcept;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t shard_of_edge(EdgeId e) const;
+  /// Shard of the request's first (lowest — edge lists are sorted) edge.
+  std::size_t shard_of_request(const Request& request) const;
+
+  /// Pumps one batch through the shards: requests are split by shard in
+  /// input order, each shard's sub-batch runs as one sequential task on
+  /// the pool, and the per-request admission decisions come back in input
+  /// order.  On a shard failure the batch drains first, the failing
+  /// shard's unprocessed arrivals get their placements voided (their
+  /// is_accepted throws instead of aliasing a later request), and the
+  /// first failure (by shard index) is rethrown; healthy shards keep
+  /// their results and the service remains usable.
+  std::vector<bool> submit_batch(std::span<const Request> batch);
+
+  /// Pumps the whole instance through submit_batch in config.batch slices
+  /// and returns the merged stats with run()'s wall time.  The instance
+  /// must live on a graph with the service's edge count.
+  ServiceStats run(const AdmissionInstance& instance);
+
+  /// Total arrivals submitted so far.
+  std::size_t arrivals() const noexcept { return placement_.size(); }
+
+  /// Current acceptance state of the i-th submitted arrival (queried from
+  /// the owning shard, so later preemptions are reflected).
+  bool is_accepted(std::size_t arrival_index) const;
+
+  /// The owning (shard, shard-local request id) of the i-th arrival.
+  /// The local id is kInvalidId for an arrival voided by a shard failure.
+  std::pair<std::size_t, RequestId> placement(std::size_t arrival_index) const;
+
+  const OnlineAdmissionAlgorithm& shard_algorithm(std::size_t shard) const;
+
+  /// Snapshot of one shard's counters.
+  ShardStats shard_stats(std::size_t shard) const;
+
+  /// Merged counters; seconds is the accumulated submit_batch wall time.
+  ServiceStats aggregate() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<OnlineAdmissionAlgorithm> algorithm;
+    std::size_t arrivals = 0;
+    double busy_seconds = 0.0;
+    std::vector<double> latencies_s;
+    std::vector<std::size_t> pending;  // batch indices, reused per batch
+    std::exception_ptr error;
+  };
+
+  const Graph& graph_;
+  ServiceConfig config_;
+  std::vector<Shard> shards_;
+  ThreadPool pool_;
+  /// arrival index → (shard, shard-local request id).
+  std::vector<std::pair<std::uint32_t, RequestId>> placement_;
+  /// Per-batch decision scratch (uint8_t, not vector<bool>: shard tasks
+  /// write disjoint elements concurrently and vector<bool> packs bits).
+  std::vector<std::uint8_t> decisions_;
+  double pumped_seconds_ = 0.0;
+};
+
+}  // namespace minrej

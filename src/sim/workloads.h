@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <string>
 
 #include "graph/request.h"
 #include "util/rng.h"
@@ -82,5 +84,95 @@ AdmissionInstance make_power_law_workload(std::size_t edge_count,
 /// requests.  Ratio Ω(edge_count) — the separation E5 reports.
 AdmissionInstance make_greedy_killer(std::size_t edge_count,
                                      std::int64_t capacity);
+
+/// Uniform dense burst across a star of `edge_count` spokes: every request
+/// hits exactly one uniformly-drawn spoke, so each edge receives a dense
+/// single-edge burst of ≈ request_count/edge_count arrivals against
+/// capacity `capacity`.  The multi-resource generalization of
+/// make_single_edge_burst — and, because every request touches a single
+/// edge, a *shard-disjoint* workload under any edge partition (the
+/// AdmissionService identity tests run on it; see DESIGN.md §6.1).
+AdmissionInstance make_dense_burst_workload(std::size_t edge_count,
+                                            std::int64_t capacity,
+                                            std::size_t request_count,
+                                            const CostModel& costs, Rng& rng);
+
+/// Diurnal wave on a star of `edge_count` spokes: arrival i at phase
+/// t = i/request_count targets the hot set (the first `hot_edges` spokes)
+/// with probability 0.15 + 0.7 · (1 + sin(2π · periods · t))/2, and a
+/// uniformly random spoke otherwise.  Models the day/night load swing of a
+/// user-facing service: the hot edges overload only around the wave peaks,
+/// so preemption pressure comes and goes `periods` times over the run.
+/// Single-edge requests — shard-disjoint like the dense burst.
+AdmissionInstance make_diurnal_workload(std::size_t edge_count,
+                                        std::int64_t capacity,
+                                        std::size_t request_count,
+                                        double periods, std::size_t hot_edges,
+                                        const CostModel& costs, Rng& rng);
+
+/// Adversarial escalation on one edge of capacity `capacity`: request i
+/// costs cost_ratio^{i/(request_count−1)} (deterministic, strictly
+/// increasing from 1 to cost_ratio), so every arrival is worth more than
+/// everything accepted before it.  Threshold/preemption policies churn
+/// maximally — each arrival pressures the algorithm to evict — while OPT
+/// simply rejects the request_count − capacity cheapest prefix.
+AdmissionInstance make_adversarial_single_edge(std::int64_t capacity,
+                                               std::size_t request_count,
+                                               double cost_ratio);
+
+/// Multi-tenant mix: `tenants` tenants own disjoint blocks of
+/// `edges_per_tenant` consecutive spokes on one star.  Each request picks
+/// a tenant from a Zipf(tenant_exponent) popularity law, then 1..max_edges
+/// distinct edges uniformly *within that tenant's block*.  Traffic never
+/// crosses tenant boundaries, so the instance is shard-disjoint under the
+/// tenant-aligned partition e ↦ (e / edges_per_tenant) mod K — the
+/// workload the sharded service is sized for (DESIGN.md §6.1).
+AdmissionInstance make_multi_tenant_workload(std::size_t tenants,
+                                             std::size_t edges_per_tenant,
+                                             std::int64_t capacity,
+                                             std::size_t request_count,
+                                             std::size_t max_edges,
+                                             double tenant_exponent,
+                                             const CostModel& costs, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Scenario catalog — named, documented workload configurations selectable
+// by string from the CLI drivers and benches (docs/SCENARIOS.md is the
+// reference; every entry there corresponds to one name here).
+// ---------------------------------------------------------------------------
+
+/// Size knobs shared by every catalog scenario.  Each scenario interprets
+/// them in its own units (documented per scenario in docs/SCENARIOS.md);
+/// capacity == 0 selects the scenario's default, chosen so the instance is
+/// meaningfully overloaded at the given request count.
+struct ScenarioParams {
+  std::size_t requests = 20000;
+  std::size_t edges = 64;
+  std::int64_t capacity = 0;
+};
+
+/// One catalog entry: the string the CLI accepts plus a one-line summary.
+struct ScenarioInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// All catalog scenarios, in stable order: dense_burst, power_law,
+/// diurnal, adversarial_single_edge, multi_tenant.
+std::span<const ScenarioInfo> scenario_catalog();
+
+/// True iff `name` is a catalog scenario.
+bool is_scenario(const std::string& name);
+
+/// Builds the named scenario; throws InvalidArgument for unknown names
+/// (the message lists the catalog).
+AdmissionInstance make_scenario(const std::string& name,
+                                const ScenarioParams& params, Rng& rng);
+
+/// True iff every request cost is 1 (within the engine's unit-cost
+/// tolerance) — such instances should run the algorithms in unit_costs
+/// mode (the Theorem 4 constants).  The service driver and benches use
+/// this to pick the mode per scenario.
+bool all_unit_costs(const AdmissionInstance& instance);
 
 }  // namespace minrej

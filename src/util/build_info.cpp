@@ -1,0 +1,19 @@
+#include "util/build_info.h"
+
+// Both macros are injected per-source-file by src/util/CMakeLists.txt; the
+// fallbacks keep non-CMake builds (and tooling that compiles single files)
+// working.
+#ifndef MINREJ_GIT_SHA
+#define MINREJ_GIT_SHA "unknown"
+#endif
+#ifndef MINREJ_BUILD_TYPE
+#define MINREJ_BUILD_TYPE "unknown"
+#endif
+
+namespace minrej {
+
+const char* build_git_sha() noexcept { return MINREJ_GIT_SHA; }
+
+const char* build_type() noexcept { return MINREJ_BUILD_TYPE; }
+
+}  // namespace minrej

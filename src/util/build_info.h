@@ -1,0 +1,22 @@
+// build_info.h — configure-time build provenance for measurement output.
+//
+// Every BENCH_*.json the drivers emit is stamped with the git SHA and the
+// CMake build type it was produced by, so a number on the perf trajectory
+// is always attributable to a concrete commit and optimization level
+// (comparing a Debug run against a Release baseline is the classic way to
+// fake a regression).  The values are baked in at *configure* time by
+// src/util/CMakeLists.txt; a stale build directory reports the SHA it was
+// configured at, which is exactly the binary's provenance.
+#pragma once
+
+namespace minrej {
+
+/// Short git SHA of the checkout the build was configured from, or
+/// "unknown" outside a git checkout (e.g. a tarball build).
+const char* build_git_sha() noexcept;
+
+/// CMake build type the binary was compiled under ("Release",
+/// "RelWithDebInfo", ...), or "unknown" when none was set.
+const char* build_type() noexcept;
+
+}  // namespace minrej

@@ -58,6 +58,20 @@ TEST(InstanceIo, AdmissionRoundTripWithMustAccept) {
   EXPECT_TRUE(loaded.request(1).must_accept);
 }
 
+TEST(InstanceIo, AdmissionCommentStampRoundTrips) {
+  Rng rng(2);
+  const AdmissionInstance original = make_line_workload(
+      4, 2, 10, 1, 3, CostModel::unit_costs(), rng);
+  std::stringstream buffer;
+  save_admission_instance(buffer, original,
+                          "scenario: dense_burst seed: 7\nsecond line");
+  const std::string text = buffer.str();
+  EXPECT_EQ(text.rfind("# scenario: dense_burst seed: 7\n# second line\n", 0),
+            0u);
+  const AdmissionInstance loaded = load_admission_instance(buffer);
+  EXPECT_TRUE(same_admission(original, loaded));
+}
+
 TEST(InstanceIo, CoverRoundTrip) {
   Rng rng(2);
   SetSystem sys = random_uniform_system(10, 8, 3, 2, rng);

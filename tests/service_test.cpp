@@ -1,0 +1,378 @@
+// Tests for src/service: shard routing, the batch pump, sharded-vs-
+// unsharded identity on shard-disjoint instances (DESIGN.md §6.1), and
+// stat aggregation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/randomized_admission.h"
+#include "service/admission_service.h"
+#include "sim/workloads.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+/// Deterministic engine-backed configuration: the §3 algorithm with the
+/// random rejection step disabled.  Every decision is then a function of
+/// the fractional weights alone, which evolve per-edge-locally, so on a
+/// shard-disjoint instance the sharded and unsharded trajectories must be
+/// bit-identical (the §6.1 partitioning invariant).
+ShardAlgorithmFactory deterministic_unit_factory() {
+  return [](const Graph& graph, std::size_t) {
+    RandomizedConfig cfg;
+    cfg.unit_costs = true;
+    cfg.step3_random = false;
+    return std::make_unique<RandomizedAdmission>(graph, cfg);
+  };
+}
+
+ShardAlgorithmFactory greedy_factory() {
+  return [](const Graph& graph, std::size_t) {
+    return std::make_unique<GreedyNoPreempt>(graph);
+  };
+}
+
+ShardAlgorithmFactory preempt_cheapest_factory() {
+  return [](const Graph& graph, std::size_t) {
+    return std::make_unique<PreemptCheapest>(graph);
+  };
+}
+
+/// Runs the instance through a service and returns the final per-arrival
+/// acceptance states.
+std::vector<bool> final_decisions(AdmissionService& service,
+                                  const AdmissionInstance& instance) {
+  service.run(instance);
+  std::vector<bool> accepted(instance.request_count());
+  for (std::size_t i = 0; i < instance.request_count(); ++i) {
+    accepted[i] = service.is_accepted(i);
+  }
+  return accepted;
+}
+
+void expect_identical_runs(const AdmissionInstance& instance,
+                           const ShardAlgorithmFactory& factory,
+                           const ServiceConfig& sharded_cfg) {
+  AdmissionService sharded(instance.graph(), factory, sharded_cfg);
+  ServiceConfig unsharded_cfg = sharded_cfg;
+  unsharded_cfg.shards = 1;
+  unsharded_cfg.partition = nullptr;
+  AdmissionService unsharded(instance.graph(), factory, unsharded_cfg);
+  const std::vector<bool> a = final_decisions(sharded, instance);
+  const std::vector<bool> b = final_decisions(unsharded, instance);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "arrival " << i;
+  }
+  const ServiceStats sa = sharded.aggregate();
+  const ServiceStats sb = unsharded.aggregate();
+  EXPECT_EQ(sa.accepted, sb.accepted);
+  EXPECT_EQ(sa.rejected, sb.rejected);
+  // Decisions are bitwise identical; the aggregate cost is the same
+  // multiset of request costs summed in per-shard instead of arrival
+  // order, so it matches up to floating-point reassociation (DESIGN.md
+  // §6.2) — exactly equal in the unit-cost scenarios.
+  EXPECT_NEAR(sa.rejected_cost, sb.rejected_cost,
+              test::COST_TOLERANCE * std::max(1.0, sb.rejected_cost));
+  EXPECT_EQ(sa.augmentation_steps, sb.augmentation_steps);
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouting, HashPartitionIsStableAndInRange) {
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (EdgeId e = 0; e < 100; ++e) {
+      const std::size_t s = AdmissionService::hash_edge_to_shard(e, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, AdmissionService::hash_edge_to_shard(e, shards));
+    }
+  }
+}
+
+TEST(ShardRouting, HashPartitionSpreadsConsecutiveEdges) {
+  // The Zipf head lives at low edge ids; a partition that clusters them in
+  // one shard defeats the point of sharding skewed traffic.
+  const std::size_t shards = 4;
+  std::vector<std::size_t> hits(shards, 0);
+  for (EdgeId e = 0; e < 64; ++e) {
+    ++hits[AdmissionService::hash_edge_to_shard(e, shards)];
+  }
+  for (const std::size_t h : hits) {
+    EXPECT_GT(h, 4u);   // no shard starves...
+    EXPECT_LT(h, 40u);  // ...and none hoards.
+  }
+}
+
+TEST(ShardRouting, PartitionOverrideIsRespected) {
+  Rng rng(3);
+  const AdmissionInstance inst = make_multi_tenant_workload(
+      4, 4, 2, 40, 2, 1.0, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.partition = [](EdgeId e) { return static_cast<std::size_t>(e) / 4; };
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  for (EdgeId e = 0; e < inst.graph().edge_count(); ++e) {
+    EXPECT_EQ(service.shard_of_edge(e), e / 4);
+  }
+  // Requests route to the shard of their first (lowest) edge.
+  for (const Request& r : inst.requests()) {
+    EXPECT_EQ(service.shard_of_request(r), r.edges.front() / 4);
+  }
+}
+
+TEST(ShardRouting, OutOfRangePartitionThrows) {
+  Rng rng(4);
+  const AdmissionInstance inst =
+      make_dense_burst_workload(8, 2, 16, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.partition = [](EdgeId) { return std::size_t{7}; };
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  EXPECT_THROW(service.shard_of_edge(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Construction contracts
+// ---------------------------------------------------------------------------
+
+TEST(ServiceContracts, RejectsBadConfigAndFactories) {
+  Rng rng(5);
+  const AdmissionInstance inst =
+      make_dense_burst_workload(8, 2, 16, CostModel::unit_costs(), rng);
+  ServiceConfig zero_shards;
+  zero_shards.shards = 0;
+  EXPECT_THROW(
+      AdmissionService(inst.graph(), greedy_factory(), zero_shards),
+      InvalidArgument);
+  // The factory must build on the service graph, not a private copy: the
+  // shards share the topology so per-shard guarantees refer to the same
+  // m and c.
+  const auto rogue_graph =
+      std::make_shared<Graph>(make_star_graph(8, 2));
+  EXPECT_THROW(AdmissionService(
+                   inst.graph(),
+                   [rogue_graph](const Graph&, std::size_t) {
+                     return std::make_unique<GreedyNoPreempt>(*rogue_graph);
+                   },
+                   ServiceConfig{}),
+               InvalidArgument);
+}
+
+TEST(ServiceContracts, ShardTaskExceptionsPropagate) {
+  Rng rng(6);
+  const AdmissionInstance inst =
+      make_dense_burst_workload(8, 2, 16, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  // An out-of-range edge id passes routing (any id hashes somewhere) but
+  // fails validation inside the shard's process(); the pump must surface
+  // that error, not swallow it in a worker.
+  const std::vector<Request> poison{Request({3, 200}, 1.0)};
+  EXPECT_THROW(service.submit_batch(poison), InvalidArgument);
+  // The unprocessed arrival's placement is voided — is_accepted refuses
+  // to answer for it instead of aliasing a later request...
+  ASSERT_EQ(service.arrivals(), 1u);
+  EXPECT_EQ(service.placement(0).second, kInvalidId);
+  EXPECT_THROW(service.is_accepted(0), InvalidArgument);
+  // ...and the service stays usable: a healthy follow-up batch processes
+  // normally and maps to fresh, non-aliased local ids.
+  const std::vector<Request> good{Request({3}, 1.0), Request({5}, 1.0)};
+  const std::vector<bool> accepted = service.submit_batch(good);
+  EXPECT_EQ(accepted, (std::vector<bool>{true, true}));
+  EXPECT_TRUE(service.is_accepted(1));
+  EXPECT_TRUE(service.is_accepted(2));
+  EXPECT_THROW(service.is_accepted(0), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded ≡ unsharded on shard-disjoint instances (DESIGN.md §6.1)
+// ---------------------------------------------------------------------------
+
+class ShardIdentity : public test::SeededTest {};
+
+TEST_F(ShardIdentity, EngineBackedDeterministicOnDenseBurst) {
+  // Single-edge requests: disjoint under any partition.  The deterministic
+  // engine-backed configuration must be bit-identical sharded/unsharded.
+  ScenarioParams params;
+  params.requests = 3000;
+  params.edges = 16;
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.batch = 128;
+  expect_identical_runs(inst, deterministic_unit_factory(), cfg);
+}
+
+TEST_F(ShardIdentity, EngineBackedDeterministicOnDiurnal) {
+  const AdmissionInstance inst = make_diurnal_workload(
+      16, 20, 2000, 2.0, 2, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.shards = 3;
+  cfg.batch = 64;
+  expect_identical_runs(inst, deterministic_unit_factory(), cfg);
+}
+
+TEST_F(ShardIdentity, GreedyBaselineOnDenseBurst) {
+  ScenarioParams params;
+  params.requests = 2000;
+  params.edges = 8;
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  expect_identical_runs(inst, greedy_factory(), cfg);
+}
+
+TEST_F(ShardIdentity, PreemptCheapestOnTenantAlignedMultiTenant) {
+  // Multi-edge requests, but confined to tenant blocks: disjoint under the
+  // tenant-aligned partition even though the hash partition would split
+  // them.
+  const std::size_t tenants = 4;
+  const std::size_t block = 4;
+  const AdmissionInstance inst = make_multi_tenant_workload(
+      tenants, block, 3, 2000, 3, 1.0, CostModel::spread(1.0, 8.0), rng);
+  ServiceConfig cfg;
+  cfg.shards = tenants;
+  cfg.batch = 100;
+  cfg.partition = [block, tenants](EdgeId e) {
+    return (static_cast<std::size_t>(e) / block) % tenants;
+  };
+  expect_identical_runs(inst, preempt_cheapest_factory(), cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-pump determinism
+// ---------------------------------------------------------------------------
+
+class PumpDeterminism : public test::SeededTest {};
+
+TEST_F(PumpDeterminism, SameSeedSameDecisionsAcrossRuns) {
+  ScenarioParams params;
+  params.requests = 2000;
+  params.edges = 16;
+  const AdmissionInstance inst = make_scenario("power_law", params, rng);
+  const auto factory = [](const Graph& graph, std::size_t shard) {
+    RandomizedConfig cfg;
+    cfg.seed = 11 + shard;
+    return std::make_unique<RandomizedAdmission>(graph, cfg);
+  };
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.batch = 96;
+  AdmissionService first(inst.graph(), factory, cfg);
+  AdmissionService second(inst.graph(), factory, cfg);
+  const std::vector<bool> a = final_decisions(first, inst);
+  const std::vector<bool> b = final_decisions(second, inst);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(first.aggregate().rejected_cost,
+                   second.aggregate().rejected_cost);
+  EXPECT_EQ(first.aggregate().augmentation_steps,
+            second.aggregate().augmentation_steps);
+}
+
+TEST_F(PumpDeterminism, DecisionsIndependentOfBatchSizeAndThreads) {
+  // Batch boundaries and worker counts change scheduling, never the
+  // per-shard arrival order — so final state must not move.
+  ScenarioParams params;
+  params.requests = 1500;
+  params.edges = 16;
+  const AdmissionInstance inst = make_scenario("diurnal", params, rng);
+  const auto factory = [](const Graph& graph, std::size_t shard) {
+    RandomizedConfig cfg;
+    cfg.seed = 3 + shard;
+    return std::make_unique<RandomizedAdmission>(graph, cfg);
+  };
+  std::vector<std::vector<bool>> outcomes;
+  for (const auto& [batch, threads] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {64, 2}, {512, 4}, {5000, 1}}) {
+    ServiceConfig cfg;
+    cfg.shards = 4;
+    cfg.batch = batch;
+    cfg.threads = threads;
+    AdmissionService service(inst.graph(), factory, cfg);
+    outcomes.push_back(final_decisions(service, inst));
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i], outcomes.front()) << "variant " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats aggregation
+// ---------------------------------------------------------------------------
+
+class ServiceStatsTest : public test::SeededTest {};
+
+TEST_F(ServiceStatsTest, AggregateMatchesShardSums) {
+  ScenarioParams params;
+  params.requests = 2000;
+  params.edges = 16;
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.collect_latencies = true;
+  AdmissionService service(inst.graph(), deterministic_unit_factory(), cfg);
+  const ServiceStats total = service.run(inst);
+
+  std::size_t arrivals = 0, accepted = 0, rejected = 0, latencies = 0;
+  double rejected_cost = 0.0;
+  std::uint64_t augmentations = 0;
+  for (std::size_t s = 0; s < service.shard_count(); ++s) {
+    const ShardStats shard = service.shard_stats(s);
+    EXPECT_EQ(shard.shard, s);
+    EXPECT_EQ(shard.accepted + shard.rejected, shard.arrivals);
+    EXPECT_EQ(shard.latencies_s.size(), shard.arrivals);
+    arrivals += shard.arrivals;
+    accepted += shard.accepted;
+    rejected += shard.rejected;
+    rejected_cost += shard.rejected_cost;
+    augmentations += shard.augmentation_steps;
+    latencies += shard.latencies_s.size();
+  }
+  EXPECT_EQ(total.arrivals, inst.request_count());
+  EXPECT_EQ(total.arrivals, arrivals);
+  EXPECT_EQ(total.accepted, accepted);
+  EXPECT_EQ(total.rejected, rejected);
+  EXPECT_DOUBLE_EQ(total.rejected_cost, rejected_cost);
+  EXPECT_EQ(total.augmentation_steps, augmentations);
+  EXPECT_EQ(latencies, inst.request_count());
+  // Latency quantiles come from real timings: ordered and positive.
+  EXPECT_GT(total.p50_arrival_s, 0.0);
+  EXPECT_LE(total.p50_arrival_s, total.p95_arrival_s);
+  EXPECT_LE(total.p95_arrival_s, total.max_arrival_s);
+  EXPECT_GT(total.seconds, 0.0);
+  EXPECT_GT(total.max_shard_busy_s, 0.0);
+}
+
+TEST_F(ServiceStatsTest, PlacementTracksOwningShardAndLocalOrder) {
+  ScenarioParams params;
+  params.requests = 400;
+  params.edges = 8;
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  ServiceConfig cfg;
+  cfg.shards = 3;
+  cfg.batch = 64;
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  service.run(inst);
+  ASSERT_EQ(service.arrivals(), inst.request_count());
+  std::vector<RequestId> next_local(3, 0);
+  for (std::size_t i = 0; i < service.arrivals(); ++i) {
+    const auto [shard, local] = service.placement(i);
+    EXPECT_EQ(shard, service.shard_of_request(inst.requests()[i]));
+    // Shard-local ids are assigned in global arrival order.
+    EXPECT_EQ(local, next_local[shard]);
+    ++next_local[shard];
+  }
+  EXPECT_THROW(service.placement(service.arrivals()), InvalidArgument);
+  EXPECT_THROW(service.is_accepted(service.arrivals()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace minrej

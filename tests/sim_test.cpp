@@ -187,6 +187,133 @@ TEST(Workloads, PowerLawWorkloadShape) {
 }
 
 // ---------------------------------------------------------------------------
+// New workload families (scenario catalog backing generators)
+// ---------------------------------------------------------------------------
+
+TEST(Workloads, DenseBurstIsSingleEdgePerRequest) {
+  Rng rng(21);
+  AdmissionInstance inst =
+      make_dense_burst_workload(8, 4, 400, CostModel::unit_costs(), rng);
+  EXPECT_EQ(inst.graph().edge_count(), 8u);
+  EXPECT_EQ(inst.request_count(), 400u);
+  for (const Request& r : inst.requests()) {
+    EXPECT_EQ(r.edges.size(), 1u);
+  }
+  // Uniform spread: every edge sees traffic well past its capacity.
+  for (const std::int64_t load : inst.edge_load()) {
+    EXPECT_GT(load, 4);
+  }
+}
+
+TEST(Workloads, DiurnalWaveConcentratesOnHotSet) {
+  Rng rng(22);
+  const std::size_t hot = 2;
+  AdmissionInstance inst = make_diurnal_workload(
+      16, 4, 4000, 3.0, hot, CostModel::unit_costs(), rng);
+  const auto& load = inst.edge_load();
+  std::int64_t hot_load = 0, cold_load = 0;
+  for (std::size_t e = 0; e < load.size(); ++e) {
+    (e < hot ? hot_load : cold_load) += load[e];
+  }
+  // 2 of 16 edges receive the hot share (≈ 0.5 + the uniform residue).
+  EXPECT_GT(hot_load, cold_load);
+  for (const Request& r : inst.requests()) EXPECT_EQ(r.edges.size(), 1u);
+  EXPECT_THROW(make_diurnal_workload(4, 1, 10, 1.0, 9,
+                                     CostModel::unit_costs(), rng),
+               InvalidArgument);
+}
+
+TEST(Workloads, AdversarialSingleEdgeEscalatesDeterministically) {
+  AdmissionInstance inst = make_adversarial_single_edge(4, 100, 64.0);
+  EXPECT_EQ(inst.graph().edge_count(), 1u);
+  ASSERT_EQ(inst.request_count(), 100u);
+  EXPECT_DOUBLE_EQ(inst.requests().front().cost, 1.0);
+  EXPECT_DOUBLE_EQ(inst.requests().back().cost, 64.0);
+  for (std::size_t i = 1; i < inst.request_count(); ++i) {
+    EXPECT_GT(inst.requests()[i].cost, inst.requests()[i - 1].cost);
+  }
+  // Deterministic: two builds are identical.
+  test::expect_same_instance(inst, make_adversarial_single_edge(4, 100, 64.0));
+}
+
+TEST(Workloads, MultiTenantRequestsStayInsideTenantBlocks) {
+  Rng rng(23);
+  const std::size_t tenants = 4, block = 8;
+  AdmissionInstance inst = make_multi_tenant_workload(
+      tenants, block, 2, 500, 3, 1.0, CostModel::unit_costs(), rng);
+  EXPECT_EQ(inst.graph().edge_count(), tenants * block);
+  std::vector<std::int64_t> tenant_load(tenants, 0);
+  for (const Request& r : inst.requests()) {
+    ASSERT_GE(r.edges.size(), 1u);
+    ASSERT_LE(r.edges.size(), 3u);
+    const std::size_t tenant = r.edges.front() / block;
+    for (const EdgeId e : r.edges) {
+      EXPECT_EQ(e / block, tenant) << "request crosses tenant blocks";
+    }
+    tenant_load[tenant] += 1;
+  }
+  // Zipf(1.0) head: the first tenant outdraws the last.
+  EXPECT_GT(tenant_load.front(), 2 * std::max<std::int64_t>(1, tenant_load.back()));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario catalog
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioCatalog, EveryEntryBuildsAtRequestedSize) {
+  ASSERT_EQ(scenario_catalog().size(), 5u);
+  ScenarioParams params;
+  params.requests = 300;
+  params.edges = 16;
+  for (const ScenarioInfo& info : scenario_catalog()) {
+    EXPECT_TRUE(is_scenario(info.name));
+    Rng rng(31);
+    const AdmissionInstance inst = make_scenario(info.name, params, rng);
+    EXPECT_EQ(inst.request_count(), 300u) << info.name;
+    EXPECT_GE(inst.graph().edge_count(), 1u) << info.name;
+    EXPECT_GE(inst.graph().min_capacity(), 1) << info.name;
+  }
+}
+
+TEST(ScenarioCatalog, CapacityOverrideAndDefaults) {
+  ScenarioParams params;
+  params.requests = 600;
+  params.edges = 8;
+  params.capacity = 5;
+  Rng rng(32);
+  const AdmissionInstance forced = make_scenario("dense_burst", params, rng);
+  EXPECT_EQ(forced.graph().max_capacity(), 5);
+  params.capacity = 0;  // scenario default: a third of the per-edge load
+  Rng rng2(32);
+  const AdmissionInstance dflt = make_scenario("dense_burst", params, rng2);
+  EXPECT_EQ(dflt.graph().max_capacity(), 600 / 8 / 3);
+}
+
+TEST(ScenarioCatalog, UnknownNameThrowsAndListsCatalog) {
+  EXPECT_FALSE(is_scenario("nope"));
+  ScenarioParams params;
+  Rng rng(33);
+  try {
+    make_scenario("nope", params, rng);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("dense_burst"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("multi_tenant"), std::string::npos);
+  }
+}
+
+TEST(ScenarioCatalog, GenerationIsSeedStable) {
+  ScenarioParams params;
+  params.requests = 200;
+  params.edges = 16;
+  for (const ScenarioInfo& info : scenario_catalog()) {
+    Rng a(7), b(7);
+    test::expect_same_instance(make_scenario(info.name, params, a),
+                               make_scenario(info.name, params, b));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // TraceRecorder
 // ---------------------------------------------------------------------------
 

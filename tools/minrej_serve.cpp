@@ -1,0 +1,225 @@
+// minrej_serve — the sharded batch-arrival service driver (docs/API.md,
+// docs/SCENARIOS.md).
+//
+// Replays an io/instance_io trace or synthesizes a catalog scenario, then
+// pumps it through an AdmissionService at a target arrival rate:
+//
+//   minrej_serve --list                               # catalog
+//   minrej_serve --scenario power_law --shards 4 --json
+//   minrej_serve --instance trace.txt --rate 50000 --batch 512
+//
+// `--rate R` paces the pump to R arrivals/sec (0 = as fast as possible);
+// `--json[=path]` writes BENCH_serve.json in the shared BENCH schema
+// (provenance-stamped: git SHA, build type, scenario); `--dump path`
+// saves the synthesized instance for exact replay.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/baselines.h"
+#include "io/instance_io.h"
+#include "service/admission_service.h"
+#include "sim/workloads.h"
+#include "util/build_info.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace minrej {
+namespace {
+
+/// Builds the per-shard algorithm factory for --algorithm.  The randomized
+/// algorithm picks weighted/unweighted mode from the instance's costs and
+/// derives per-shard seeds, so shard trajectories are independent streams.
+ShardAlgorithmFactory make_factory(const std::string& algorithm,
+                                   bool unit_costs, std::uint64_t seed) {
+  if (algorithm == "randomized") {
+    return randomized_shard_factory(unit_costs, seed);
+  }
+  if (algorithm == "greedy") {
+    return [](const Graph& graph, std::size_t) {
+      return std::make_unique<GreedyNoPreempt>(graph);
+    };
+  }
+  if (algorithm == "preempt-cheapest") {
+    return [](const Graph& graph, std::size_t) {
+      return std::make_unique<PreemptCheapest>(graph);
+    };
+  }
+  throw InvalidArgument("unknown --algorithm '" + algorithm +
+                        "' (randomized, greedy, preempt-cheapest)");
+}
+
+std::string shard_json(const ShardStats& s) {
+  JsonObject o;
+  o.field("shard", s.shard)
+      .field("arrivals", s.arrivals)
+      .field("accepted", s.accepted)
+      .field("rejected", s.rejected)
+      .field("rejected_cost", s.rejected_cost)
+      .field("augmentation_steps", s.augmentation_steps)
+      .field("busy_seconds", s.busy_seconds);
+  return o.dump();
+}
+
+}  // namespace
+}  // namespace minrej
+
+namespace minrej {
+namespace {
+
+int serve_main(int argc, char** argv) {
+  const CliFlags flags = CliFlags::parse(
+      argc, argv,
+      {"list", "scenario", "instance", "requests", "edges", "capacity",
+       "seed", "shards", "batch", "threads", "rate", "algorithm",
+       "latencies", "dump", "json"});
+
+  if (flags.get_bool("list", false)) {
+    std::cout << "scenario catalog (docs/SCENARIOS.md):\n";
+    for (const ScenarioInfo& s : scenario_catalog()) {
+      std::cout << "  " << s.name << " — " << s.summary << '\n';
+    }
+    return EXIT_SUCCESS;
+  }
+
+  const std::string scenario = flags.get_string("scenario", "dense_burst");
+  const std::string instance_path = flags.get_string("instance", "");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const std::size_t shards =
+      static_cast<std::size_t>(flags.get_int("shards", 1));
+  const std::size_t batch =
+      static_cast<std::size_t>(flags.get_int("batch", 256));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  const double rate = flags.get_double("rate", 0.0);
+  const std::string algorithm = flags.get_string("algorithm", "randomized");
+  MINREJ_REQUIRE(rate >= 0.0, "--rate must be non-negative");
+
+  // -- source: replayed trace or synthesized scenario -----------------------
+  ScenarioParams params;
+  params.requests = static_cast<std::size_t>(flags.get_int("requests", 20000));
+  params.edges = static_cast<std::size_t>(flags.get_int("edges", 64));
+  params.capacity = flags.get_int("capacity", 0);
+  Rng rng(seed);
+  const std::string source =
+      instance_path.empty() ? scenario : instance_path;
+  AdmissionInstance instance =
+      instance_path.empty() ? make_scenario(scenario, params, rng)
+                            : load_admission_file(instance_path);
+
+  const std::string dump = flags.get_string("dump", "");
+  if (!dump.empty()) {
+    save_admission_file(dump, instance,
+                        "minrej_serve scenario: " + source +
+                            " seed: " + std::to_string(seed));
+    std::cout << "dumped instance to " << dump << '\n';
+  }
+
+  // -- service --------------------------------------------------------------
+  const bool unit_costs = all_unit_costs(instance);
+  ServiceConfig config;
+  config.shards = shards;
+  config.batch = batch;
+  config.threads = threads;
+  config.collect_latencies = flags.get_bool("latencies", true);
+  AdmissionService service(instance.graph(),
+                           make_factory(algorithm, unit_costs, seed), config);
+
+  std::cout << "minrej_serve: " << source << " — "
+            << instance.graph().summary() << ", "
+            << instance.request_count() << " arrivals, " << shards
+            << " shard(s), batch " << batch
+            << (rate > 0.0 ? ", target rate " + std::to_string(rate) : "")
+            << '\n';
+
+  // -- paced pump -----------------------------------------------------------
+  // Batches are released against the target-rate schedule; rate 0 free-runs.
+  const std::vector<Request>& requests = instance.requests();
+  const auto start = std::chrono::steady_clock::now();
+  Timer wall;
+  for (std::size_t offset = 0; offset < requests.size(); offset += batch) {
+    if (rate > 0.0) {
+      const auto due =
+          start + std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(offset) / rate));
+      std::this_thread::sleep_until(due);
+    }
+    const std::size_t count = std::min(batch, requests.size() - offset);
+    service.submit_batch(
+        std::span<const Request>(requests.data() + offset, count));
+  }
+  ServiceStats stats = service.aggregate();
+  stats.seconds = wall.elapsed_s();
+
+  // -- report ---------------------------------------------------------------
+  Table shard_table("per-shard", {"shard", "arrivals", "accepted", "rejected",
+                                  "rej cost", "aug steps", "busy s"});
+  std::vector<std::string> shards_json;
+  for (std::size_t s = 0; s < service.shard_count(); ++s) {
+    const ShardStats sh = service.shard_stats(s);
+    shard_table.add_row({sh.shard, sh.arrivals, sh.accepted, sh.rejected,
+                         Cell(sh.rejected_cost, 2),
+                         static_cast<long long>(sh.augmentation_steps),
+                         Cell(sh.busy_seconds, 4)});
+    shards_json.push_back(shard_json(sh));
+  }
+  std::cout << shard_table << '\n';
+  std::cout << "aggregate: " << stats.arrivals << " arrivals in "
+            << stats.seconds << " s = " << stats.arrivals_per_sec()
+            << " arrivals/s; accepted " << stats.accepted << ", rejected "
+            << stats.rejected << " (cost " << stats.rejected_cost << "), "
+            << stats.augmentation_steps << " augmentation steps, p50/p95 "
+            << stats.p50_arrival_s * 1e6 << "/" << stats.p95_arrival_s * 1e6
+            << " us\n";
+
+  JsonObject root;
+  root.field("bench", "serve")
+      .field("git_sha", build_git_sha())
+      .field("build_type", build_type())
+      .field("scenario", source)
+      .field("algorithm", algorithm)
+      .field("unit_costs", unit_costs)
+      .field("seed", seed)
+      .field("shards", shards)
+      .field("batch", batch)
+      .field("rate", rate)
+      .field("arrivals", stats.arrivals)
+      .field("accepted", stats.accepted)
+      .field("rejected", stats.rejected)
+      .field("rejected_cost", stats.rejected_cost)
+      .field("augmentation_steps", stats.augmentation_steps)
+      .field("seconds", stats.seconds)
+      .field("arrivals_per_sec", stats.arrivals_per_sec())
+      .field("max_shard_busy_s", stats.max_shard_busy_s)
+      .field("p50_arrival_us", stats.p50_arrival_s * 1e6)
+      .field("p95_arrival_us", stats.p95_arrival_s * 1e6)
+      .raw("shard_stats", json_array(shards_json));
+  emit_json(flags, "serve", root.dump());
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+}  // namespace minrej
+
+int main(int argc, char** argv) {
+  // Operational tool: bad flags, unknown scenarios and malformed traces
+  // exit with a one-line error, not std::terminate.
+  try {
+    return minrej::serve_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "minrej_serve: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}
