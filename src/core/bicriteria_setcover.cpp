@@ -10,6 +10,7 @@ namespace minrej {
 BicriteriaSetCover::BicriteriaSetCover(const SetSystem& system,
                                        BicriteriaConfig config)
     : OnlineSetCoverAlgorithm(system), config_(config),
+      sub_(&system.substrate()),
       weight_(system.set_count(),
               1.0 / (2.0 * static_cast<double>(system.set_count()))),
       elem_weight_(system.element_count(), 0.0),
@@ -73,7 +74,7 @@ std::vector<SetId> BicriteriaSetCover::handle_element(ElementId j) {
     MINREJ_CHECK(!in_cover_[s], "set added twice");
     in_cover_[s] = true;
     added.push_back(s);
-    for (ElementId covered_elem : system().elements_of(s)) {
+    for (ElementId covered_elem : sub_->cols_of(s)) {
       ++cover_[covered_elem];
     }
   };
@@ -84,7 +85,7 @@ std::vector<SetId> BicriteriaSetCover::handle_element(ElementId j) {
 
     // (a) multiplicative weight step for the uncovered sets of S_j.
     std::vector<SetId> candidates;
-    for (SetId s : system().sets_of(j)) {
+    for (SetId s : sub_->rows_of(j)) {
       if (in_cover_[s]) continue;
       candidates.push_back(s);
       const double before = weight_[s];
@@ -92,7 +93,7 @@ std::vector<SetId> BicriteriaSetCover::handle_element(ElementId j) {
           before * (1.0 + 1.0 / (2.0 * static_cast<double>(k)));
       const double delta = weight_[s] - before;
       // Keep every w_{j'} consistent incrementally.
-      for (ElementId member : system().elements_of(s)) {
+      for (ElementId member : sub_->cols_of(s)) {
         elem_weight_[member] += delta;
       }
     }
@@ -119,10 +120,10 @@ std::vector<SetId> BicriteriaSetCover::handle_element(ElementId j) {
       SetId best = 0;
       long double best_gain = -1.0L;
       bool found = false;
-      for (SetId s : system().sets_of(j)) {
+      for (SetId s : sub_->rows_of(j)) {
         if (in_cover_[s]) continue;
         long double gain = 0.0L;
-        for (ElementId member : system().elements_of(s)) {
+        for (ElementId member : sub_->cols_of(s)) {
           gain += term(member);
         }
         if (gain > best_gain) {

@@ -79,6 +79,10 @@ class BicriteriaSetCover : public OnlineSetCoverAlgorithm {
   long double term(ElementId j) const;
 
   BicriteriaConfig config_;
+  /// The system's CSR substrate (DESIGN.md §7): the hot loops below walk
+  /// its arenas directly — rows_of(j) is S_j, cols_of(s) the set's
+  /// elements — instead of going through the facade per access.
+  const CoveringInstance* sub_ = nullptr;
   std::vector<double> weight_;       // w_S
   std::vector<double> elem_weight_;  // w_j = Σ_{S∋j} w_S (incremental)
   // cover counts mirrored locally (base class owns the authoritative ones,

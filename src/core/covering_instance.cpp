@@ -1,0 +1,22 @@
+// covering_instance.cpp — Graph/AdmissionInstance builders for the CSR
+// covering substrate (the class itself is header-only; see the header for
+// why).
+#include "core/covering_instance.h"
+
+#include "graph/request.h"
+
+namespace minrej {
+
+CoveringInstance make_covering_substrate(const AdmissionInstance& instance) {
+  CoveringInstance::Builder builder(instance.graph().edge_count());
+  std::size_t entries = 0;
+  for (const Request& r : instance.requests()) entries += r.edges.size();
+  builder.reserve(instance.request_count(), entries);
+  for (const Request& r : instance.requests()) {
+    builder.add_row(r.edges, r.cost, r.must_accept);
+  }
+  return std::move(builder).build_with_capacities(
+      instance.graph().capacities());
+}
+
+}  // namespace minrej

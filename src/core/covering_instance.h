@@ -1,0 +1,241 @@
+// covering_instance.h — the shared CSR covering substrate (DESIGN.md §7).
+//
+// The paper's §4 reduction says online set cover with repetitions *is*
+// admission control on a star graph: set S ↔ phase-1 request, element j ↔
+// edge e_j with capacity |S_j|.  Both problems therefore live on the same
+// object — a sparse 0/1 incidence matrix between *rows* (requests / sets,
+// each with a positive cost) and *columns* (edges / elements, each with an
+// integer capacity; for set cover the capacity IS the column degree).
+//
+// CoveringInstance is that matrix, stored immutably in CSR form in BOTH
+// directions: one flat arena with the columns of every row
+// (request→edges ≡ set→elements) and one with the rows of every column
+// (edge→requests ≡ element→sets, the paper's S_j).  Per-row and per-column
+// headers are fixed 32-byte hot rows, so walking an incidence list costs
+// one header load plus a contiguous arena scan — no per-set heap vector,
+// no pointer chase between sets.  This extends the flat-storage discipline
+// of the PR 2 engine rewrite (DESIGN.md §3) to the set-cover half of the
+// tree: SetSystem is a thin facade over this substrate, the reduction
+// becomes a zero-copy view (core/reduction.h: ReductionView), and the
+// engines bind to either source through CoveringSubstrateTraits
+// (core/substrate_traits.h).
+//
+// The class is header-only on purpose: setcover/ sits below core/ in the
+// library DAG and must be able to build the substrate without linking
+// minrej_core (only the Graph/AdmissionInstance builders live in
+// covering_instance.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace minrej {
+
+/// Header of one row (a request / a set): where its column list lives in
+/// the row→col arena, its cost, and the must-accept flag (§4 phase-2).
+/// Padded to a 32-byte stride so a header never straddles more cache
+/// lines than necessary when headers are read in random order (hot-column
+/// member walks are exactly that).
+struct alignas(32) CoveringRow {
+  std::uint64_t begin = 0;       ///< offset into the row→col arena
+  std::uint32_t count = 0;       ///< number of columns (set size)
+  std::uint32_t must_accept = 0; ///< §4 phase-2 flag (0 for sets)
+  double cost = 1.0;             ///< p_i / cost(S), > 0
+};
+static_assert(sizeof(CoveringRow) == 32, "row header must stay 32 bytes");
+
+/// Header of one column (an edge / an element): where its row list lives
+/// in the col→row arena and its capacity (set cover: capacity == degree,
+/// the §4 identity).  Same 32-byte stride rationale as CoveringRow.
+struct alignas(32) CoveringCol {
+  std::uint64_t begin = 0;    ///< offset into the col→row arena
+  std::uint32_t count = 0;    ///< degree |S_j| / |REQ_e| at build time
+  std::uint32_t reserved = 0;
+  std::int64_t capacity = 0;  ///< c_e; == count in degree-capacity mode
+};
+static_assert(sizeof(CoveringCol) == 32, "col header must stay 32 bytes");
+
+/// Immutable two-direction CSR incidence substrate.  Build once (see
+/// Builder), then every accessor is O(1) plus the span it returns.
+class CoveringInstance {
+ public:
+  CoveringInstance() = default;
+
+  /// Incremental builder: add rows (sorted, unique, in-range column
+  /// lists), then pick the capacity binding.  build_*() transposes the
+  /// incidence once (counting sort) and freezes the result.
+  class Builder {
+   public:
+    explicit Builder(std::size_t col_count) : col_count_(col_count) {
+      MINREJ_REQUIRE(col_count_ >= 1, "substrate needs at least one column");
+    }
+
+    Builder& reserve(std::size_t rows, std::size_t entries) {
+      rows_.reserve(rows);
+      row_cols_.reserve(entries);
+      return *this;
+    }
+
+    /// Appends one row.  `cols` must be sorted, unique, non-empty, and
+    /// every id < col_count; `cost` must be positive and finite.
+    Builder& add_row(std::span<const std::uint32_t> cols, double cost,
+                     bool must_accept = false) {
+      MINREJ_REQUIRE(!cols.empty(), "empty row in covering substrate");
+      MINREJ_REQUIRE(cost > 0.0, "row cost must be positive");
+      std::uint32_t prev = 0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        MINREJ_REQUIRE(cols[k] < col_count_, "row column id out of range");
+        MINREJ_REQUIRE(k == 0 || cols[k] > prev,
+                       "row columns must be sorted and unique");
+        prev = cols[k];
+      }
+      CoveringRow row;
+      row.begin = row_cols_.size();
+      row.count = static_cast<std::uint32_t>(cols.size());
+      row.must_accept = must_accept ? 1 : 0;
+      row.cost = cost;
+      rows_.push_back(row);
+      row_cols_.insert(row_cols_.end(), cols.begin(), cols.end());
+      total_cost_ += cost;
+      if (cost < 1.0 - kUnitCostTolerance || cost > 1.0 + kUnitCostTolerance) {
+        unit_costs_ = false;
+      }
+      return *this;
+    }
+
+    /// Set-cover binding: every column's capacity is its degree (the §4
+    /// reduction's edge capacity |S_j|).
+    CoveringInstance build_degree_capacities() && {
+      return std::move(*this).build({});
+    }
+
+    /// Admission binding: per-column capacities supplied by the caller
+    /// (size col_count, each >= 1).
+    CoveringInstance build_with_capacities(
+        std::span<const std::int64_t> capacities) && {
+      MINREJ_REQUIRE(capacities.size() == col_count_,
+                     "capacity vector size mismatch");
+      return std::move(*this).build(capacities);
+    }
+
+   private:
+    CoveringInstance build(std::span<const std::int64_t> capacities) && {
+      MINREJ_REQUIRE(!rows_.empty(), "covering substrate needs rows");
+      CoveringInstance out;
+      out.rows_ = std::move(rows_);
+      out.row_cols_ = std::move(row_cols_);
+      out.total_cost_ = total_cost_;
+      out.unit_costs_ = unit_costs_;
+
+      // Transpose by counting sort over the column ids.
+      out.cols_.resize(col_count_);
+      for (std::uint32_t c : out.row_cols_) ++out.cols_[c].count;
+      std::uint64_t offset = 0;
+      out.capacities_.resize(col_count_);
+      for (std::size_t c = 0; c < col_count_; ++c) {
+        CoveringCol& col = out.cols_[c];
+        col.begin = offset;
+        offset += col.count;
+        col.capacity = capacities.empty()
+                           ? static_cast<std::int64_t>(col.count)
+                           : capacities[c];
+        MINREJ_REQUIRE(col.capacity >= 0, "negative column capacity");
+        out.capacities_[c] = col.capacity;
+        out.max_capacity_ = std::max(out.max_capacity_, col.capacity);
+      }
+      out.col_rows_.resize(out.row_cols_.size());
+      std::vector<std::uint64_t> cursor(col_count_);
+      for (std::size_t c = 0; c < col_count_; ++c) {
+        cursor[c] = out.cols_[c].begin;
+      }
+      for (std::size_t r = 0; r < out.rows_.size(); ++r) {
+        const CoveringRow& row = out.rows_[r];
+        for (std::uint64_t k = row.begin; k < row.begin + row.count; ++k) {
+          out.col_rows_[cursor[out.row_cols_[k]]++] =
+              static_cast<std::uint32_t>(r);
+        }
+      }
+      return out;
+    }
+
+    /// Same tolerance SetSystem has always used for the unit-cost flag.
+    static constexpr double kUnitCostTolerance = 1e-12;
+
+    std::size_t col_count_ = 0;
+    std::vector<CoveringRow> rows_;
+    std::vector<std::uint32_t> row_cols_;
+    double total_cost_ = 0.0;
+    bool unit_costs_ = true;
+  };
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t col_count() const noexcept { return cols_.size(); }
+  /// Number of (row, col) incidences — the arena length of each direction.
+  std::size_t entry_count() const noexcept { return row_cols_.size(); }
+
+  /// Columns of row r (a request's edges / a set's elements), sorted.
+  std::span<const std::uint32_t> cols_of(std::uint32_t r) const {
+    MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
+    const CoveringRow& row = rows_[r];
+    return {row_cols_.data() + row.begin, row.count};
+  }
+  /// Rows of column c (an edge's requests / the paper's S_j), sorted.
+  std::span<const std::uint32_t> rows_of(std::uint32_t c) const {
+    MINREJ_REQUIRE(c < cols_.size(), "column id out of range");
+    const CoveringCol& col = cols_[c];
+    return {col_rows_.data() + col.begin, col.count};
+  }
+
+  double row_cost(std::uint32_t r) const {
+    MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
+    return rows_[r].cost;
+  }
+  bool row_must_accept(std::uint32_t r) const {
+    MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
+    return rows_[r].must_accept != 0;
+  }
+
+  std::int64_t col_capacity(std::uint32_t c) const {
+    MINREJ_REQUIRE(c < cols_.size(), "column id out of range");
+    return cols_[c].capacity;
+  }
+  std::size_t col_degree(std::uint32_t c) const {
+    MINREJ_REQUIRE(c < cols_.size(), "column id out of range");
+    return cols_[c].count;
+  }
+
+  /// Flat per-column capacity array — the engine-binding view
+  /// (CoveringSubstrateTraits reads this, never the 32-byte headers).
+  std::span<const std::int64_t> capacities() const noexcept {
+    return capacities_;
+  }
+  std::int64_t max_capacity() const noexcept { return max_capacity_; }
+
+  double total_cost() const noexcept { return total_cost_; }
+  /// True iff every row cost is exactly 1 (within the SetSystem tolerance).
+  bool unit_costs() const noexcept { return unit_costs_; }
+
+  std::string summary() const {
+    return "rows=" + std::to_string(rows_.size()) +
+           " cols=" + std::to_string(cols_.size()) +
+           " nnz=" + std::to_string(row_cols_.size()) +
+           (unit_costs_ ? " (unit costs)" : " (weighted)");
+  }
+
+ private:
+  std::vector<CoveringRow> rows_;
+  std::vector<CoveringCol> cols_;
+  std::vector<std::uint32_t> row_cols_;  ///< arena: columns of every row
+  std::vector<std::uint32_t> col_rows_;  ///< arena: rows of every column
+  std::vector<std::int64_t> capacities_; ///< flat copy for engine binding
+  std::int64_t max_capacity_ = 0;
+  double total_cost_ = 0.0;
+  bool unit_costs_ = true;
+};
+
+}  // namespace minrej

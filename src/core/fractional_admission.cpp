@@ -11,18 +11,21 @@ namespace {
 constexpr double kUnitCostTolerance = 1e-9;
 }
 
-FractionalAdmission::FractionalAdmission(const Graph& graph,
+FractionalAdmission::FractionalAdmission(EngineSubstrate substrate,
                                          FractionalConfig config)
-    : graph_(graph), config_(config), preload_(graph.edge_count(), 0) {
+    : substrate_(substrate), config_(config),
+      preload_(substrate.col_count, 0) {
   MINREJ_REQUIRE(config_.guard_factor > 0.0, "guard_factor must be positive");
-  MINREJ_REQUIRE(graph_.edge_count() >= 1, "graph has no edges");
+  MINREJ_REQUIRE(substrate_.col_count >= 1, "substrate has no columns");
+  MINREJ_REQUIRE(substrate_.capacities.size() == substrate_.col_count,
+                 "substrate capacity span size mismatch");
   if (config_.unit_costs) {
     // Unweighted mode: g = 1, no classification, no α machinery; the
     // engine runs from the start with zero-weight floor 1/(g·c) = 1/c.
     phase_count_ = 1;
     engine_ = std::make_unique<FractionalEngine>(
-        graph_, 1.0 / static_cast<double>(std::max<std::int64_t>(
-                          1, graph_.max_capacity())));
+        substrate_, 1.0 / static_cast<double>(std::max<std::int64_t>(
+                              1, substrate_.max_capacity)));
   } else if (config_.fixed_alpha) {
     MINREJ_REQUIRE(*config_.fixed_alpha > 0.0, "fixed_alpha must be positive");
     alpha_ = *config_.fixed_alpha;
@@ -31,9 +34,9 @@ FractionalAdmission::FractionalAdmission(const Graph& graph,
 }
 
 double FractionalAdmission::mc() const {
-  return static_cast<double>(graph_.edge_count()) *
+  return static_cast<double>(substrate_.col_count) *
          static_cast<double>(
-             std::max<std::int64_t>(1, graph_.max_capacity()));
+             std::max<std::int64_t>(1, substrate_.max_capacity));
 }
 
 double FractionalAdmission::log_mc() const {
@@ -54,13 +57,14 @@ double FractionalAdmission::normalized_cost(double cost) const {
 void FractionalAdmission::classify_and_register(RequestId id,
                                                 double carried_weight) {
   Record& rec = records_[id];
+  const std::span<const EdgeId> edges = record_edges(id);
   MINREJ_CHECK(engine_ != nullptr, "no engine to register with");
   rec.engine_id = kInvalidId;
   if (rec.fully_rejected || rec.cost_class == CostClass::kAutoRejected) {
     return;
   }
   if (rec.cost_class == CostClass::kMustAccept) {
-    rec.engine_id = engine_->pin(rec.edges);
+    rec.engine_id = engine_->pin(edges);
     engine_map_.push_back(id);
     return;
   }
@@ -69,7 +73,7 @@ void FractionalAdmission::classify_and_register(RequestId id,
     // that cost <= 2α, the request is no longer "big" and rejoins the
     // engine as an ordinary (preemptible) request.
     if (!config_.unit_costs && rec.cost > 2.0 * alpha_) {
-      rec.engine_id = engine_->pin(rec.edges);
+      rec.engine_id = engine_->pin(edges);
       engine_map_.push_back(id);
       return;
     }
@@ -86,13 +90,13 @@ void FractionalAdmission::classify_and_register(RequestId id,
     if (rec.cost > 2.0 * alpha_) {
       // R_big: accept permanently; it occupies capacity from now on.
       rec.cost_class = CostClass::kAutoAccepted;
-      rec.engine_id = engine_->pin(rec.edges);
+      rec.engine_id = engine_->pin(edges);
       engine_map_.push_back(id);
       return;
     }
   }
   rec.engine_id = engine_->admit_existing(
-      rec.edges, config_.unit_costs ? 1.0 : normalized_cost(rec.cost),
+      edges, config_.unit_costs ? 1.0 : normalized_cost(rec.cost),
       rec.cost, carried_weight);
   engine_map_.push_back(id);
 }
@@ -120,8 +124,8 @@ void FractionalAdmission::start_phase() {
   }
   const double g = 2.0 * mc();  // normalized cost spread (paper: g ≤ 2mc)
   const double c = static_cast<double>(
-      std::max<std::int64_t>(1, graph_.max_capacity()));
-  engine_ = std::make_unique<FractionalEngine>(graph_,
+      std::max<std::int64_t>(1, substrate_.max_capacity));
+  engine_ = std::make_unique<FractionalEngine>(substrate_,
                                                std::min(1.0, 1.0 / (g * c)));
   engine_map_.clear();
   for (std::size_t i = 0; i < records_.size(); ++i) {
@@ -144,8 +148,8 @@ std::vector<FractionalEngine::Delta> FractionalAdmission::translate_deltas(
   return out;
 }
 
-void FractionalAdmission::resolve_saturation(
-    const std::vector<EdgeId>& edges, Arrival& arrival) {
+void FractionalAdmission::resolve_saturation(std::span<const EdgeId> edges,
+                                             Arrival& arrival) {
   if (config_.unit_costs || config_.fixed_alpha || !engine_) return;
   // Doubling terminates: once 2α exceeds every request cost nothing is
   // pinned as "big" any more, so saturation can only persist through
@@ -174,24 +178,41 @@ void FractionalAdmission::resolve_saturation(
 
 FractionalAdmission::Arrival FractionalAdmission::on_request(
     const Request& request) {
-  MINREJ_REQUIRE(!request.edges.empty(), "empty request");
-  MINREJ_REQUIRE(request.cost > 0.0, "request cost must be positive");
-  if (config_.unit_costs && !request.must_accept) {
-    MINREJ_REQUIRE(std::abs(request.cost - 1.0) < kUnitCostTolerance,
+  return on_request(request.edges, request.cost, request.must_accept);
+}
+
+FractionalAdmission::Arrival FractionalAdmission::on_request(
+    std::span<const EdgeId> edges, double cost, bool must_accept) {
+  MINREJ_REQUIRE(!edges.empty(), "empty request");
+  MINREJ_REQUIRE(cost > 0.0, "request cost must be positive");
+  MINREJ_REQUIRE(std::is_sorted(edges.begin(), edges.end()) &&
+                     std::adjacent_find(edges.begin(), edges.end()) ==
+                         edges.end(),
+                 "request edges must be sorted and unique");
+  if (config_.unit_costs && !must_accept) {
+    MINREJ_REQUIRE(std::abs(cost - 1.0) < kUnitCostTolerance,
                    "unit_costs mode requires cost == 1");
   }
 
   Arrival arrival;
-  records_.push_back(Record{request.edges, request.cost, CostClass::kEngine,
-                            false, kInvalidId});
+  // Copy the edge list into the wrapper's flat arena first: `edges` may
+  // alias caller storage that does not outlive the arrival, and the
+  // record's span must survive phase rebuilds.
+  Record rec;
+  rec.edge_begin = edge_pool_.size();
+  rec.edge_count = static_cast<std::uint32_t>(edges.size());
+  rec.cost = cost;
+  edge_pool_.insert(edge_pool_.end(), edges.begin(), edges.end());
+  records_.push_back(rec);
   const auto id = static_cast<RequestId>(records_.size() - 1);
-  for (EdgeId e : request.edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "request edge out of range");
+  const std::span<const EdgeId> stored = record_edges(id);
+  for (EdgeId e : stored) {
+    MINREJ_REQUIRE(e < substrate_.col_count, "request edge out of range");
     ++preload_[e];
   }
 
   // must_accept requests (reduction phase 2) are pinned unconditionally.
-  if (request.must_accept) {
+  if (must_accept) {
     records_[id].cost_class = CostClass::kMustAccept;
     arrival.cost_class = CostClass::kMustAccept;
     if (!engine_ && !config_.unit_costs && alpha_ <= 0.0) {
@@ -199,14 +220,16 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
       // starts exactly like this); α must be initialized from the
       // rejectable requests on the overloaded edge or the weights never
       // start moving.
-      for (EdgeId e : records_[id].edges) {
-        if (preload_[e] <= graph_.capacity(e)) continue;
+      for (EdgeId e : stored) {
+        if (preload_[e] <= substrate_.capacities[e]) continue;
         double min_cost = 0.0;
         bool found = false;
-        for (const Record& r : records_) {
-          if (r.cost_class != CostClass::kMustAccept &&
-              std::binary_search(r.edges.begin(), r.edges.end(), e)) {
-            min_cost = found ? std::min(min_cost, r.cost) : r.cost;
+        for (std::size_t r = 0; r < records_.size(); ++r) {
+          const Record& other = records_[r];
+          if (other.cost_class == CostClass::kMustAccept) continue;
+          const auto other_edges = record_edges(static_cast<RequestId>(r));
+          if (std::binary_search(other_edges.begin(), other_edges.end(), e)) {
+            min_cost = found ? std::min(min_cost, other.cost) : other.cost;
             found = true;
           }
         }
@@ -221,14 +244,13 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
     }
     if (engine_) {
       if (records_[id].engine_id == kInvalidId) {
-        records_[id].engine_id = engine_->pin(records_[id].edges);
+        records_[id].engine_id = engine_->pin(stored);
         engine_map_.push_back(id);
       }
       // A pinned arrival raises |ALIVE_e| on its edges, so the covering
       // invariant may now be violated there; restore it.
-      arrival.deltas =
-          translate_deltas(engine_->restore_edges(records_[id].edges));
-      resolve_saturation(records_[id].edges, arrival);
+      arrival.deltas = translate_deltas(engine_->restore_edges(stored));
+      resolve_saturation(stored, arrival);
     }
     return arrival;
   }
@@ -238,8 +260,8 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
   // cheapest request on the overloaded edge (paper §2).
   if (!config_.unit_costs && alpha_ <= 0.0) {
     EdgeId overflow_edge = kInvalidId;
-    for (EdgeId e : records_[id].edges) {
-      if (preload_[e] > graph_.capacity(e)) {
+    for (EdgeId e : stored) {
+      if (preload_[e] > substrate_.capacities[e]) {
         overflow_edge = e;
         break;
       }
@@ -248,10 +270,13 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
       return arrival;  // still under capacity everywhere; α stays unknown
     }
     double min_cost = records_[id].cost;
-    for (const Record& r : records_) {
-      if (r.cost_class != CostClass::kMustAccept &&
-          std::binary_search(r.edges.begin(), r.edges.end(), overflow_edge)) {
-        min_cost = std::min(min_cost, r.cost);
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      const Record& other = records_[r];
+      if (other.cost_class == CostClass::kMustAccept) continue;
+      const auto other_edges = record_edges(static_cast<RequestId>(r));
+      if (std::binary_search(other_edges.begin(), other_edges.end(),
+                             overflow_edge)) {
+        min_cost = std::min(min_cost, other.cost);
       }
     }
     alpha_ = min_cost;
@@ -262,30 +287,28 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
         records_[id].cost_class == CostClass::kAutoAccepted) {
       // Passive admission skipped the augmentation loop for the arrival;
       // restore its edges' invariants now.
-      arrival.deltas =
-          translate_deltas(engine_->restore_edges(records_[id].edges));
-      resolve_saturation(records_[id].edges, arrival);
+      arrival.deltas = translate_deltas(engine_->restore_edges(stored));
+      resolve_saturation(stored, arrival);
     }
     return arrival;
   }
 
   // Classification against the current α (weighted mode).
   if (!config_.unit_costs) {
-    if (request.cost < alpha_ / mc()) {
+    if (cost < alpha_ / mc()) {
       records_[id].cost_class = CostClass::kAutoRejected;
       records_[id].fully_rejected = true;
-      paid_auto_rejected_ += request.cost;
+      paid_auto_rejected_ += cost;
       arrival.cost_class = CostClass::kAutoRejected;
       return arrival;
     }
-    if (request.cost > 2.0 * alpha_) {
+    if (cost > 2.0 * alpha_) {
       records_[id].cost_class = CostClass::kAutoAccepted;
-      records_[id].engine_id = engine_->pin(records_[id].edges);
+      records_[id].engine_id = engine_->pin(stored);
       engine_map_.push_back(id);
       arrival.cost_class = CostClass::kAutoAccepted;
-      arrival.deltas =
-          translate_deltas(engine_->restore_edges(records_[id].edges));
-      resolve_saturation(records_[id].edges, arrival);
+      arrival.deltas = translate_deltas(engine_->restore_edges(stored));
+      resolve_saturation(stored, arrival);
       return arrival;
     }
   }
@@ -293,14 +316,13 @@ FractionalAdmission::Arrival FractionalAdmission::on_request(
   // Engine path: the weight-augmentation arrival of §2.
   MINREJ_CHECK(engine_ != nullptr, "engine must exist here");
   const double update_cost =
-      config_.unit_costs ? 1.0 : normalized_cost(request.cost);
-  const auto& deltas =
-      engine_->arrive(records_[id].edges, update_cost, request.cost);
+      config_.unit_costs ? 1.0 : normalized_cost(cost);
+  const auto& deltas = engine_->arrive(stored, update_cost, cost);
   records_[id].engine_id =
       static_cast<RequestId>(engine_->request_count() - 1);
   engine_map_.push_back(id);
   arrival.deltas = translate_deltas(deltas);
-  resolve_saturation(records_[id].edges, arrival);
+  resolve_saturation(stored, arrival);
 
   // Phase guard: a phase that spends more than Θ(α log(mc)) proves the
   // guess was too small; forget its fractions and double α.

@@ -19,6 +19,13 @@
 // argument bounds it by a factor 2) and a fresh engine is seeded with the
 // surviving requests at weight 0.
 //
+// Like the engine underneath, the wrapper binds to any covering substrate
+// through CoveringSubstrateTraits (substrate_traits.h): a Graph for
+// admission control, or a CoveringInstance for the zero-copy §4 set-cover
+// reduction (capacity = element degree).  Request edge lists are kept in
+// one flat arena (no per-record heap vector) — the phase rebuilds and the
+// classification scans walk spans into it.
+//
 // Theorem 2: O(log(mc))-competitive versus the fractional optimum in the
 // weighted case; O(log c) when all costs are 1 (g = 1, unit_costs mode).
 #pragma once
@@ -26,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/fractional_engine.h"
@@ -69,10 +77,26 @@ class FractionalAdmission {
     bool phase_reset = false;
   };
 
-  explicit FractionalAdmission(const Graph& graph,
+  /// Binds the wrapper (and its engines) to a substrate view.
+  explicit FractionalAdmission(EngineSubstrate substrate,
                                FractionalConfig config = {});
 
+  /// Compile-time substrate binding: a Graph (admission control) or a
+  /// CoveringInstance (set cover: capacity = degree) via its traits.
+  template <typename S>
+  explicit FractionalAdmission(const S& substrate,
+                               FractionalConfig config = {})
+      : FractionalAdmission(CoveringSubstrateTraits<S>::bind(substrate),
+                            config) {}
+
   Arrival on_request(const Request& request);
+
+  /// Zero-copy arrival path: `edges` must be sorted and unique (e.g. a
+  /// covering-substrate arena span — the §4 ReductionView feeds phase-1
+  /// sets and phase-2 element singletons through here without ever
+  /// materializing a Request).
+  Arrival on_request(std::span<const EdgeId> edges, double cost,
+                     bool must_accept = false);
 
   // -- objective & state ----------------------------------------------------
 
@@ -101,7 +125,8 @@ class FractionalAdmission {
   /// engine: threshold-gated; naive engine: every loop iteration).
   std::uint64_t compactions() const noexcept;
 
-  const Graph& graph() const noexcept { return graph_; }
+  /// The bound substrate view (column count = m, capacities, c).
+  const EngineSubstrate& substrate() const noexcept { return substrate_; }
   std::size_t request_count() const noexcept { return records_.size(); }
 
   /// Engine of the current phase (tests only; null before first overload
@@ -110,12 +135,19 @@ class FractionalAdmission {
 
  private:
   struct Record {
-    std::vector<EdgeId> edges;
+    std::size_t edge_begin = 0;  ///< offset into the shared edge arena
+    std::uint32_t edge_count = 0;
     double cost = 1.0;
     CostClass cost_class = CostClass::kEngine;
-    bool fully_rejected = false;     ///< latched across phases
+    bool fully_rejected = false;       ///< latched across phases
     RequestId engine_id = kInvalidId;  ///< id inside the current engine
   };
+
+  /// Request id's edge list in the wrapper's flat arena.
+  std::span<const EdgeId> record_edges(RequestId id) const {
+    const Record& rec = records_[id];
+    return {edge_pool_.data() + rec.edge_begin, rec.edge_count};
+  }
 
   /// (Re)builds the engine for the current α, re-admitting survivors.
   void start_phase();
@@ -136,8 +168,7 @@ class FractionalAdmission {
   /// rebuild the phase (un-pinning requests that are no longer "big"), and
   /// re-run the augmentation loop on those edges.  Appends any resulting
   /// weight increases to `arrival`.
-  void resolve_saturation(const std::vector<EdgeId>& edges,
-                          Arrival& arrival);
+  void resolve_saturation(std::span<const EdgeId> edges, Arrival& arrival);
 
   double normalized_cost(double cost) const;
   double guard_threshold() const;
@@ -145,12 +176,13 @@ class FractionalAdmission {
   double log_mc() const;
   double mc() const;
 
-  const Graph& graph_;
+  EngineSubstrate substrate_;
   FractionalConfig config_;
   double alpha_ = 0.0;
   std::uint64_t phase_count_ = 0;
   std::unique_ptr<FractionalEngine> engine_;
   std::vector<Record> records_;
+  std::vector<EdgeId> edge_pool_;  ///< flat arena of all record edge lists
   /// engine-local request id -> wrapper request id (rebuilt each phase).
   std::vector<RequestId> engine_map_;
   /// Pre-α per-edge load of non-rejected requests (overflow detection).

@@ -16,13 +16,15 @@ namespace {
 constexpr double kSumBand = 1e-9;
 }  // namespace
 
-FlatFractionalEngine::FlatFractionalEngine(const Graph& graph,
+FlatFractionalEngine::FlatFractionalEngine(EngineSubstrate substrate,
                                            double zero_init)
-    : graph_(graph), zero_init_(zero_init), edge_begin_{0},
-      members_(graph.edge_count()), alive_count_(graph.edge_count(), 0),
-      pinned_count_(graph.edge_count(), 0),
-      dead_count_(graph.edge_count(), 0),
-      alive_sum_(graph.edge_count(), 0.0) {
+    : substrate_(substrate), zero_init_(zero_init), edge_begin_{0},
+      members_(substrate.col_count), alive_count_(substrate.col_count, 0),
+      pinned_count_(substrate.col_count, 0),
+      dead_count_(substrate.col_count, 0),
+      alive_sum_(substrate.col_count, 0.0) {
+  MINREJ_REQUIRE(substrate_.capacities.size() == substrate_.col_count,
+                 "substrate capacity span size mismatch");
   // zero_init == 1 is legal: it is what the unweighted case degenerates to
   // when g·c == 1, and it simply means step (a) already fully rejects.
   MINREJ_REQUIRE(zero_init > 0.0 && zero_init <= 1.0,
@@ -47,7 +49,7 @@ RequestId FlatFractionalEngine::append_request(std::span<const EdgeId> edges,
 RequestId FlatFractionalEngine::pin(std::span<const EdgeId> edges) {
   MINREJ_REQUIRE(!edges.empty(), "pinned request needs edges");
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
   const RequestId id =
       append_request(edges, 1.0, 1.0, 0.0, /*pinned=*/true);
@@ -71,17 +73,19 @@ bool FlatFractionalEngine::fully_rejected(RequestId id) const {
 }
 
 std::int64_t FlatFractionalEngine::excess(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-  return alive_count_[e] + pinned_count_[e] - graph_.capacity(e);
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
+  return alive_count_[e] + pinned_count_[e] - substrate_.capacities[e];
 }
 
 double FlatFractionalEngine::alive_weight_sum(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-  return alive_sum_[e];
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
+  // Small lists run outside the incremental-sum machinery (§7.3): their
+  // cache is stale by contract, so re-derive the sum with a bounded scan.
+  return small_list(e) ? exact_alive_sum(e) : alive_sum_[e];
 }
 
 bool FlatFractionalEngine::saturated(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   return excess(e) > 0 && alive_count_[e] == 0;
 }
 
@@ -90,16 +94,17 @@ bool FlatFractionalEngine::constraint_satisfied(EdgeId e) const {
   if (n_e <= 0) return true;
   if (alive_count_[e] == 0) return true;  // unsatisfiable => saturated
   // Tolerance: the multiplicative updates accumulate rounding error.
-  return alive_sum_[e] >= static_cast<double>(n_e) - 1e-9;
+  const double sum = small_list(e) ? exact_alive_sum(e) : alive_sum_[e];
+  return sum >= static_cast<double>(n_e) - 1e-9;
 }
 
 std::size_t FlatFractionalEngine::member_list_size(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   return members_[e].size();
 }
 
 std::vector<RequestId> FlatFractionalEngine::alive_requests(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   std::vector<RequestId> result;
   result.reserve(static_cast<std::size_t>(alive_count_[e]));
   for (RequestId i : members_[e]) {
@@ -111,10 +116,14 @@ std::vector<RequestId> FlatFractionalEngine::alive_requests(EdgeId e) const {
 double FlatFractionalEngine::exact_alive_sum(EdgeId e) const {
   // Member-list order, skipping dead entries: the same addition sequence
   // the naive engine performs over its compacted list, so the two engines
-  // agree bit-for-bit on boundary decisions.
+  // agree bit-for-bit on boundary decisions.  Death is read off the hot
+  // row (weight ≥ 1 ⇔ dead for the augmentable requests member lists
+  // hold), keeping the scan on the cache lines a following sweep needs
+  // anyway.
   double sum = 0.0;
   for (RequestId i : members_[e]) {
-    if (alive_[i]) sum += hot_[i].weight;
+    const double w = hot_[i].weight;
+    if (w < 1.0) sum += w;
   }
   return sum;
 }
@@ -122,11 +131,80 @@ double FlatFractionalEngine::exact_alive_sum(EdgeId e) const {
 void FlatFractionalEngine::compact(EdgeId e) {
   ++compactions_;
   auto& list = members_[e];
+  const bool was_large = list.size() > kSmallListThreshold;
   list.erase(std::remove_if(list.begin(), list.end(),
                             [this](RequestId i) { return alive_[i] == 0; }),
              list.end());
+  if (was_large && list.size() <= kSmallListThreshold) --large_edges_;
   dead_count_[e] = 0;
   alive_sum_[e] = exact_alive_sum(e);  // walk is paid for; resync exactly
+}
+
+double FlatFractionalEngine::sweep_step(EdgeId e, double ne) {
+  // One fused sweep over the member list (paper steps a+b+c in a single
+  // pass — legal because within a step each request's update depends only
+  // on its own weight and the step-start n_e) that also compacts the list
+  // in place (two-pointer): entries that died — here or during another
+  // edge's sweep — are simply not written back, so the swept edge never
+  // pays for lazy deletion with an extra pass.
+  //
+  // Unit update costs (the unweighted Theorem-4 setting, and by far the
+  // hottest configuration) make the step multiplier the same for every
+  // member: hoist it so the sweep runs divide-free.  1/(n_e·1) ≡ 1/n_e
+  // bit-for-bit, so the fast path changes nothing observable.
+  const double unit_mult = 1.0 + 1.0 / ne;
+
+  auto& list = members_[e];
+  const bool was_large = list.size() > kSmallListThreshold;
+  double step_sum = 0.0;
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < list.size(); ++k) {
+    const RequestId i = list[k];
+    HotRow& row = hot_[i];
+    // Member lists hold only augmentable requests, for which death is
+    // exactly weight ≥ 1 — so the dead-entry skip reads the hot row the
+    // sweep needs anyway instead of the cold alive_ array.
+    const double old = row.weight;
+    if (old >= 1.0) continue;  // killed via another edge: drop entry
+    if (row.touch_epoch != epoch_) {
+      row.touch_epoch = epoch_;
+      row.weight_at_touch = old;  // alive, so already < 1
+      touched_.push_back(i);
+    }
+    // (a) zero weights jump to the floor 1/(g·c)...
+    const double base = old == 0.0 ? zero_init_ : old;
+    // (b) ...then the multiplicative step f_i *= (1 + 1/(n_e p_i)).
+    const double mult = row.update_cost == 1.0
+                            ? unit_mult
+                            : 1.0 + 1.0 / (ne * row.update_cost);
+    const double w = base * mult;
+    // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
+    // form that is true for NaN as well as genuine negatives, so a
+    // poisoned weight fails loudly instead of corrupting invariant sums.
+    MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
+    const double now = std::min(w, kWeightClamp);
+    row.weight = now;
+    if (now >= 1.0) {
+      // (c) the request crosses 1 and leaves every ALIVE list.  Net
+      // effect on a covering sum that never saw the increase: −old.
+      // Alive/dead counts are maintained eagerly (excess() stays O(1));
+      // the covering-sum caches are refreshed by the arrival-end fix-up.
+      alive_[i] = 0;
+      step_sum -= old;
+      for (EdgeId f : edges_of(i)) {
+        --alive_count_[f];
+        ++dead_count_[f];  // f's list still holds the entry
+      }
+      --dead_count_[e];  // except e's: dropped from it right here
+      continue;
+    }
+    step_sum += now - old;
+    list[out++] = i;
+  }
+  list.resize(out);
+  if (was_large && out <= kSmallListThreshold) --large_edges_;
+  dead_count_[e] = 0;  // in-place sweep dropped every dead entry
+  return step_sum;
 }
 
 void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
@@ -135,20 +213,19 @@ void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
   //
   // The covering sum lives in a register for the whole loop.  It starts
   // from the incremental per-edge cache — which is exact at arrival
-  // boundaries — unless an earlier edge of this same arrival already ran
-  // augmentation steps (`sum_maybe_stale`), in which case one exact rescan
-  // seeds it (the cache itself is refreshed once, at the end of the
-  // arrival, by restore_edges' fix-up pass).  Each step is one fused sweep
-  // over the member list (paper steps a+b+c in a single pass — legal
-  // because within a step each request's update depends only on its own
-  // weight and the step-start n_e) that also compacts the list in place
-  // (two-pointer): entries that died — here or during another edge's sweep
-  // — are simply not written back, so the swept edge never pays for lazy
-  // deletion with an extra pass.
-  double s = sum_maybe_stale ? exact_alive_sum(e) : alive_sum_[e];
+  // boundaries — unless the edge is in the small-list regime (its cache
+  // is stale by contract, DESIGN.md §7.3) or an earlier edge of this same
+  // arrival already ran augmentation steps (`sum_maybe_stale`); either
+  // way one exact rescan seeds it.  The cache itself is refreshed once,
+  // at the end of the arrival, by restore_edges' fix-up pass — and only
+  // for long lists.  Termination decisions stay identical to the naive
+  // engine regardless of the seed: near the covering boundary the band
+  // check below falls back to the exact member-order rescan.
+  double s = sum_maybe_stale || small_list(e) ? exact_alive_sum(e)
+                                              : alive_sum_[e];
   for (;;) {
     const std::int64_t n_e =
-        alive_count_[e] + pinned_count_[e] - graph_.capacity(e);
+        alive_count_[e] + pinned_count_[e] - substrate_.capacities[e];
     if (n_e <= 0) return;
     if (alive_count_[e] == 0) return;  // saturated; wrapper's cost guard acts
     const double ne = static_cast<double>(n_e);
@@ -162,61 +239,7 @@ void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
     if (s >= ne) return;
 
     ++augmentations_;
-    // Unit update costs (the unweighted Theorem-4 setting, and by far the
-    // hottest configuration) make the step multiplier the same for every
-    // member: hoist it so the sweep runs divide-free.  1/(n_e·1) ≡ 1/n_e
-    // bit-for-bit, so the fast path changes nothing observable.
-    const double unit_mult = 1.0 + 1.0 / ne;
-
-    auto& list = members_[e];
-    double step_sum = 0.0;
-    std::size_t out = 0;
-    for (std::size_t k = 0; k < list.size(); ++k) {
-      const RequestId i = list[k];
-      HotRow& row = hot_[i];
-      // Member lists hold only augmentable requests, for which death is
-      // exactly weight ≥ 1 — so the dead-entry skip reads the hot row the
-      // sweep needs anyway instead of the cold alive_ array.
-      const double old = row.weight;
-      if (old >= 1.0) continue;  // killed via another edge: drop entry
-      if (row.touch_epoch != epoch_) {
-        row.touch_epoch = epoch_;
-        row.weight_at_touch = old;  // alive, so already < 1
-        touched_.push_back(i);
-      }
-      // (a) zero weights jump to the floor 1/(g·c)...
-      const double base = old == 0.0 ? zero_init_ : old;
-      // (b) ...then the multiplicative step f_i *= (1 + 1/(n_e p_i)).
-      const double mult = row.update_cost == 1.0
-                              ? unit_mult
-                              : 1.0 + 1.0 / (ne * row.update_cost);
-      const double w = base * mult;
-      // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
-      // form that is true for NaN as well as genuine negatives, so a
-      // poisoned weight fails loudly instead of corrupting invariant sums.
-      MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
-      const double now = std::min(w, kWeightClamp);
-      row.weight = now;
-      if (now >= 1.0) {
-        // (c) the request crosses 1 and leaves every ALIVE list.  Net
-        // effect on a covering sum that never saw the increase: −old.
-        // Alive/dead counts are maintained eagerly (excess() stays O(1));
-        // the covering-sum caches are refreshed by the arrival-end fix-up.
-        alive_[i] = 0;
-        step_sum -= old;
-        for (EdgeId f : edges_of(i)) {
-          --alive_count_[f];
-          ++dead_count_[f];  // f's list still holds the entry
-        }
-        --dead_count_[e];  // except e's: dropped from it right here
-        continue;
-      }
-      step_sum += now - old;
-      list[out++] = i;
-    }
-    list.resize(out);
-    dead_count_[e] = 0;  // in-place sweep dropped every dead entry
-    s += step_sum;
+    s += sweep_step(e, ne);
     if (observer_) observer_(e);
   }
 }
@@ -238,21 +261,32 @@ RequestId FlatFractionalEngine::admit_existing(std::span<const EdgeId> edges,
   // recoverable, so a rejected arrival must not leave a half-registered
   // phantom request behind.
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
   const RequestId id = append_request(edges, update_cost, report_cost,
                                       initial_weight, /*pinned=*/false);
   for (EdgeId e : edges) {
+    auto& list = members_[e];
     // An edge that is never augmented again would otherwise accumulate
     // entries killed through its siblings forever; reclaim at 1/2 dead so
     // each compaction pass is charged to the deaths that forced it.
-    if (dead_count_[e] > 0 &&
-        static_cast<std::size_t>(dead_count_[e]) * 2 >= members_[e].size()) {
+    // Small lists skip the gate (§7.3): their garbage is bounded by the
+    // threshold and dropped whenever the edge itself is swept.
+    if (list.size() > kSmallListThreshold && dead_count_[e] > 0 &&
+        static_cast<std::size_t>(dead_count_[e]) * 2 >= list.size()) {
       compact(e);
     }
-    members_[e].push_back(id);
+    list.push_back(id);
     ++alive_count_[e];
-    alive_sum_[e] += initial_weight;
+    if (list.size() == kSmallListThreshold + 1) {
+      // The list just crossed into the incremental regime: its cache has
+      // been stale since it was last small, so resynchronize it exactly
+      // (the scan includes the member pushed above).
+      ++large_edges_;
+      alive_sum_[e] = exact_alive_sum(e);
+    } else if (list.size() > kSmallListThreshold + 1) {
+      alive_sum_[e] += initial_weight;
+    }
   }
   return id;
 }
@@ -268,7 +302,7 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   // Validate before augmenting anything: a mid-loop throw would leave
   // weights raised but the objective never charged for them.
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
 
   ++epoch_;
@@ -277,7 +311,8 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
 
   // Periodic exact resync of this arrival's sum caches (they are boundary-
   // exact right now): keeps the fix-up pass's floating-point drift bounded
-  // on streams far longer than the band tolerance was sized for.
+  // on streams far longer than the band tolerance was sized for.  (Small
+  // lists get a harmless write; their cache is unread while small.)
   if ((epoch_ & 1023u) == 0) {
     for (EdgeId e : edges) alive_sum_[e] = exact_alive_sum(e);
   }
@@ -310,15 +345,32 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   //     objective, so the cost matches a filtered loop bit-for-bit);
   //   * the covering-sum fix-up: each incident edge's incremental cache
   //     receives the request's net alive-contribution change — once per
-  //     arrival instead of once per augmentation step.  Contributions to
-  //     this arrival's own edges are batched in registers (they receive
-  //     every member's update; a dense burst would otherwise serialize on
-  //     one cache line).
+  //     arrival instead of once per augmentation step.  Edges in the
+  //     small-list regime are skipped outright (their cache is stale by
+  //     contract, §7.3 — on skewed tiny-list traffic this removes the
+  //     whole fix-up cost).  Contributions to this arrival's own edges
+  //     are batched in registers (they receive every member's update; a
+  //     dense burst would otherwise serialize on one cache line).
   constexpr std::size_t kMaxBatchedEdges = 8;
   double batched[kMaxBatchedEdges] = {0.0};
   const std::size_t batch_count = std::min(edges.size(), kMaxBatchedEdges);
   deltas_.resize(touched_.size());
   std::size_t count = 0;
+  if (large_edges_ == 0) {
+    // Tiny-list regime (§7.3): no edge anywhere holds a trusted cache, so
+    // the fix-up halves to plain delta emission — the flat engine pays
+    // nothing for invariant upkeep, exactly like the reference engine.
+    for (RequestId i : touched_) {
+      const HotRow& row = hot_[i];
+      const double now = std::min(row.weight, 1.0);
+      const double delta = now - row.weight_at_touch;
+      deltas_[count] = {i, delta};
+      count += delta > 0.0 ? 1 : 0;
+      fractional_cost_ += std::max(delta, 0.0) * report_cost_[i];
+    }
+    deltas_.resize(count);
+    return deltas_;
+  }
   for (RequestId i : touched_) {
     const HotRow& row = hot_[i];
     const double now = std::min(row.weight, 1.0);
@@ -331,6 +383,7 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
     const double sum_delta =
         (row.weight < 1.0 ? row.weight : 0.0) - row.weight_at_touch;
     for (EdgeId f : edges_of(i)) {
+      if (small_list(f)) continue;  // §7.3: no cache to maintain
       bool found = false;
       for (std::size_t j = 0; j < batch_count; ++j) {
         if (edges[j] == f) {
@@ -343,7 +396,7 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
     }
   }
   for (std::size_t j = 0; j < batch_count; ++j) {
-    alive_sum_[edges[j]] += batched[j];
+    if (!small_list(edges[j])) alive_sum_[edges[j]] += batched[j];
   }
   deltas_.resize(count);
   return deltas_;

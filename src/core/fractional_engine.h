@@ -35,7 +35,17 @@
 // check, constraint_satisfied(), alive_weight_sum(), and saturated() are
 // all O(1) and the paper's three per-step passes fuse into a single
 // cache-friendly sweep.  Member lists are compacted only when their dead
-// fraction crosses a threshold (amortized O(1) per death).  The retained
+// fraction crosses a threshold (amortized O(1) per death).  Edges whose
+// member lists are tiny (≤ kSmallListThreshold entries) opt out of the
+// incremental-sum machinery entirely and run naive-style inline scans —
+// the small-degree fast path of DESIGN.md §7.3, which removes the flat
+// engine's bookkeeping overhead in the tiny-list regime §5 documents.
+//
+// The engine binds to its substrate — the per-edge capacity array — at
+// compile time through CoveringSubstrateTraits (substrate_traits.h):
+// construct it from a Graph (admission control) or from a CoveringInstance
+// (set cover, where capacity = element degree per the §4 reduction) and
+// the hot loop indexes the same flat span either way.  The retained
 // reference implementation lives in naive_engine.h; the FractionalEngine
 // alias at the bottom of this header selects between them at compile time
 // (-DMINREJ_NAIVE_ENGINE=ON), and the differential test suite holds the
@@ -49,7 +59,7 @@
 #include <vector>
 
 #include "core/engine_types.h"
-#include "graph/graph.h"
+#include "core/substrate_traits.h"
 #include "graph/types.h"
 
 namespace minrej {
@@ -61,9 +71,23 @@ class FlatFractionalEngine {
 
   static constexpr double kWeightClamp = kEngineWeightClamp;
 
-  /// `zero_init` is the paper's 1/(g·c) floor for step (a); must be in
-  /// (0, 1].
-  FlatFractionalEngine(const Graph& graph, double zero_init);
+  /// Member lists at or below this length take the small-degree fast path
+  /// (inline exact scans, no incremental-sum or compaction bookkeeping —
+  /// DESIGN.md §7.3).  An edge's covering-sum cache is trusted only while
+  /// its list is longer than this; crossing the threshold resynchronizes
+  /// it exactly.
+  static constexpr std::size_t kSmallListThreshold = 48;
+
+  /// Binds the engine to its substrate view.  `zero_init` is the paper's
+  /// 1/(g·c) floor for step (a); must be in (0, 1].
+  FlatFractionalEngine(EngineSubstrate substrate, double zero_init);
+
+  /// Compile-time substrate binding: anything with CoveringSubstrateTraits
+  /// (a Graph, a CoveringInstance) constructs the engine directly.
+  template <typename S>
+  FlatFractionalEngine(const S& substrate, double zero_init)
+      : FlatFractionalEngine(CoveringSubstrateTraits<S>::bind(substrate),
+                             zero_init) {}
 
   /// Registers a permanently-accepted request occupying capacity on
   /// `edges` (no weight, never rejected).  Returns its id.
@@ -129,7 +153,8 @@ class FlatFractionalEngine {
   /// per-edge dead count crossing half the list, so an augmentation loop
   /// in which nothing died performs none (DESIGN.md §3.2; the
   /// EngineCompaction tests in engine_differential_test.cpp pin this
-  /// down).
+  /// down).  Small lists never trigger the gate (DESIGN.md §7.3): their
+  /// dead entries are dropped by the edge's own sweeps.
   std::uint64_t compactions() const noexcept { return compactions_; }
 
   /// Test hook: invoked after every single augmentation step with the
@@ -145,12 +170,15 @@ class FlatFractionalEngine {
   /// n_e = |ALIVE_e| − c_e (alive = not fully rejected, incl. pinned).
   /// O(1).
   std::int64_t excess(EdgeId e) const;
-  /// Σ of weights of alive augmentable requests on e.  O(1): maintained
-  /// incrementally (resynchronized exactly on compaction, so drift stays
-  /// below the covering-check tolerance).
+  /// Σ of weights of alive augmentable requests on e.  O(1) for long
+  /// member lists (maintained incrementally; resynchronized exactly on
+  /// compaction, so drift stays below the covering-check tolerance);
+  /// small lists are rescanned exactly — a bounded O(kSmallListThreshold)
+  /// walk.
   double alive_weight_sum(EdgeId e) const;
   /// Invariant of §2: true iff alive_weight_sum(e) >= excess(e), or the
-  /// edge has no augmentable alive request left.  O(1).
+  /// edge has no augmentable alive request left.  O(1) (same small-list
+  /// bound as alive_weight_sum).
   bool constraint_satisfied(EdgeId e) const;
   /// True iff the edge has positive excess but no augmentable alive
   /// request — the covering constraint is unsatisfiable at the current
@@ -171,8 +199,20 @@ class FlatFractionalEngine {
   /// the incremental cache (which is only refreshed at arrival end).
   void augment_edge(EdgeId e, bool sum_maybe_stale);
 
+  /// One fused (a)+(b)+(c) sweep over e's member list with in-place
+  /// compaction (see augment_edge).  Returns the net change of the
+  /// covering sum (dead members contribute −old_weight).
+  double sweep_step(EdgeId e, double ne);
+
   /// Exact Σ of alive member weights on e, in member-list order.
   double exact_alive_sum(EdgeId e) const;
+
+  /// True when e's member list takes the small-degree fast path: the
+  /// incremental covering-sum cache is not maintained (and not trusted)
+  /// for it.
+  bool small_list(EdgeId e) const {
+    return members_[e].size() <= kSmallListThreshold;
+  }
 
   /// Removes dead entries from an edge's member list and resynchronizes
   /// alive_sum_[e].  Swept edges self-compact inside augment_edge; this
@@ -206,7 +246,7 @@ class FlatFractionalEngine {
   };
   static_assert(sizeof(HotRow) == 32);
 
-  const Graph& graph_;
+  EngineSubstrate substrate_;
   double zero_init_;
 
   // -- request store: hot rows + cold SoA + CSR incidence arena -------------
@@ -228,7 +268,15 @@ class FlatFractionalEngine {
   std::vector<std::int64_t> alive_count_;   ///< augmentable alive per edge
   std::vector<std::int64_t> pinned_count_;  ///< pinned per edge
   std::vector<std::int64_t> dead_count_;    ///< dead entries in members_[e]
-  std::vector<double> alive_sum_;  ///< incremental Σ alive member weights
+  /// Incremental Σ alive member weights — trusted only for lists longer
+  /// than kSmallListThreshold; resynchronized exactly when a list grows
+  /// across the threshold (DESIGN.md §7.3).
+  std::vector<double> alive_sum_;
+
+  /// Number of edges currently above kSmallListThreshold.  When zero the
+  /// arrival-end fix-up pass is skipped outright — on tiny-list traffic
+  /// there is no covering-sum cache to maintain anywhere (§7.3).
+  std::size_t large_edges_ = 0;
 
   double fractional_cost_ = 0.0;
   std::uint64_t augmentations_ = 0;

@@ -7,11 +7,13 @@
 
 namespace minrej {
 
-NaiveFractionalEngine::NaiveFractionalEngine(const Graph& graph,
+NaiveFractionalEngine::NaiveFractionalEngine(EngineSubstrate substrate,
                                              double zero_init)
-    : graph_(graph), zero_init_(zero_init),
-      members_(graph.edge_count()), alive_count_(graph.edge_count(), 0),
-      pinned_count_(graph.edge_count(), 0) {
+    : substrate_(substrate), zero_init_(zero_init),
+      members_(substrate.col_count), alive_count_(substrate.col_count, 0),
+      pinned_count_(substrate.col_count, 0) {
+  MINREJ_REQUIRE(substrate_.capacities.size() == substrate_.col_count,
+                 "substrate capacity span size mismatch");
   // zero_init == 1 is legal: it is what the unweighted case degenerates to
   // when g·c == 1, and it simply means step (a) already fully rejects.
   MINREJ_REQUIRE(zero_init > 0.0 && zero_init <= 1.0,
@@ -21,7 +23,7 @@ NaiveFractionalEngine::NaiveFractionalEngine(const Graph& graph,
 RequestId NaiveFractionalEngine::pin(std::span<const EdgeId> edges) {
   MINREJ_REQUIRE(!edges.empty(), "pinned request needs edges");
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
   const auto id = static_cast<RequestId>(requests_.size());
   RequestRecord rec;
@@ -48,12 +50,12 @@ bool NaiveFractionalEngine::fully_rejected(RequestId id) const {
 }
 
 std::int64_t NaiveFractionalEngine::excess(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
-  return alive_count_[e] + pinned_count_[e] - graph_.capacity(e);
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
+  return alive_count_[e] + pinned_count_[e] - substrate_.capacities[e];
 }
 
 double NaiveFractionalEngine::alive_weight_sum(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   double sum = 0.0;
   for (RequestId i : members_[e]) {
     if (requests_[i].alive) sum += requests_[i].weight;
@@ -62,7 +64,7 @@ double NaiveFractionalEngine::alive_weight_sum(EdgeId e) const {
 }
 
 bool NaiveFractionalEngine::saturated(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   return excess(e) > 0 && alive_count_[e] == 0;
 }
 
@@ -75,12 +77,12 @@ bool NaiveFractionalEngine::constraint_satisfied(EdgeId e) const {
 }
 
 std::size_t NaiveFractionalEngine::member_list_size(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   return members_[e].size();
 }
 
 std::vector<RequestId> NaiveFractionalEngine::alive_requests(EdgeId e) const {
-  MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+  MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   std::vector<RequestId> result;
   for (RequestId i : members_[e]) {
     if (requests_[i].alive) result.push_back(i);
@@ -178,7 +180,7 @@ RequestId NaiveFractionalEngine::admit_existing(std::span<const EdgeId> edges,
   // recoverable, so a rejected arrival must not leave a half-registered
   // phantom request behind.
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
   const auto id = static_cast<RequestId>(requests_.size());
   RequestRecord rec;
@@ -205,7 +207,7 @@ NaiveFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   // Validate before augmenting anything: a mid-loop throw would leave
   // weights raised but the objective never charged for them.
   for (EdgeId e : edges) {
-    MINREJ_REQUIRE(e < graph_.edge_count(), "edge out of range");
+    MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   }
 
   ++epoch_;

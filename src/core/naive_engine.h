@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "core/engine_types.h"
-#include "graph/graph.h"
+#include "core/substrate_traits.h"
 #include "graph/types.h"
 
 namespace minrej {
@@ -37,9 +37,16 @@ class NaiveFractionalEngine {
 
   static constexpr double kWeightClamp = kEngineWeightClamp;
 
-  /// `zero_init` is the paper's 1/(g·c) floor for step (a); must be in
-  /// (0, 1].
-  NaiveFractionalEngine(const Graph& graph, double zero_init);
+  /// Binds the engine to its substrate view.  `zero_init` is the paper's
+  /// 1/(g·c) floor for step (a); must be in (0, 1].
+  NaiveFractionalEngine(EngineSubstrate substrate, double zero_init);
+
+  /// Compile-time substrate binding, mirroring FlatFractionalEngine: a
+  /// Graph or a CoveringInstance constructs the engine via its traits.
+  template <typename S>
+  NaiveFractionalEngine(const S& substrate, double zero_init)
+      : NaiveFractionalEngine(CoveringSubstrateTraits<S>::bind(substrate),
+                              zero_init) {}
 
   /// Registers a permanently-accepted request occupying capacity on
   /// `edges` (no weight, never rejected).  Returns its id.
@@ -139,7 +146,7 @@ class NaiveFractionalEngine {
   void touch(RequestId id);
   void mark_fully_rejected(RequestId id);
 
-  const Graph& graph_;
+  EngineSubstrate substrate_;
   double zero_init_;
   std::vector<RequestRecord> requests_;
   // Augmentable members per edge (alive and dead; compacted lazily).

@@ -49,23 +49,24 @@ std::vector<SetId> OnlineSetCoverAlgorithm::on_element(ElementId j) {
 
 ReductionSetCover::ReductionSetCover(const SetSystem& system,
                                      RandomizedConfig config)
-    : OnlineSetCoverAlgorithm(system), reduction_(build_reduction(system)) {
+    : OnlineSetCoverAlgorithm(system), view_(system),
+      star_(view_.star_graph()) {
   config.unit_costs = system.unit_costs();
-  admission_ =
-      std::make_unique<RandomizedAdmission>(reduction_.graph, config);
+  admission_ = std::make_unique<RandomizedAdmission>(star_, config);
 
-  // Phase 1: one request per set; every edge lands exactly at capacity, so
-  // all of them are accepted (no augmentation is triggered).
-  for (std::size_t s = 0; s < reduction_.phase1.size(); ++s) {
-    const ArrivalResult r = admission_->process(reduction_.phase1[s]);
+  // Phase 1: one request per set, streamed from the substrate arena;
+  // every edge lands exactly at capacity, so all of them are accepted (no
+  // augmentation is triggered).
+  for (SetId s = 0; s < static_cast<SetId>(view_.phase1_count()); ++s) {
+    const ArrivalResult r = admission_->process(
+        Request::from_sorted(view_.phase1_edges(s), view_.phase1_cost(s)));
     MINREJ_CHECK(r.accepted && r.preempted.empty(),
                  "phase-1 request unexpectedly rejected or preempting");
   }
 }
 
 std::vector<SetId> ReductionSetCover::handle_element(ElementId j) {
-  const ArrivalResult r =
-      admission_->process(reduction_.element_request(j));
+  const ArrivalResult r = admission_->process(view_.element_request(j));
   MINREJ_CHECK(r.accepted, "phase-2 request must be accepted");
 
   // Preempted phase-1 requests are the newly chosen sets.  (Phase-2
@@ -73,7 +74,7 @@ std::vector<SetId> ReductionSetCover::handle_element(ElementId j) {
   std::vector<SetId> added;
   added.reserve(r.preempted.size());
   for (RequestId i : r.preempted) {
-    MINREJ_CHECK(i < reduction_.phase1.size(),
+    MINREJ_CHECK(i < view_.phase1_count(),
                  "preempted a phase-2 request — reduction broken");
     added.push_back(static_cast<SetId>(i));
   }

@@ -76,6 +76,13 @@ class OnlineSetCoverAlgorithm {
 /// The O(log m log n) (unit costs) / O(log²(mn)) (weighted) randomized
 /// online set cover algorithm: the §3 randomized admission algorithm run
 /// on the §4 reduction.  Preempted phase-1 requests are the chosen sets.
+///
+/// Since the covering-substrate refactor (DESIGN.md §7) the reduction is
+/// bound through a ReductionView: the star graph is realized once via the
+/// bulk build path (the integral algorithm's base class needs a real
+/// Graph for its capacity enforcement) but phase-1 requests stream
+/// straight from the substrate's arena spans — no phase-1 request copy is
+/// ever stored.
 class ReductionSetCover : public OnlineSetCoverAlgorithm {
  public:
   /// `config` configures the underlying admission algorithm; unit_costs is
@@ -95,7 +102,8 @@ class ReductionSetCover : public OnlineSetCoverAlgorithm {
   std::vector<SetId> handle_element(ElementId j) override;
 
  private:
-  ReductionInstance reduction_;
+  ReductionView view_;
+  Graph star_;  ///< realized once; owned here so admission_ can bind it
   std::unique_ptr<RandomizedAdmission> admission_;
 };
 

@@ -1,8 +1,20 @@
 #include "core/reduction.h"
 
+#include <numeric>
+
 #include "util/check.h"
 
 namespace minrej {
+
+ReductionView::ReductionView(const SetSystem& system) : system_(&system) {
+  const std::size_t n = system.element_count();
+  for (std::size_t j = 0; j < n; ++j) {
+    MINREJ_REQUIRE(system.degree(static_cast<ElementId>(j)) >= 1,
+                   "reduction requires every element to be in some set");
+  }
+  identity_.resize(n);
+  std::iota(identity_.begin(), identity_.end(), 0);
+}
 
 Request ReductionInstance::element_request(ElementId j) const {
   MINREJ_REQUIRE(j < graph.edge_count(), "element out of range");
@@ -12,29 +24,22 @@ Request ReductionInstance::element_request(ElementId j) const {
 }
 
 ReductionInstance build_reduction(const SetSystem& system) {
-  const std::size_t n = system.element_count();
-  std::vector<Edge> edges;
-  edges.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    const auto degree =
-        static_cast<std::int64_t>(system.degree(static_cast<ElementId>(j)));
-    MINREJ_REQUIRE(degree >= 1,
+  // Same validation order as the view: reject degree-0 elements before
+  // touching the graph builder (whose capacity >= 1 check would fire with
+  // a less actionable message).
+  for (std::size_t j = 0; j < system.element_count(); ++j) {
+    MINREJ_REQUIRE(system.degree(static_cast<ElementId>(j)) >= 1,
                    "reduction requires every element to be in some set");
-    // Star topology: center vertex 0, leaf j+1; edge j has capacity |S_j|.
-    edges.push_back({0, static_cast<VertexId>(j + 1), degree});
   }
-  ReductionInstance instance{Graph(n + 1, std::move(edges)), {}};
-
+  // Star topology via the bulk build path: center vertex 0, leaf j+1;
+  // edge j has capacity |S_j| (the substrate's degree capacities).
+  ReductionInstance instance{Graph::star(system.substrate().capacities()),
+                             {}};
   instance.phase1.reserve(system.set_count());
   for (std::size_t s = 0; s < system.set_count(); ++s) {
-    std::vector<EdgeId> request_edges;
-    const auto members = system.elements_of(static_cast<SetId>(s));
-    request_edges.reserve(members.size());
-    for (ElementId j : members) {
-      request_edges.push_back(static_cast<EdgeId>(j));
-    }
-    instance.phase1.emplace_back(std::move(request_edges),
-                                 system.cost(static_cast<SetId>(s)));
+    instance.phase1.push_back(Request::from_sorted(
+        system.elements_of(static_cast<SetId>(s)),
+        system.cost(static_cast<SetId>(s))));
   }
   return instance;
 }
@@ -42,7 +47,7 @@ ReductionInstance build_reduction(const SetSystem& system) {
 AdmissionInstance reduced_admission_instance(
     const SetSystem& system, const std::vector<ElementId>& arrivals) {
   ReductionInstance red = build_reduction(system);
-  std::vector<Request> requests = red.phase1;
+  std::vector<Request> requests = std::move(red.phase1);
   requests.reserve(requests.size() + arrivals.size());
   for (ElementId j : arrivals) {
     requests.push_back(red.element_request(j));

@@ -1,15 +1,27 @@
 // reduction.h — the paper's §4 reduction from online set cover with
 // repetitions to admission control.
 //
-// Given (X, S): build a graph with one edge e_j per element j, with
-// capacity |S_j| (the number of sets containing j).  Phase 1 presents one
-// request per set S — the edge set {e_j : j ∈ S} at cost(S) — all of which
-// fit exactly (every edge reaches full capacity).  Phase 2 presents, for
-// each arrival of element j, a single-edge request {e_j}; it is tagged
-// must_accept ("there is no reason for the admission control algorithm to
-// reject requests given in the second phase"), so each arrival forces one
-// more phase-1 request through e_j to be preempted.  Preempted phase-1
-// requests are exactly the sets chosen by the induced cover.
+// Given (X, S): one edge e_j per element j, with capacity |S_j| (the
+// number of sets containing j).  Phase 1 presents one request per set S —
+// the edge set {e_j : j ∈ S} at cost(S) — all of which fit exactly (every
+// edge reaches full capacity).  Phase 2 presents, for each arrival of
+// element j, a single-edge request {e_j}; it is tagged must_accept ("there
+// is no reason for the admission control algorithm to reject requests
+// given in the second phase"), so each arrival forces one more phase-1
+// request through e_j to be preempted.  Preempted phase-1 requests are
+// exactly the sets chosen by the induced cover.
+//
+// Since the covering-substrate refactor (DESIGN.md §7) the reduction is a
+// *view*, not a copy: a SetSystem's substrate already IS the reduced
+// instance — set s's element list is phase-1 request s's edge list (edge
+// j ↔ element j by index identity, both uint32), and the substrate's
+// degree capacities are the reduction's edge capacities.  ReductionView
+// binds that identity with zero copying; phase-2 requests are synthesized
+// on the fly.  The old materializing path (ReductionInstance /
+// build_reduction / reduced_admission_instance) is retained for consumers
+// that need a real Graph + Request sequence (offline cross-checks, the
+// io-trace replay) and as the differential-testing baseline the view is
+// held identical to (tests/substrate_test.cpp).
 //
 // The paper notes the requests need not be simple paths ("can be easily
 // fixed by adding extra edges"); since every algorithm here treats a
@@ -23,7 +35,65 @@
 
 namespace minrej {
 
-/// The admission-control instance induced by a set system.
+/// Zero-copy §4 reduction over a SetSystem's covering substrate.
+/// Edge j ≡ element j (index identity); phase-1 request s ≡ set s, its
+/// edge list being the substrate arena span of set s's elements; phase-2
+/// element requests are single-edge must-accept spans synthesized from an
+/// identity table.  Requires every element to be in at least one set
+/// (degree >= 1), otherwise its edge capacity would be 0.
+class ReductionView {
+ public:
+  explicit ReductionView(const SetSystem& system);
+
+  const SetSystem& system() const noexcept { return *system_; }
+  const CoveringInstance& substrate() const noexcept {
+    return system_->substrate();
+  }
+
+  std::size_t edge_count() const noexcept {
+    return system_->element_count();  // edge j ≡ element j
+  }
+  /// Capacity of edge j: the degree |S_j| (the §4 identity).
+  std::int64_t capacity(EdgeId e) const {
+    return substrate().col_capacity(e);
+  }
+
+  std::size_t phase1_count() const noexcept {
+    return system_->set_count();  // request s ≡ set s
+  }
+  /// Edge list of phase-1 request s — set s's element arena span, reread
+  /// as edges (ElementId and EdgeId are the same 32-bit index type).
+  std::span<const EdgeId> phase1_edges(SetId s) const {
+    return substrate().cols_of(s);
+  }
+  double phase1_cost(SetId s) const { return substrate().row_cost(s); }
+
+  /// Edge span of the phase-2 request for one arrival of element j:
+  /// a one-element slice of the identity table, no allocation.
+  std::span<const EdgeId> element_edges(ElementId j) const {
+    MINREJ_REQUIRE(j < identity_.size(), "element out of range");
+    return {identity_.data() + j, 1};
+  }
+
+  /// Materialized phase-2 request (must_accept; cost is irrelevant to the
+  /// objective but must be positive) for Graph-backed consumers.
+  Request element_request(ElementId j) const {
+    return Request::from_sorted(element_edges(j), 1.0, /*must_accept=*/true);
+  }
+
+  /// Realizes the reduction's star graph (the only materialization this
+  /// view ever performs; consumers that bind engines through the substrate
+  /// never call it).  Bulk one-pass build over the degree capacities.
+  Graph star_graph() const { return Graph::star(substrate().capacities()); }
+
+ private:
+  const SetSystem* system_;
+  std::vector<EdgeId> identity_;  ///< 0..n-1, backs element_edges()
+};
+
+/// The materialized admission-control instance induced by a set system
+/// (the pre-§7 path, retained for differential testing and offline
+/// cross-checks).
 struct ReductionInstance {
   Graph graph;                  ///< edge j <-> element j, capacity |S_j|
   std::vector<Request> phase1;  ///< request i <-> set i (cost = set cost)
@@ -32,13 +102,15 @@ struct ReductionInstance {
   Request element_request(ElementId j) const;
 };
 
-/// Builds the reduction.  Requires every element to belong to at least one
-/// set (degree >= 1), otherwise its edge capacity would be 0.
+/// Builds the materialized reduction.  Same degree >= 1 requirement as
+/// ReductionView.
 ReductionInstance build_reduction(const SetSystem& system);
 
 /// Convenience: the full admission instance for a fixed arrival sequence
 /// (phase 1 then one phase-2 request per arrival).  Used to cross-check
-/// offline optima: OPT_multicover(instance) == OPT_admission(reduced).
+/// offline optima: OPT_multicover(instance) == OPT_admission(reduced) —
+/// and by the scenario catalog to replay set-cover workloads through the
+/// admission service stack.
 AdmissionInstance reduced_admission_instance(
     const SetSystem& system, const std::vector<ElementId>& arrivals);
 

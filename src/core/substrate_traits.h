@@ -1,0 +1,71 @@
+// substrate_traits.h — compile-time binding of the weight-augmentation
+// engines to a covering substrate (DESIGN.md §7.2).
+//
+// The §2 engine only ever asks its substrate three questions: how many
+// columns (edges) exist, what each column's capacity is, and what the
+// maximum capacity is.  EngineSubstrate is that answer as a flat view —
+// a span over a capacity array owned by the bound object — so the
+// augmentation hot loop indexes a contiguous array instead of calling
+// back into Graph::capacity (a bounds-checked struct load per loop
+// iteration).
+//
+// CoveringSubstrateTraits<S> is the compile-time adapter: specializations
+// exist for Graph (admission control — capacities are the instance's
+// c_e) and CoveringInstance (set cover — capacity IS the column degree,
+// the §4 identity).  Both engines expose a template constructor that
+// routes any substrate type through its traits, so
+// `FlatFractionalEngine(graph, z)` and `FlatFractionalEngine(substrate,
+// z)` bind the same hot loop to either problem with zero virtual calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/covering_instance.h"
+#include "graph/graph.h"
+
+namespace minrej {
+
+/// The flat substrate view an engine binds to.  Non-owning: the bound
+/// Graph / CoveringInstance must outlive the engine (the same lifetime
+/// contract the engines have always had with their Graph).
+struct EngineSubstrate {
+  std::size_t col_count = 0;                  ///< m (edges / elements)
+  std::span<const std::int64_t> capacities;   ///< c_e per column, size m
+  std::int64_t max_capacity = 0;              ///< c = max_e c_e
+};
+
+/// Compile-time substrate adapter; specialize for every bindable type.
+template <typename S>
+struct CoveringSubstrateTraits;
+
+/// Admission control: columns are the graph's edges.
+template <>
+struct CoveringSubstrateTraits<Graph> {
+  /// Engine capacities are real edge capacities, not degrees.
+  static constexpr bool kCapacityIsDegree = false;
+
+  static EngineSubstrate bind(const Graph& graph) {
+    return {graph.edge_count(), graph.capacities(), graph.max_capacity()};
+  }
+};
+
+/// Set cover via the §4 reduction: columns are the elements and each
+/// element's edge capacity is its degree |S_j|.
+template <>
+struct CoveringSubstrateTraits<CoveringInstance> {
+  static constexpr bool kCapacityIsDegree = true;
+
+  static EngineSubstrate bind(const CoveringInstance& substrate) {
+    return {substrate.col_count(), substrate.capacities(),
+            substrate.max_capacity()};
+  }
+};
+
+class AdmissionInstance;
+
+/// Bulk build: one substrate for a whole admission instance (rows =
+/// requests in arrival order, columns = edges with their capacities).
+CoveringInstance make_covering_substrate(const AdmissionInstance& instance);
+
+}  // namespace minrej

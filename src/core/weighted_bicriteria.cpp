@@ -10,6 +10,7 @@ namespace minrej {
 WeightedBicriteriaSetCover::WeightedBicriteriaSetCover(
     const SetSystem& system, BicriteriaConfig config)
     : OnlineSetCoverAlgorithm(system), config_(config),
+      sub_(&system.substrate()),
       weight_(system.set_count(),
               1.0 / (2.0 * static_cast<double>(system.set_count()))),
       elem_weight_(system.element_count(), 0.0),
@@ -60,7 +61,7 @@ std::vector<SetId> WeightedBicriteriaSetCover::handle_element(ElementId j) {
     MINREJ_CHECK(!in_cover_[s], "set added twice");
     in_cover_[s] = true;
     added.push_back(s);
-    for (ElementId member : system().elements_of(s)) ++cover_[member];
+    for (ElementId member : sub_->cols_of(s)) ++cover_[member];
   };
 
   while (cover_[j] < target) {
@@ -69,19 +70,19 @@ std::vector<SetId> WeightedBicriteriaSetCover::handle_element(ElementId j) {
 
     // (a) cost-scaled multiplicative step: cheap sets grow faster, the
     // same asymmetry §2 uses for requests (1 + 1/(n_e p_i)).
-    for (SetId s : system().sets_of(j)) {
+    for (SetId s : sub_->rows_of(j)) {
       if (in_cover_[s]) continue;
       const double before = weight_[s];
       weight_[s] = before * (1.0 + 1.0 / (2.0 * static_cast<double>(k) *
-                                          system().cost(s)));
+                                          sub_->row_cost(s)));
       const double delta = weight_[s] - before;
-      for (ElementId member : system().elements_of(s)) {
+      for (ElementId member : sub_->cols_of(s)) {
         elem_weight_[member] += delta;
       }
     }
 
     // (b) threshold rule.
-    for (SetId s : system().sets_of(j)) {
+    for (SetId s : sub_->rows_of(j)) {
       if (!in_cover_[s] && weight_[s] >= 1.0) add_set(s);
     }
 
@@ -92,14 +93,14 @@ std::vector<SetId> WeightedBicriteriaSetCover::handle_element(ElementId j) {
       SetId best = 0;
       long double best_score = -1.0L;
       bool found = false;
-      for (SetId s : system().sets_of(j)) {
+      for (SetId s : sub_->rows_of(j)) {
         if (in_cover_[s]) continue;
         long double gain = 0.0L;
-        for (ElementId member : system().elements_of(s)) {
+        for (ElementId member : sub_->cols_of(s)) {
           gain += term(member);
         }
         const long double score =
-            gain / static_cast<long double>(system().cost(s));
+            gain / static_cast<long double>(sub_->row_cost(s));
         if (score > best_score) {
           best_score = score;
           best = s;

@@ -52,6 +52,8 @@ class WeightedBicriteriaSetCover : public OnlineSetCoverAlgorithm {
   long double term(ElementId j) const;
 
   BicriteriaConfig config_;
+  /// Substrate binding, same rationale as BicriteriaSetCover.
+  const CoveringInstance* sub_ = nullptr;
   std::vector<double> weight_;
   std::vector<double> elem_weight_;
   std::vector<std::int64_t> cover_;

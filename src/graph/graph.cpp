@@ -16,9 +16,11 @@ Graph::Graph(std::size_t vertex_count, std::vector<Edge> edges)
   if (!edges_.empty()) {
     max_capacity_ = 0;
     min_capacity_ = edges_.front().capacity;
+    capacities_.reserve(edges_.size());
     for (const Edge& e : edges_) {
       max_capacity_ = std::max(max_capacity_, e.capacity);
       min_capacity_ = std::min(min_capacity_, e.capacity);
+      capacities_.push_back(e.capacity);
     }
   }
 
@@ -34,6 +36,16 @@ Graph::Graph(std::size_t vertex_count, std::vector<Edge> edges)
   for (std::size_t i = 0; i < edges_.size(); ++i) {
     adj_edges_[cursor[edges_[i].from]++] = static_cast<EdgeId>(i);
   }
+}
+
+Graph Graph::star(std::span<const std::int64_t> capacities) {
+  MINREJ_REQUIRE(!capacities.empty(), "star needs at least one leaf");
+  std::vector<Edge> edges;
+  edges.reserve(capacities.size());
+  for (std::size_t j = 0; j < capacities.size(); ++j) {
+    edges.push_back({0, static_cast<VertexId>(j + 1), capacities[j]});
+  }
+  return Graph(capacities.size() + 1, std::move(edges));
 }
 
 std::span<const EdgeId> Graph::out_edges(VertexId v) const {

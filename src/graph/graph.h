@@ -33,6 +33,12 @@ class Graph {
   /// Builds and validates: capacities must be >= 1, endpoints in range.
   Graph(std::size_t vertex_count, std::vector<Edge> edges);
 
+  /// Bulk CSR build path: the §4 reduction's star in one pass — center
+  /// vertex 0, leaf j+1 for every capacity entry, edge j with capacity
+  /// capacities[j].  Used by the reduction layers to realize a substrate's
+  /// degree capacities as a graph without per-edge vector churn.
+  static Graph star(std::span<const std::int64_t> capacities);
+
   std::size_t vertex_count() const noexcept { return vertex_count_; }
   std::size_t edge_count() const noexcept { return edges_.size(); }
 
@@ -43,6 +49,12 @@ class Graph {
   std::span<const Edge> edges() const noexcept { return edges_; }
 
   std::int64_t capacity(EdgeId e) const { return edge(e).capacity; }
+  /// Flat per-edge capacity array (dense in EdgeId) — the engine-binding
+  /// view (core/substrate_traits.h): hot loops index this span instead of
+  /// bounds-checking through edge().
+  std::span<const std::int64_t> capacities() const noexcept {
+    return capacities_;
+  }
 
   /// c = max_e c_e (paper notation); 0 for an edgeless graph.
   std::int64_t max_capacity() const noexcept { return max_capacity_; }
@@ -58,6 +70,7 @@ class Graph {
  private:
   std::size_t vertex_count_ = 0;
   std::vector<Edge> edges_;
+  std::vector<std::int64_t> capacities_;  // flat copy, dense in EdgeId
   std::int64_t max_capacity_ = 0;
   std::int64_t min_capacity_ = 0;
   // CSR-style adjacency for out_edges().

@@ -13,6 +13,19 @@ Request::Request(std::vector<EdgeId> edge_set, double request_cost,
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 }
 
+Request Request::from_sorted(std::span<const EdgeId> edge_set,
+                             double request_cost, bool must_accept_flag) {
+  MINREJ_REQUIRE(std::is_sorted(edge_set.begin(), edge_set.end()) &&
+                     std::adjacent_find(edge_set.begin(), edge_set.end()) ==
+                         edge_set.end(),
+                 "from_sorted requires sorted, unique edges");
+  Request r;
+  r.edges.assign(edge_set.begin(), edge_set.end());
+  r.cost = request_cost;
+  r.must_accept = must_accept_flag;
+  return r;
+}
+
 AdmissionInstance::AdmissionInstance(Graph graph,
                                      std::vector<Request> requests)
     : graph_(std::move(graph)), requests_(std::move(requests)) {

@@ -8,6 +8,7 @@
 // fidelity, but nothing downstream assumes it.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,14 @@ struct Request {
   Request() = default;
   Request(std::vector<EdgeId> edge_set, double request_cost,
           bool must_accept_flag = false);
+
+  /// Bulk CSR path: builds from an already-sorted, unique edge span (e.g.
+  /// a covering-substrate arena slice) without re-sorting.  Sortedness is
+  /// validated — the contract every consumer relies on must not be
+  /// assumable away — but the copy is a single memcpy-shaped insert.
+  static Request from_sorted(std::span<const EdgeId> edge_set,
+                             double request_cost,
+                             bool must_accept_flag = false);
 };
 
 /// An admission-control instance: the graph plus the online request arrival

@@ -1,46 +1,71 @@
 #include "setcover/set_system.h"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
 
 namespace minrej {
 
-SetSystem::SetSystem(std::size_t element_count,
-                     std::vector<std::vector<ElementId>> sets,
-                     std::vector<double> costs)
-    : element_count_(element_count), sets_(std::move(sets)),
-      costs_(std::move(costs)) {
-  MINREJ_REQUIRE(element_count_ >= 1, "ground set must be non-empty");
-  MINREJ_REQUIRE(!sets_.empty(), "set family must be non-empty");
-  if (costs_.empty()) costs_.assign(sets_.size(), 1.0);  // unit costs
-  MINREJ_REQUIRE(sets_.size() == costs_.size(),
-                 "sets/costs size mismatch");
+namespace {
 
-  sets_of_.assign(element_count_, {});
-  for (std::size_t s = 0; s < sets_.size(); ++s) {
-    auto& members = sets_[s];
+/// Sorts/dedups every set and assembles the CSR substrate with degree
+/// capacities (the §4 identity: element j's edge capacity is |S_j|).
+CoveringInstance build_substrate(std::size_t element_count,
+                                 std::vector<std::vector<ElementId>>& sets,
+                                 const std::vector<double>& costs) {
+  MINREJ_REQUIRE(element_count >= 1, "ground set must be non-empty");
+  MINREJ_REQUIRE(!sets.empty(), "set family must be non-empty");
+  MINREJ_REQUIRE(sets.size() == costs.size(), "sets/costs size mismatch");
+  CoveringInstance::Builder builder(element_count);
+  std::size_t entries = 0;
+  for (const auto& members : sets) entries += members.size();
+  builder.reserve(sets.size(), entries);
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    auto& members = sets[s];
     std::sort(members.begin(), members.end());
     members.erase(std::unique(members.begin(), members.end()), members.end());
     MINREJ_REQUIRE(!members.empty(), "empty set in family");
-    for (ElementId j : members) {
-      MINREJ_REQUIRE(j < element_count_, "set contains out-of-range element");
-      sets_of_[j].push_back(static_cast<SetId>(s));
-    }
-    MINREJ_REQUIRE(costs_[s] > 0.0, "set cost must be positive");
-    total_cost_ += costs_[s];
-    if (std::abs(costs_[s] - 1.0) > 1e-12) unit_costs_ = false;
+    MINREJ_REQUIRE(costs[s] > 0.0, "set cost must be positive");
+    // Range validation happens in add_row (element ids are column ids).
+    builder.add_row(members, costs[s]);
   }
+  return std::move(builder).build_degree_capacities();
+}
+
+}  // namespace
+
+SetSystem::SetSystem(std::size_t element_count,
+                     std::vector<std::vector<ElementId>> sets,
+                     std::vector<double> costs)
+    : element_count_(element_count) {
+  if (costs.empty()) costs.assign(sets.size(), 1.0);  // unit costs
+  substrate_ = build_substrate(element_count_, sets, costs);
 }
 
 SetSystem::SetSystem(std::size_t element_count,
                      std::vector<std::vector<ElementId>> sets)
     : SetSystem(element_count, std::move(sets), std::vector<double>{}) {}
 
+SetSystem SetSystem::from_substrate(std::size_t element_count,
+                                    CoveringInstance substrate) {
+  MINREJ_REQUIRE(element_count >= 1, "ground set must be non-empty");
+  MINREJ_REQUIRE(substrate.col_count() == element_count,
+                 "substrate column count must equal the element count");
+  MINREJ_REQUIRE(substrate.row_count() >= 1, "set family must be non-empty");
+  for (std::uint32_t j = 0; j < substrate.col_count(); ++j) {
+    MINREJ_REQUIRE(substrate.col_capacity(j) ==
+                       static_cast<std::int64_t>(substrate.col_degree(j)),
+                   "set-cover substrate requires capacity == degree");
+  }
+  SetSystem out;
+  out.element_count_ = element_count;
+  out.substrate_ = std::move(substrate);
+  return out;
+}
+
 std::string SetSystem::summary() const {
   std::ostringstream os;
-  os << "n=" << element_count_ << " m=" << sets_.size()
-     << (unit_costs_ ? " (unit costs)" : " (weighted)");
+  os << "n=" << element_count_ << " m=" << set_count()
+     << (unit_costs() ? " (unit costs)" : " (weighted)");
   return os.str();
 }
 

@@ -4,13 +4,22 @@
 // Both directions of incidence are indexed up front: sets_of(j) is the
 // paper's S_j (the collection of sets containing element j), which every
 // algorithm in §4/§5 iterates on the hot path.
+//
+// Since the covering-substrate refactor (DESIGN.md §7) SetSystem is a thin
+// facade over a CoveringInstance: sets are rows, elements are columns, and
+// both incidence directions live in flat CSR arenas with 32-byte headers
+// instead of one heap vector per set/element.  Every accessor below is a
+// substrate read; algorithms that want the raw arena (the §4 ReductionView,
+// the bicriteria sweeps, the engine binding) take substrate() directly.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/covering_instance.h"
 #include "util/check.h"
 
 namespace minrej {
@@ -33,40 +42,44 @@ class SetSystem {
   SetSystem(std::size_t element_count,
             std::vector<std::vector<ElementId>> sets);
 
+  /// Bulk CSR path: adopts a ready substrate (rows = sets over element
+  /// columns, capacity == degree).  Requires degree-capacity binding —
+  /// the set-cover side of the §4 identity.
+  static SetSystem from_substrate(std::size_t element_count,
+                                  CoveringInstance substrate);
+
   std::size_t element_count() const noexcept { return element_count_; }  ///< n
-  std::size_t set_count() const noexcept { return sets_.size(); }        ///< m
+  std::size_t set_count() const noexcept {                               ///< m
+    return substrate_.row_count();
+  }
 
   std::span<const ElementId> elements_of(SetId s) const {
-    MINREJ_REQUIRE(s < sets_.size(), "set id out of range");
-    return sets_[s];
+    return substrate_.cols_of(s);
   }
   /// S_j: ids of the sets containing element j.
   std::span<const SetId> sets_of(ElementId j) const {
-    MINREJ_REQUIRE(j < element_count_, "element id out of range");
-    return sets_of_[j];
+    return substrate_.rows_of(j);
   }
   /// |S_j| — the degree of element j (capacity of its edge in the §4
   /// reduction).
-  std::size_t degree(ElementId j) const { return sets_of(j).size(); }
+  std::size_t degree(ElementId j) const { return substrate_.col_degree(j); }
 
-  double cost(SetId s) const {
-    MINREJ_REQUIRE(s < costs_.size(), "set id out of range");
-    return costs_[s];
-  }
-  double total_cost() const noexcept { return total_cost_; }
+  double cost(SetId s) const { return substrate_.row_cost(s); }
+  double total_cost() const noexcept { return substrate_.total_cost(); }
   /// True if every set has cost exactly 1 (the unweighted case the paper's
   /// §5 algorithm assumes).
-  bool unit_costs() const noexcept { return unit_costs_; }
+  bool unit_costs() const noexcept { return substrate_.unit_costs(); }
+
+  /// The shared CSR substrate (DESIGN.md §7): sets are rows, elements are
+  /// columns, column capacity == degree.  The ReductionView and the engine
+  /// traits bind here.
+  const CoveringInstance& substrate() const noexcept { return substrate_; }
 
   std::string summary() const;
 
  private:
   std::size_t element_count_ = 0;
-  std::vector<std::vector<ElementId>> sets_;
-  std::vector<std::vector<SetId>> sets_of_;
-  std::vector<double> costs_;
-  double total_cost_ = 0.0;
-  bool unit_costs_ = true;
+  CoveringInstance substrate_;
 };
 
 }  // namespace minrej

@@ -1,6 +1,7 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.h"
@@ -24,6 +25,16 @@ void fill_latency_quantiles(RunT& run, std::vector<double>& latencies) {
 }
 
 }  // namespace
+
+std::uint64_t augmentation_step_budget(std::size_t arrivals,
+                                       std::size_t edge_count,
+                                       std::int64_t max_capacity) {
+  const double mc = static_cast<double>(edge_count) *
+                    static_cast<double>(std::max<std::int64_t>(1, max_capacity));
+  const double budget =
+      32.0 * static_cast<double>(arrivals) * std::log2(2.0 + mc);
+  return static_cast<std::uint64_t>(budget);
+}
 
 AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
                            const AdmissionInstance& instance,
@@ -50,6 +61,17 @@ AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
   run.rejected_count = algorithm.rejected_count();
   run.arrivals = instance.request_count();
   run.augmentation_steps = algorithm.augmentation_steps();
+  run.augmentation_budget = augmentation_step_budget(
+      run.arrivals, instance.graph().edge_count(),
+      instance.graph().max_capacity());
+  run.augmentation_budget_exceeded =
+      run.augmentation_steps > run.augmentation_budget;
+  if (options.warn_augmentation_budget) {
+    MINREJ_WARN_IF(run.augmentation_budget_exceeded,
+                   "augmentation steps blew through the per-run budget — "
+                   "per-edge capacity is likely in the superlinear regime "
+                   "(sim/runner.h: augmentation_step_budget)");
+  }
   fill_latency_quantiles(run, latencies);
   return run;
 }
@@ -78,6 +100,22 @@ CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
   run.chosen_count = algorithm.chosen_count();
   run.arrivals = arrivals.size();
   run.augmentation_steps = algorithm.augmentation_steps();
+  // Through the §4 reduction the edges are the elements and the largest
+  // capacity is the largest degree — which is exactly the substrate's
+  // max_capacity under the degree binding SetSystem enforces.
+  const SetSystem& system = algorithm.system();
+  run.augmentation_budget = augmentation_step_budget(
+      run.arrivals, system.element_count(),
+      std::max<std::int64_t>(1, system.substrate().max_capacity()));
+  run.augmentation_budget_exceeded =
+      run.augmentation_steps > run.augmentation_budget;
+  if (options.warn_augmentation_budget) {
+    MINREJ_WARN_IF(run.augmentation_budget_exceeded,
+                   "augmentation steps blew through the per-run budget — "
+                   "demands near the element degrees drive the §4 "
+                   "reduction into the superlinear regime "
+                   "(sim/runner.h: augmentation_step_budget)");
+  }
   fill_latency_quantiles(run, latencies);
   return run;
 }

@@ -27,7 +27,28 @@ struct RunOptions {
   /// read totals; the perf bench (E10) opts in.  When off, the p50/p95/
   /// max latency fields stay 0.
   bool collect_latencies = false;
+  /// Emit a MINREJ_WARN_IF line when the run blows through its
+  /// augmentation-step budget (see augmentation_step_budget).  The budget
+  /// verdict lands in the run struct either way; this only silences the
+  /// stderr line (benches that sweep the blow-up regime on purpose, e.g.
+  /// E4, opt out).
+  bool warn_augmentation_budget = true;
 };
+
+/// Soft ceiling on the weight-augmentation steps a healthy run performs:
+/// 32 · arrivals · log2(2 + m·c).  Lemma 1 charges O(α·log(gc)) steps per
+/// phase, which is amortized-constant-ish per arrival with a polylog
+/// factor — but PR 3 observed the *weighted* engine's per-arrival work
+/// growing superlinearly with per-edge capacity c (each arrival sweeps a
+/// Θ(c)-long member list per step, and normalized costs up to 2mc make
+/// each step's multiplicative gain microscopic).  A run past this budget
+/// is in that blow-up regime: its wall-clock numbers measure the
+/// pathology, not the steady state.  The scenario catalog keeps c small
+/// for exactly this reason (sim/workloads.cpp); run_admission/run_setcover
+/// surface the verdict in AdmissionRun/CoverRun.
+std::uint64_t augmentation_step_budget(std::size_t arrivals,
+                                       std::size_t edge_count,
+                                       std::int64_t max_capacity);
 
 /// Outcome of running one admission algorithm over one instance.
 struct AdmissionRun {
@@ -38,6 +59,11 @@ struct AdmissionRun {
   /// Weight-augmentation steps the algorithm's primal-dual core performed
   /// over the whole run (0 for engines without one).
   std::uint64_t augmentation_steps = 0;
+  /// The run's augmentation_step_budget and whether the run blew through
+  /// it (the PR 3 per-edge-capacity blow-up guard; see the free function
+  /// below).
+  std::uint64_t augmentation_budget = 0;
+  bool augmentation_budget_exceeded = false;
   /// Per-arrival processing latency quantiles and maximum, in seconds.
   double p50_arrival_s = 0.0;
   double p95_arrival_s = 0.0;
@@ -61,6 +87,8 @@ struct CoverRun {
   double seconds = 0.0;
   /// See AdmissionRun: same counters for the set-cover side.
   std::uint64_t augmentation_steps = 0;
+  std::uint64_t augmentation_budget = 0;
+  bool augmentation_budget_exceeded = false;
   double p50_arrival_s = 0.0;
   double p95_arrival_s = 0.0;
   double max_arrival_s = 0.0;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/reduction.h"
 #include "graph/generators.h"
+#include "setcover/generators.h"
 #include "util/check.h"
 
 namespace minrej {
@@ -249,12 +251,41 @@ constexpr ScenarioInfo kCatalog[] = {
      "one edge, strictly escalating costs; maximal preemption churn"},
     {"multi_tenant",
      "8 Zipf-popular tenants on disjoint edge blocks, multi-edge requests"},
+    {"setcover_powerlaw",
+     "§4 reduction of a power-law set system under Zipf element arrivals"},
+    {"setcover_reduction_replay",
+     "uniform set system replayed through the §4 reduction (phase 1 + "
+     "repeated element demands)"},
 };
 
 /// capacity == 0 picks the scenario default; any other value is taken
 /// verbatim.
 std::int64_t pick_capacity(std::int64_t requested, std::int64_t fallback) {
   return requested > 0 ? requested : std::max<std::int64_t>(1, fallback);
+}
+
+/// Pads a reduction arrival sequence up to `budget` arrivals by cycling
+/// elements that still have spare degree (demand < |S_j|), so the
+/// setcover_* scenarios hit the requested instance size exactly whenever
+/// the system has enough feasible demand left.  Deterministic tail — the
+/// interesting arrival structure is in the prefix the generator produced.
+void pad_reduction_arrivals(const SetSystem& sys, std::size_t budget,
+                            std::vector<ElementId>& arrivals) {
+  std::vector<std::int64_t> demand(sys.element_count(), 0);
+  for (ElementId j : arrivals) ++demand[j];
+  bool progress = true;
+  while (arrivals.size() < budget && progress) {
+    progress = false;
+    for (std::size_t j = 0;
+         j < sys.element_count() && arrivals.size() < budget; ++j) {
+      const auto elem = static_cast<ElementId>(j);
+      if (demand[j] < static_cast<std::int64_t>(sys.degree(elem))) {
+        arrivals.push_back(elem);
+        ++demand[j];
+        progress = true;
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -308,6 +339,56 @@ AdmissionInstance make_scenario(const std::string& name,
         params.capacity,
         std::max<std::int64_t>(4, static_cast<std::int64_t>(requests) / 64));
     return make_adversarial_single_edge(cap, requests, 1024.0);
+  }
+  if (name == "setcover_powerlaw") {
+    // Online set cover as service traffic, realized through the §4
+    // reduction: n = m elements/sets sized from the request budget
+    // (phase-1 presents one request per set; Zipf(1.1) element arrivals
+    // spend the rest, padded by spare-degree demand to land on the budget
+    // exactly).  Power-law set sizes — a few hub sets plus a long tail,
+    // the shape of real coverage catalogs.  Every reduction edge's
+    // capacity is the element's degree, so the instance is exactly as
+    // overloaded as the demands make it.  Unit set costs on purpose:
+    // demands run to the degree bound, and weighted mode's α machinery in
+    // that deeply overloaded regime is the superlinear augmentation
+    // blow-up PR 3 cautions about —
+    // AdmissionRun::augmentation_budget_exceeded is the tripwire if a
+    // variant of this scenario reintroduces it.
+    const std::size_t n = std::max<std::size_t>(
+        std::max<std::size_t>(2, edges), requests / 4);
+    SetSystem sys = power_law_system(n, n, 1.3, /*min_degree=*/2, rng);
+    const std::size_t phase1 = sys.set_count();
+    const std::size_t want = requests > phase1 ? requests - phase1 : 0;
+    std::vector<ElementId> arrivals = arrivals_zipf(sys, want, 1.1, rng);
+    pad_reduction_arrivals(sys, want, arrivals);
+    return reduced_admission_instance(sys, arrivals);
+  }
+  if (name == "setcover_reduction_replay") {
+    // The §4 reduction end-to-end, replayable through minrej_serve: a
+    // uniform random system (m = n sets of 8, degrees patched to >= 4)
+    // whose every element is demanded k times, interleaved — the "with
+    // repetitions" case the paper stresses.  `capacity` is reused as the
+    // demand multiplicity k (default 2, clamped to [1, 3] so spare degree
+    // remains for the exact-size padding).  n is sized so phase 1 (n
+    // requests) plus n·k arrivals meets the request budget.
+    auto k = static_cast<std::size_t>(std::clamp<std::int64_t>(
+        params.capacity > 0 ? params.capacity : 2, 1, 3));
+    const std::size_t n =
+        std::max<std::size_t>(2, requests / (k + 1));
+    const std::size_t min_degree = std::min<std::size_t>(4, n);
+    // Tiny ground sets cannot absorb the requested multiplicity: demand
+    // beyond the patched minimum degree would make the reduction's
+    // must-accept phase 2 infeasible.
+    k = std::min(k, min_degree);
+    SetSystem sys = random_uniform_system(
+        n, n, std::min<std::size_t>(8, n), min_degree, rng);
+    std::vector<ElementId> arrivals =
+        arrivals_each_k_times(n, k, /*interleave=*/true, rng);
+    const std::size_t phase1 = sys.set_count();
+    const std::size_t want = requests > phase1 ? requests - phase1 : 0;
+    if (arrivals.size() > want) arrivals.resize(want);
+    pad_reduction_arrivals(sys, want, arrivals);
+    return reduced_admission_instance(sys, arrivals);
   }
   if (name == "multi_tenant") {
     const std::size_t tenants = std::min<std::size_t>(8, edges);

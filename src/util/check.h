@@ -8,6 +8,7 @@
 // violations would invalidate every measured competitive ratio.
 #pragma once
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -44,6 +45,12 @@ namespace detail {
   throw InternalError(os.str());
 }
 
+inline void warn(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "minrej warning: %s at %s:%d%s%s\n", expr, file, line,
+               msg.empty() ? "" : " — ", msg.c_str());
+}
+
 }  // namespace detail
 }  // namespace minrej
 
@@ -59,4 +66,13 @@ namespace detail {
   do {                                                                    \
     if (!(cond))                                                          \
       ::minrej::detail::throw_internal(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// MINREJ_REQUIRE's soft sibling: report a violated expectation to stderr
+/// and keep going.  For operational guardrails (e.g. the augmentation-
+/// budget blow-up of sim/runner.h) where aborting a long run would destroy
+/// the evidence the warning is about.
+#define MINREJ_WARN_IF(cond, msg)                                    \
+  do {                                                               \
+    if (cond) ::minrej::detail::warn(#cond, __FILE__, __LINE__, (msg)); \
   } while (false)

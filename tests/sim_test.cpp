@@ -261,7 +261,7 @@ TEST(Workloads, MultiTenantRequestsStayInsideTenantBlocks) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioCatalog, EveryEntryBuildsAtRequestedSize) {
-  ASSERT_EQ(scenario_catalog().size(), 5u);
+  ASSERT_EQ(scenario_catalog().size(), 7u);
   ScenarioParams params;
   params.requests = 300;
   params.edges = 16;
