@@ -28,7 +28,9 @@ namespace minrej::bench {
 
 /// Root object of every BENCH_*.json, pre-stamped with the provenance
 /// fields the perf trajectory needs to attribute a number: the bench slug,
-/// the git SHA and build type baked in at configure time, and the scenario
+/// the git SHA and build type baked in at configure time, the sweep-kernel
+/// ISA the engines actually ran (scalar/avx2/avx512 — a scalar-fallback
+/// number must never be compared against a vector one), and the scenario
 /// the run measured ("mixed" when one file covers several).
 inline JsonObject bench_root(const std::string& bench,
                              const std::string& scenario) {
@@ -36,6 +38,7 @@ inline JsonObject bench_root(const std::string& bench,
   root.field("bench", bench)
       .field("git_sha", build_git_sha())
       .field("build_type", build_type())
+      .field("sweep_isa", sweep_isa())
       .field("scenario", scenario);
   return root;
 }

@@ -4,10 +4,12 @@
 //
 //   (a) engine head-to-head — FlatFractionalEngine vs the retained
 //       NaiveFractionalEngine on the dense single-edge burst (the
-//       worst-case member-list workload) and on a Zipf power-law workload,
-//       reporting arrivals/sec and the flat/naive speedup.  Both engines
-//       take identical augmentation decisions (the differential suite
-//       enforces it), so the comparison isolates the storage layer.
+//       worst-case member-list workload), on a Zipf power-law workload,
+//       and on the shared_sets_overlap catalog scenario (wide shared
+//       rows — the cross-arrival fix-up regime), reporting arrivals/sec
+//       and the flat/naive speedup.  Both engines take identical
+//       augmentation decisions (the differential suite enforces it), so
+//       the comparison isolates the storage layer.
 //   (b) full stack — RandomizedAdmission and ReductionSetCover driven
 //       through sim::run_admission / run_setcover, reporting arrivals/sec,
 //       p50/p95 per-arrival latency, and augmentation-step totals.
@@ -205,6 +207,24 @@ int main(int argc, char** argv) {
     // Weighted floor 1/(g·c) with the workload's spread g = 32, c = 8.
     duels.push_back(engine_head_to_head("power_law_zipf1.1", zipf,
                                         1.0 / 256.0, trials, naive_trials));
+  }
+  {
+    // Shared-sets overlap (the catalog twin of E15's stack-duel regime):
+    // wide, heavily shared request rows, augmentation rare — the
+    // cross-arrival fix-up is the engine's whole cost here (DESIGN.md
+    // §8.2).  Capped like the full stack: the duel measures per-arrival
+    // upkeep, which saturates well below 10^5 arrivals.
+    Rng rng(3);
+    ScenarioParams params;
+    params.requests = std::min<std::size_t>(requests, 30000);
+    AdmissionInstance overlap =
+        make_scenario("shared_sets_overlap", params, rng);
+    // Unit costs; floor 1/(g·c) with g = 1, c = the reduction's max degree.
+    const double zero_init =
+        1.0 / static_cast<double>(
+                  std::max<std::int64_t>(2, overlap.graph().max_capacity()));
+    duels.push_back(engine_head_to_head("shared_sets_overlap", overlap,
+                                        zero_init, trials, naive_trials));
   }
 
   Table duel_table(

@@ -366,6 +366,11 @@ int main(int argc, char** argv) {
     stacks.push_back(stack_duel("dense", dense, arrivals, trials));
   }
   {
+    // Same regime as the catalog's `shared_sets_overlap` scenario
+    // (docs/SCENARIOS.md), which replays it through every admission
+    // driver; here it stays a raw SetSystem so the duel isolates the
+    // set-cover pipeline.  The engine-level twin is E10's
+    // shared_sets_overlap head-to-head row.
     Rng rng(1);
     SetSystem overlap = random_density_system(
         std::min<std::size_t>(n, 512), std::min<std::size_t>(n, 512), 0.25,

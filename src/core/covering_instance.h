@@ -132,6 +132,15 @@ class CoveringInstance {
       out.total_cost_ = total_cost_;
       out.unit_costs_ = unit_costs_;
 
+      // Cold reciprocal-cost column: consumers whose hot loops multiply by
+      // 1/cost (the engines' divide-free step (b), the weighted-bicriteria
+      // multiplicative update) read it instead of dividing per member.
+      // Taken once here so every consumer sees the identical rounding.
+      out.row_recip_cost_.reserve(out.rows_.size());
+      for (const CoveringRow& row : out.rows_) {
+        out.row_recip_cost_.push_back(1.0 / row.cost);
+      }
+
       // Transpose by counting sort over the column ids.
       out.cols_.resize(col_count_);
       for (std::uint32_t c : out.row_cols_) ++out.cols_[c].count;
@@ -195,6 +204,12 @@ class CoveringInstance {
     MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
     return rows_[r].cost;
   }
+  /// 1 / row_cost(r), precomputed at build time (cold SoA column) so
+  /// multiplicative-update hot loops run divide-free.
+  double row_recip_cost(std::uint32_t r) const {
+    MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
+    return row_recip_cost_[r];
+  }
   bool row_must_accept(std::uint32_t r) const {
     MINREJ_REQUIRE(r < rows_.size(), "row id out of range");
     return rows_[r].must_accept != 0;
@@ -232,6 +247,7 @@ class CoveringInstance {
   std::vector<CoveringCol> cols_;
   std::vector<std::uint32_t> row_cols_;  ///< arena: columns of every row
   std::vector<std::uint32_t> col_rows_;  ///< arena: rows of every column
+  std::vector<double> row_recip_cost_;   ///< cold column: 1 / rows_[r].cost
   std::vector<std::int64_t> capacities_; ///< flat copy for engine binding
   std::int64_t max_capacity_ = 0;
   double total_cost_ = 0.0;

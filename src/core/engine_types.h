@@ -4,6 +4,7 @@
 // the FractionalEngine alias defined at the bottom of fractional_engine.h.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "graph/types.h"
@@ -24,5 +25,31 @@ struct WeightDelta {
 /// but without it an adversarially small update_cost could push a weight
 /// toward overflow/inf through the multiplicative step.
 inline constexpr double kEngineWeightClamp = 2.0;
+
+/// The per-request fields the augmentation sweep reads and writes, packed
+/// into one 32-byte row so a member costs the sweep a single cache line
+/// even when member ids are scattered (hot-edge lists under skewed traffic
+/// are exactly that).  Shared between the flat engine and the sweep
+/// kernels in core/simd_sweep.h, whose gathers address the four fields by
+/// their fixed 8-byte strides — the static_asserts below are load-bearing
+/// for those kernels, not just a size check.
+///
+/// `inv_update_cost` is the precomputed reciprocal 1/p_i (the divide-free
+/// weighted path, DESIGN.md §8): the multiplicative step becomes
+/// 1.0 + (1/n_e)·(1/p_i) with one divide per step instead of one per
+/// member.  For unit costs the reciprocal is exactly 1.0 and the product
+/// (1/n_e)·1.0 is bitwise the old hoisted unit multiplier.
+struct EngineHotRow {
+  double weight = 0.0;
+  double inv_update_cost = 1.0;  ///< 1 / p_i, precomputed at admission
+  // Delta bookkeeping for the current arrival.
+  double weight_at_touch = 0.0;
+  std::uint64_t touch_epoch = 0;
+};
+static_assert(sizeof(EngineHotRow) == 32);
+static_assert(offsetof(EngineHotRow, weight) == 0);
+static_assert(offsetof(EngineHotRow, inv_update_cost) == 8);
+static_assert(offsetof(EngineHotRow, weight_at_touch) == 16);
+static_assert(offsetof(EngineHotRow, touch_epoch) == 24);
 
 }  // namespace minrej

@@ -1,6 +1,7 @@
 #include "core/fractional_engine.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/check.h"
@@ -10,19 +11,34 @@ namespace minrej {
 namespace {
 /// Relative half-width of the numerical band around the covering boundary
 /// within which the termination check falls back to an exact rescan.  The
-/// incremental sum's drift between resynchronizations is orders of
-/// magnitude below this, so outside the band the O(1) comparison is
-/// already exact in effect.
+/// incremental sum's drift between resynchronizations — including the
+/// reassociation noise of vector-kernel refreshes and journal folds — is
+/// orders of magnitude below this, so outside the band the O(1) comparison
+/// is already exact in effect.
 constexpr double kSumBand = 1e-9;
+
+/// Fix-up routing boundary (DESIGN.md §8): a touched request whose
+/// incidence row is at most this wide patches its edges' covering-sum
+/// caches eagerly at arrival end; a wider row appends one journal entry
+/// instead.  Eight keeps the dense-burst shapes (rows of a handful of
+/// edges, all of them this arrival's own) on the batched-register path
+/// that makes their fix-up O(1) per touched member, while overlap-shaped
+/// rows (dozens of incident edges per member) stop paying O(row degree)
+/// per arrival.
+constexpr std::size_t kEagerFixupRowDegree = 8;
 }  // namespace
 
 FlatFractionalEngine::FlatFractionalEngine(EngineSubstrate substrate,
-                                           double zero_init)
-    : substrate_(substrate), zero_init_(zero_init), edge_begin_{0},
+                                           double zero_init,
+                                           std::size_t small_list_threshold)
+    : substrate_(substrate), zero_init_(zero_init),
+      small_threshold_(small_list_threshold),
+      kernel_(simd::active_sweep_isa()), edge_begin_{0},
       members_(substrate.col_count), alive_count_(substrate.col_count, 0),
       pinned_count_(substrate.col_count, 0),
       dead_count_(substrate.col_count, 0),
-      alive_sum_(substrate.col_count, 0.0) {
+      alive_sum_(substrate.col_count, 0.0),
+      journal_pos_(substrate.col_count, 0) {
   MINREJ_REQUIRE(substrate_.capacities.size() == substrate_.col_count,
                  "substrate capacity span size mismatch");
   // zero_init == 1 is legal: it is what the unweighted case degenerates to
@@ -39,7 +55,10 @@ RequestId FlatFractionalEngine::append_request(std::span<const EdgeId> edges,
   const auto id = static_cast<RequestId>(hot_.size());
   edge_pool_.insert(edge_pool_.end(), edges.begin(), edges.end());
   edge_begin_.push_back(edge_pool_.size());
-  hot_.push_back(HotRow{initial_weight, update_cost, 0.0, 0});
+  // The hot row stores 1/p_i, not p_i: the multiplicative step becomes
+  // divide-free (one reciprocal at admission instead of one division per
+  // member per sweep).  Unit costs store an exact 1.0 either way.
+  hot_.push_back(HotRow{initial_weight, 1.0 / update_cost, 0.0, 0});
   report_cost_.push_back(report_cost);
   alive_.push_back(1);
   pinned_.push_back(pinned ? 1 : 0);
@@ -81,7 +100,8 @@ double FlatFractionalEngine::alive_weight_sum(EdgeId e) const {
   MINREJ_REQUIRE(e < substrate_.col_count, "edge out of range");
   // Small lists run outside the incremental-sum machinery (§7.3): their
   // cache is stale by contract, so re-derive the sum with a bounded scan.
-  return small_list(e) ? exact_alive_sum(e) : alive_sum_[e];
+  // Large lists fold the pending journal suffix in first (§8).
+  return small_list(e) ? exact_alive_sum(e) : reconciled_sum(e);
 }
 
 bool FlatFractionalEngine::saturated(EdgeId e) const {
@@ -94,7 +114,7 @@ bool FlatFractionalEngine::constraint_satisfied(EdgeId e) const {
   if (n_e <= 0) return true;
   if (alive_count_[e] == 0) return true;  // unsatisfiable => saturated
   // Tolerance: the multiplicative updates accumulate rounding error.
-  const double sum = small_list(e) ? exact_alive_sum(e) : alive_sum_[e];
+  const double sum = small_list(e) ? exact_alive_sum(e) : reconciled_sum(e);
   return sum >= static_cast<double>(n_e) - 1e-9;
 }
 
@@ -116,10 +136,12 @@ std::vector<RequestId> FlatFractionalEngine::alive_requests(EdgeId e) const {
 double FlatFractionalEngine::exact_alive_sum(EdgeId e) const {
   // Member-list order, skipping dead entries: the same addition sequence
   // the naive engine performs over its compacted list, so the two engines
-  // agree bit-for-bit on boundary decisions.  Death is read off the hot
-  // row (weight ≥ 1 ⇔ dead for the augmentable requests member lists
-  // hold), keeping the scan on the cache lines a following sweep needs
-  // anyway.
+  // agree bit-for-bit on boundary decisions.  This is the §3.2 decision
+  // path — it stays scalar on every build and every kernel tier; only
+  // cache refreshes may use the lane-reassociated simd::alive_sum.  Death
+  // is read off the hot row (weight ≥ 1 ⇔ dead for the augmentable
+  // requests member lists hold), keeping the scan on the cache lines a
+  // following sweep needs anyway.
   double sum = 0.0;
   for (RequestId i : members_[e]) {
     const double w = hot_[i].weight;
@@ -128,83 +150,106 @@ double FlatFractionalEngine::exact_alive_sum(EdgeId e) const {
   return sum;
 }
 
+double FlatFractionalEngine::reconciled_sum(EdgeId e) const {
+  // Mid-arrival the hot rows are ahead of both the cache and the journal
+  // (this arrival's deltas are appended only by the arrival-end fix-up):
+  // reconciliation would return the arrival-start sum, and a commit would
+  // later double-count.  Degrade to an exact rescan, committing nothing —
+  // only observer-callback reads land here.
+  if (mid_arrival_dirty_) return exact_alive_sum(e);
+  const std::size_t end = journal_.size();
+  const std::size_t pos = journal_pos_[e];
+  if (pos == end) return alive_sum_[e];  // nothing pending: O(1)
+  const auto& list = members_[e];
+  const std::size_t len = list.size();
+  const std::size_t seg = end - pos;
+  // Fold the pending suffix or rescan the list, whichever is estimated
+  // cheaper in scaled-integer units: folding one entry costs one binary
+  // search (~log2 len probes), a rescan costs len lane-adds.
+  if (seg * (std::bit_width(len) + 1) >= len) {
+    alive_sum_[e] = simd::alive_sum(kernel_, list.data(), len, hot_.data());
+  } else {
+    double sum = alive_sum_[e];
+    for (std::size_t j = pos; j < end; ++j) {
+      const JournalEntry& ent = journal_[j];
+      // Member lists are id-sorted by construction (ids are assigned in
+      // admission order and only ever appended; removals keep order), so
+      // membership is a binary search.  An alive request is dropped from
+      // no list, so alive-and-absent means not incident; a dead one may
+      // have been swept out of the list, so absence falls back to its
+      // incidence row.
+      bool incident = std::binary_search(list.begin(), list.end(), ent.id);
+      if (!incident && alive_[ent.id] == 0) {
+        const auto row = edges_of(ent.id);
+        incident = std::find(row.begin(), row.end(), e) != row.end();
+      }
+      if (incident) sum += ent.delta;
+    }
+    alive_sum_[e] = sum;
+  }
+  journal_pos_[e] = end;
+  return alive_sum_[e];
+}
+
+void FlatFractionalEngine::fold_journal() {
+  // Commit the pending suffix of every large edge (small edges hold no
+  // trusted cache), then truncate the journal: every cursor restarts at
+  // zero.  Runs only when the journal has outgrown the incidence arena,
+  // so the full-edge walk is amortized O(1) per appended entry.
+  const auto edge_count = static_cast<EdgeId>(substrate_.col_count);
+  for (EdgeId e = 0; e < edge_count; ++e) {
+    if (!small_list(e)) (void)reconciled_sum(e);
+    journal_pos_[e] = 0;
+  }
+  journal_.clear();
+}
+
 void FlatFractionalEngine::compact(EdgeId e) {
   ++compactions_;
   auto& list = members_[e];
-  const bool was_large = list.size() > kSmallListThreshold;
+  const bool was_large = list.size() > small_threshold_;
   list.erase(std::remove_if(list.begin(), list.end(),
                             [this](RequestId i) { return alive_[i] == 0; }),
              list.end());
-  if (was_large && list.size() <= kSmallListThreshold) --large_edges_;
+  if (was_large && list.size() <= small_threshold_) --large_edges_;
   dead_count_[e] = 0;
-  alive_sum_[e] = exact_alive_sum(e);  // walk is paid for; resync exactly
+  // The walk is paid for: resynchronize the cache and retire the pending
+  // journal suffix (the fresh sum already reflects every fold target).
+  alive_sum_[e] = simd::alive_sum(kernel_, list.data(), list.size(),
+                                  hot_.data());
+  journal_pos_[e] = journal_.size();
 }
 
 double FlatFractionalEngine::sweep_step(EdgeId e, double ne) {
   // One fused sweep over the member list (paper steps a+b+c in a single
   // pass — legal because within a step each request's update depends only
   // on its own weight and the step-start n_e) that also compacts the list
-  // in place (two-pointer): entries that died — here or during another
-  // edge's sweep — are simply not written back, so the swept edge never
-  // pays for lazy deletion with an extra pass.
-  //
-  // Unit update costs (the unweighted Theorem-4 setting, and by far the
-  // hottest configuration) make the step multiplier the same for every
-  // member: hoist it so the sweep runs divide-free.  1/(n_e·1) ≡ 1/n_e
-  // bit-for-bit, so the fast path changes nothing observable.
-  const double unit_mult = 1.0 + 1.0 / ne;
-
+  // in place: entries that died — here or during another edge's sweep —
+  // are simply not written back.  The per-member arithmetic and the
+  // compaction both live in the simd_sweep.h kernel (scalar / AVX2 /
+  // AVX-512, identical per-lane arithmetic); the death bookkeeping the
+  // kernel streams out is settled here, where the incidence arena lives.
   auto& list = members_[e];
-  const bool was_large = list.size() > kSmallListThreshold;
-  double step_sum = 0.0;
-  std::size_t out = 0;
-  for (std::size_t k = 0; k < list.size(); ++k) {
-    const RequestId i = list[k];
-    HotRow& row = hot_[i];
-    // Member lists hold only augmentable requests, for which death is
-    // exactly weight ≥ 1 — so the dead-entry skip reads the hot row the
-    // sweep needs anyway instead of the cold alive_ array.
-    const double old = row.weight;
-    if (old >= 1.0) continue;  // killed via another edge: drop entry
-    if (row.touch_epoch != epoch_) {
-      row.touch_epoch = epoch_;
-      row.weight_at_touch = old;  // alive, so already < 1
-      touched_.push_back(i);
+  const bool was_large = list.size() > small_threshold_;
+  mid_arrival_dirty_ = true;  // caches lag the rows until arrival-end fix-up
+  deaths_.clear();
+  const simd::SweepStepResult r =
+      simd::sweep_step(kernel_, list.data(), list.size(), hot_.data(),
+                       1.0 / ne, zero_init_, epoch_, touched_, deaths_);
+  list.resize(r.new_size);
+  if (was_large && r.new_size <= small_threshold_) --large_edges_;
+  for (RequestId i : deaths_) {
+    // (c) the request crossed 1 and leaves every ALIVE list.  Alive/dead
+    // counts are maintained eagerly (excess() stays O(1)); the covering-
+    // sum caches catch up at arrival end.
+    alive_[i] = 0;
+    for (EdgeId f : edges_of(i)) {
+      --alive_count_[f];
+      ++dead_count_[f];  // f's list still holds the entry
     }
-    // (a) zero weights jump to the floor 1/(g·c)...
-    const double base = old == 0.0 ? zero_init_ : old;
-    // (b) ...then the multiplicative step f_i *= (1 + 1/(n_e p_i)).
-    const double mult = row.update_cost == 1.0
-                            ? unit_mult
-                            : 1.0 + 1.0 / (ne * row.update_cost);
-    const double w = base * mult;
-    // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
-    // form that is true for NaN as well as genuine negatives, so a
-    // poisoned weight fails loudly instead of corrupting invariant sums.
-    MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
-    const double now = std::min(w, kWeightClamp);
-    row.weight = now;
-    if (now >= 1.0) {
-      // (c) the request crosses 1 and leaves every ALIVE list.  Net
-      // effect on a covering sum that never saw the increase: −old.
-      // Alive/dead counts are maintained eagerly (excess() stays O(1));
-      // the covering-sum caches are refreshed by the arrival-end fix-up.
-      alive_[i] = 0;
-      step_sum -= old;
-      for (EdgeId f : edges_of(i)) {
-        --alive_count_[f];
-        ++dead_count_[f];  // f's list still holds the entry
-      }
-      --dead_count_[e];  // except e's: dropped from it right here
-      continue;
-    }
-    step_sum += now - old;
-    list[out++] = i;
   }
-  list.resize(out);
-  if (was_large && out <= kSmallListThreshold) --large_edges_;
   dead_count_[e] = 0;  // in-place sweep dropped every dead entry
-  return step_sum;
+  return r.step_sum;
 }
 
 void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
@@ -212,17 +257,16 @@ void FlatFractionalEngine::augment_edge(EdgeId e, bool sum_maybe_stale) {
   // unmet and there is still an augmentable alive request to raise.
   //
   // The covering sum lives in a register for the whole loop.  It starts
-  // from the incremental per-edge cache — which is exact at arrival
-  // boundaries — unless the edge is in the small-list regime (its cache
-  // is stale by contract, DESIGN.md §7.3) or an earlier edge of this same
-  // arrival already ran augmentation steps (`sum_maybe_stale`); either
-  // way one exact rescan seeds it.  The cache itself is refreshed once,
-  // at the end of the arrival, by restore_edges' fix-up pass — and only
-  // for long lists.  Termination decisions stay identical to the naive
-  // engine regardless of the seed: near the covering boundary the band
-  // check below falls back to the exact member-order rescan.
+  // from the per-edge cache reconciled with the pending journal suffix —
+  // exact at arrival boundaries modulo bounded drift — unless the edge is
+  // in the small-list regime (its cache is stale by contract, DESIGN.md
+  // §7.3) or an earlier edge of this same arrival already ran augmentation
+  // steps (`sum_maybe_stale`); either way one exact rescan seeds it.
+  // Termination decisions stay identical to the naive engine regardless of
+  // the seed: near the covering boundary the band check below falls back
+  // to the exact member-order rescan.
   double s = sum_maybe_stale || small_list(e) ? exact_alive_sum(e)
-                                              : alive_sum_[e];
+                                              : reconciled_sum(e);
   for (;;) {
     const std::int64_t n_e =
         alive_count_[e] + pinned_count_[e] - substrate_.capacities[e];
@@ -272,19 +316,24 @@ RequestId FlatFractionalEngine::admit_existing(std::span<const EdgeId> edges,
     // each compaction pass is charged to the deaths that forced it.
     // Small lists skip the gate (§7.3): their garbage is bounded by the
     // threshold and dropped whenever the edge itself is swept.
-    if (list.size() > kSmallListThreshold && dead_count_[e] > 0 &&
+    if (list.size() > small_threshold_ && dead_count_[e] > 0 &&
         static_cast<std::size_t>(dead_count_[e]) * 2 >= list.size()) {
       compact(e);
     }
     list.push_back(id);
     ++alive_count_[e];
-    if (list.size() == kSmallListThreshold + 1) {
+    if (list.size() == small_threshold_ + 1) {
       // The list just crossed into the incremental regime: its cache has
-      // been stale since it was last small, so resynchronize it exactly
-      // (the scan includes the member pushed above).
+      // been stale since it was last small, so resynchronize it (the scan
+      // includes the member pushed above) and retire any pending journal
+      // suffix the fresh sum already reflects.
       ++large_edges_;
-      alive_sum_[e] = exact_alive_sum(e);
-    } else if (list.size() > kSmallListThreshold + 1) {
+      alive_sum_[e] = simd::alive_sum(kernel_, list.data(), list.size(),
+                                      hot_.data());
+      journal_pos_[e] = journal_.size();
+    } else if (list.size() > small_threshold_ + 1) {
+      // Additive against whatever is pending: cache + pending suffix
+      // still reconciles to the exact sum after this.
       alive_sum_[e] += initial_weight;
     }
   }
@@ -309,12 +358,16 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   touched_.clear();
   deltas_.clear();
 
-  // Periodic exact resync of this arrival's sum caches (they are boundary-
-  // exact right now): keeps the fix-up pass's floating-point drift bounded
-  // on streams far longer than the band tolerance was sized for.  (Small
-  // lists get a harmless write; their cache is unread while small.)
+  // Periodic exact resync of this arrival's sum caches (the hot rows are
+  // boundary-exact right now): keeps the fix-up and journal-fold
+  // floating-point drift bounded on streams far longer than the band
+  // tolerance was sized for.  (Small lists get a harmless write; their
+  // cache is unread while small.)
   if ((epoch_ & 1023u) == 0) {
-    for (EdgeId e : edges) alive_sum_[e] = exact_alive_sum(e);
+    for (EdgeId e : edges) {
+      alive_sum_[e] = exact_alive_sum(e);
+      journal_pos_[e] = journal_.size();
+    }
   }
 
   // Restore the invariant on each edge, in the given order ("in an
@@ -343,14 +396,43 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
   //   * delta emission, branch-free: always store, advance the cursor only
   //     for real increases (zero deltas contribute an exact +0.0 to the
   //     objective, so the cost matches a filtered loop bit-for-bit);
-  //   * the covering-sum fix-up: each incident edge's incremental cache
-  //     receives the request's net alive-contribution change — once per
-  //     arrival instead of once per augmentation step.  Edges in the
-  //     small-list regime are skipped outright (their cache is stale by
-  //     contract, §7.3 — on skewed tiny-list traffic this removes the
-  //     whole fix-up cost).  Contributions to this arrival's own edges
-  //     are batched in registers (they receive every member's update; a
-  //     dense burst would otherwise serialize on one cache line).
+  //   * the covering-sum fix-up (DESIGN.md §8): a touched request with a
+  //     narrow incidence row patches each incident large edge's cache
+  //     eagerly — contributions to this arrival's own edges batched in
+  //     registers (they receive every member's update; a dense burst
+  //     would otherwise serialize on one cache line) — while a wide row
+  //     appends a single (id, Δ) journal entry for readers to fold in on
+  //     demand, which caps the fix-up at O(1) per touched member
+  //     regardless of row degree.  Edges in the small-list regime are
+  //     skipped outright (their cache is stale by contract, §7.3).
+  // Single-large-edge fast path (the dense-burst shape): when the arrival
+  // names one edge and that is the only edge in the incremental regime,
+  // every touched member is incident to it (all touches came from its own
+  // sweeps) and there is no other trusted cache to patch — so the fix-up
+  // needs no incidence-row walk at all.  One register accumulates the
+  // cache patch; the delta emission and the objective chain are the exact
+  // per-member operations of the generic loop below, so decisions, deltas
+  // and the reported objective stay bit-identical.  This matters: the
+  // generic loop streams edge_begin_/edge_pool_ per member, which on a
+  // 10⁵-member burst costs more than the vectorized sweep itself.
+  if (edges.size() == 1 && large_edges_ == 1 && !small_list(edges[0])) {
+    deltas_.resize(touched_.size());
+    std::size_t n = 0;
+    double batched0 = 0.0;
+    for (RequestId i : touched_) {
+      const HotRow& row = hot_[i];
+      const double now = std::min(row.weight, 1.0);
+      const double delta = now - row.weight_at_touch;
+      deltas_[n] = {i, delta};
+      n += delta > 0.0 ? 1 : 0;
+      fractional_cost_ += std::max(delta, 0.0) * report_cost_[i];
+      batched0 += (row.weight < 1.0 ? row.weight : 0.0) - row.weight_at_touch;
+    }
+    alive_sum_[edges[0]] += batched0;
+    deltas_.resize(n);
+    mid_arrival_dirty_ = false;
+    return deltas_;
+  }
   constexpr std::size_t kMaxBatchedEdges = 8;
   double batched[kMaxBatchedEdges] = {0.0};
   const std::size_t batch_count = std::min(edges.size(), kMaxBatchedEdges);
@@ -369,6 +451,7 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
       fractional_cost_ += std::max(delta, 0.0) * report_cost_[i];
     }
     deltas_.resize(count);
+    mid_arrival_dirty_ = false;
     return deltas_;
   }
   for (RequestId i : touched_) {
@@ -382,7 +465,14 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
     // this whole arrival (dead requests stop contributing entirely).
     const double sum_delta =
         (row.weight < 1.0 ? row.weight : 0.0) - row.weight_at_touch;
-    for (EdgeId f : edges_of(i)) {
+    const auto incident = edges_of(i);
+    if (incident.size() > kEagerFixupRowDegree) {
+      // Zero deltas are dropped: x + 0.0 == x for the non-negative sums
+      // involved, so skipping the entry is bitwise-neutral for readers.
+      if (sum_delta != 0.0) journal_.push_back({i, sum_delta});
+      continue;
+    }
+    for (EdgeId f : incident) {
       if (small_list(f)) continue;  // §7.3: no cache to maintain
       bool found = false;
       for (std::size_t j = 0; j < batch_count; ++j) {
@@ -399,6 +489,12 @@ FlatFractionalEngine::restore_edges(std::span<const EdgeId> edges) {
     if (!small_list(edges[j])) alive_sum_[edges[j]] += batched[j];
   }
   deltas_.resize(count);
+  mid_arrival_dirty_ = false;
+  // Amortization gate: once the journal outgrows the incidence arena,
+  // folding it everywhere costs no more than appending it did.
+  if (journal_.size() >= std::max<std::size_t>(1024, edge_pool_.size())) {
+    fold_journal();
+  }
   return deltas_;
 }
 

@@ -34,12 +34,26 @@
 // counts maintained *incrementally* so the augmentation-loop termination
 // check, constraint_satisfied(), alive_weight_sum(), and saturated() are
 // all O(1) and the paper's three per-step passes fuse into a single
-// cache-friendly sweep.  Member lists are compacted only when their dead
-// fraction crosses a threshold (amortized O(1) per death).  Edges whose
-// member lists are tiny (≤ kSmallListThreshold entries) opt out of the
-// incremental-sum machinery entirely and run naive-style inline scans —
-// the small-degree fast path of DESIGN.md §7.3, which removes the flat
-// engine's bookkeeping overhead in the tiny-list regime §5 documents.
+// cache-friendly sweep.  The sweep and the cache-refresh rescan run on the
+// data-parallel kernel layer of core/simd_sweep.h (scalar / AVX2 / AVX-512,
+// selected once per process; DESIGN.md §8).  Member lists are compacted
+// only when their dead fraction crosses a threshold (amortized O(1) per
+// death).  Edges whose member lists are tiny (≤ the small-list threshold)
+// opt out of the incremental-sum machinery entirely and run naive-style
+// inline scans — the small-degree fast path of DESIGN.md §7.3, which
+// removes the flat engine's bookkeeping overhead in the tiny-list regime
+// §5 documents.
+//
+// Covering-sum upkeep is *lazy across arrivals* (the delta journal of
+// DESIGN.md §8): a touched request with a narrow incidence row patches its
+// edges' caches eagerly at arrival end, while a wide row appends one
+// (id, Δ) journal entry instead of walking its whole row; an edge's cache
+// is reconciled with the pending journal suffix only when it is actually
+// read, choosing between a segment scan and a fresh kernel rescan by an
+// integer cost estimate.  On overlap-shaped workloads (many wide rows,
+// rare augmentation) this replaces the old per-arrival O(row degree)
+// fix-up walk — the §7.5 regression — with work proportional to what is
+// read.
 //
 // The engine binds to its substrate — the per-edge capacity array — at
 // compile time through CoveringSubstrateTraits (substrate_traits.h):
@@ -59,6 +73,7 @@
 #include <vector>
 
 #include "core/engine_types.h"
+#include "core/simd_sweep.h"
 #include "core/substrate_traits.h"
 #include "graph/types.h"
 
@@ -71,23 +86,30 @@ class FlatFractionalEngine {
 
   static constexpr double kWeightClamp = kEngineWeightClamp;
 
-  /// Member lists at or below this length take the small-degree fast path
-  /// (inline exact scans, no incremental-sum or compaction bookkeeping —
-  /// DESIGN.md §7.3).  An edge's covering-sum cache is trusted only while
-  /// its list is longer than this; crossing the threshold resynchronizes
-  /// it exactly.
+  /// Default small-list threshold: member lists at or below this length
+  /// take the small-degree fast path (inline exact scans, no
+  /// incremental-sum or compaction bookkeeping — DESIGN.md §7.3).  An
+  /// edge's covering-sum cache is trusted only while its list is longer
+  /// than this; crossing the threshold resynchronizes it exactly.  The
+  /// per-engine value is constructor-tunable (the §7.3 calibration note
+  /// records how 48 was chosen); tests may pass extreme values to force
+  /// either regime everywhere.
   static constexpr std::size_t kSmallListThreshold = 48;
 
   /// Binds the engine to its substrate view.  `zero_init` is the paper's
   /// 1/(g·c) floor for step (a); must be in (0, 1].
-  FlatFractionalEngine(EngineSubstrate substrate, double zero_init);
+  /// `small_list_threshold` tunes the §7.3 fast-path boundary (0 pushes
+  /// every non-empty list into the incremental regime).
+  FlatFractionalEngine(EngineSubstrate substrate, double zero_init,
+                       std::size_t small_list_threshold = kSmallListThreshold);
 
   /// Compile-time substrate binding: anything with CoveringSubstrateTraits
   /// (a Graph, a CoveringInstance) constructs the engine directly.
   template <typename S>
-  FlatFractionalEngine(const S& substrate, double zero_init)
+  FlatFractionalEngine(const S& substrate, double zero_init,
+                       std::size_t small_list_threshold = kSmallListThreshold)
       : FlatFractionalEngine(CoveringSubstrateTraits<S>::bind(substrate),
-                             zero_init) {}
+                             zero_init, small_list_threshold) {}
 
   /// Registers a permanently-accepted request occupying capacity on
   /// `edges` (no weight, never rejected).  Returns its id.
@@ -157,6 +179,16 @@ class FlatFractionalEngine {
   /// dead entries are dropped by the edge's own sweeps.
   std::uint64_t compactions() const noexcept { return compactions_; }
 
+  /// The §7.3 fast-path boundary this engine runs with.
+  std::size_t small_list_threshold() const noexcept {
+    return small_threshold_;
+  }
+
+  /// The sweep-kernel tier this engine dispatches to (snapshotted from
+  /// simd::active_sweep_isa() at construction, so a test override applies
+  /// to engines constructed after it).
+  simd::SweepIsa sweep_kernel() const noexcept { return kernel_; }
+
   /// Test hook: invoked after every single augmentation step with the
   /// edge that was augmented.  The Lemma-1 white-box test uses this to
   /// verify the paper's potential Φ = Π max(f_i, 1/gc)^{f*_i·p_i} at
@@ -196,22 +228,40 @@ class FlatFractionalEngine {
   /// Runs the §2 augmentation loop for one edge.  `sum_maybe_stale` is set
   /// when an earlier edge of the same arrival already ran steps, in which
   /// case the loop seeds its covering sum with one exact rescan instead of
-  /// the incremental cache (which is only refreshed at arrival end).
+  /// the reconciled incremental cache.
   void augment_edge(EdgeId e, bool sum_maybe_stale);
 
   /// One fused (a)+(b)+(c) sweep over e's member list with in-place
-  /// compaction (see augment_edge).  Returns the net change of the
-  /// covering sum (dead members contribute −old_weight).
+  /// compaction (dispatched to the simd_sweep.h kernel; death-count
+  /// bookkeeping happens here, after the kernel returns its death
+  /// stream).  Returns the net change of the covering sum (dead members
+  /// contribute −old_weight).
   double sweep_step(EdgeId e, double ne);
 
-  /// Exact Σ of alive member weights on e, in member-list order.
+  /// Exact Σ of alive member weights on e, in member-list order — the same
+  /// addition sequence the naive engine performs, scalar on every build.
+  /// This is the §3.2 decision path: augmentation-loop boundary calls
+  /// (band fallback, stale seeds) route here and nowhere else.
   double exact_alive_sum(EdgeId e) const;
+
+  /// Returns e's covering sum with every pending journal entry folded in,
+  /// committing the reconciled value to the cache (cheap: O(1) when
+  /// nothing is pending).  Mid-arrival (weights changed but the journal
+  /// not yet appended) it degrades to a non-committing exact rescan so an
+  /// observer-time read can never double-count this arrival's deltas.
+  /// Only meaningful for lists above the small-list threshold.
+  double reconciled_sum(EdgeId e) const;
+
+  /// Applies the whole journal to every large edge and truncates it —
+  /// runs when the journal outgrows the incidence arena, which keeps the
+  /// amortized cost per appended entry constant.
+  void fold_journal();
 
   /// True when e's member list takes the small-degree fast path: the
   /// incremental covering-sum cache is not maintained (and not trusted)
   /// for it.
   bool small_list(EdgeId e) const {
-    return members_[e].size() <= kSmallListThreshold;
+    return members_[e].size() <= small_threshold_;
   }
 
   /// Removes dead entries from an edge's member list and resynchronizes
@@ -232,22 +282,23 @@ class FlatFractionalEngine {
                            double report_cost, double initial_weight,
                            bool pinned);
 
-  /// The per-request fields the augmentation sweep reads and writes,
-  /// packed into one 32-byte row so a member costs the sweep a single
-  /// cache line even when member ids are scattered (hot-edge lists under
-  /// skewed traffic are exactly that).  Everything the sweep does not need
-  /// stays in the cold arrays below.
-  struct HotRow {
-    double weight = 0.0;
-    double update_cost = 1.0;
-    // Delta bookkeeping for the current arrival.
-    double weight_at_touch = 0.0;
-    std::uint64_t touch_epoch = 0;
+  /// Hot rows live in engine_types.h now (the sweep kernels address their
+  /// fields by fixed offsets); `update_cost` is stored as its reciprocal —
+  /// see EngineHotRow.
+  using HotRow = EngineHotRow;
+
+  /// One deferred covering-sum update: request `id`'s alive-contribution
+  /// changed by `delta` during some past arrival, and edges with a
+  /// journal cursor before this entry have not folded it in yet.
+  struct JournalEntry {
+    RequestId id = 0;
+    double delta = 0.0;
   };
-  static_assert(sizeof(HotRow) == 32);
 
   EngineSubstrate substrate_;
   double zero_init_;
+  std::size_t small_threshold_;
+  simd::SweepIsa kernel_;
 
   // -- request store: hot rows + cold SoA + CSR incidence arena -------------
   std::vector<HotRow> hot_;
@@ -269,20 +320,34 @@ class FlatFractionalEngine {
   std::vector<std::int64_t> pinned_count_;  ///< pinned per edge
   std::vector<std::int64_t> dead_count_;    ///< dead entries in members_[e]
   /// Incremental Σ alive member weights — trusted only for lists longer
-  /// than kSmallListThreshold; resynchronized exactly when a list grows
-  /// across the threshold (DESIGN.md §7.3).
-  std::vector<double> alive_sum_;
+  /// than the small-list threshold, and only modulo the pending journal
+  /// suffix past journal_pos_ (DESIGN.md §7.3, §8).  Mutable with
+  /// journal_pos_: reconciliation is a cache commit, logically const.
+  mutable std::vector<double> alive_sum_;
+  /// Per-edge cursor into journal_: entries before it are folded into
+  /// alive_sum_[e], entries at/after it are pending for this edge.
+  mutable std::vector<std::size_t> journal_pos_;
+  /// Deferred covering-sum updates from wide-row touched requests
+  /// (DESIGN.md §8), in touch order; folded per edge on read, truncated
+  /// globally by fold_journal().
+  std::vector<JournalEntry> journal_;
 
-  /// Number of edges currently above kSmallListThreshold.  When zero the
-  /// arrival-end fix-up pass is skipped outright — on tiny-list traffic
-  /// there is no covering-sum cache to maintain anywhere (§7.3).
+  /// Number of edges currently above the small-list threshold.  When zero
+  /// the arrival-end fix-up pass is skipped outright — on tiny-list
+  /// traffic there is no covering-sum cache to maintain anywhere (§7.3).
   std::size_t large_edges_ = 0;
+
+  /// True from the first sweep step of the current arrival until its
+  /// fix-up appended the journal entries: cache commits are unsafe in
+  /// that window (reconciled_sum degrades to a plain rescan).
+  bool mid_arrival_dirty_ = false;
 
   double fractional_cost_ = 0.0;
   std::uint64_t augmentations_ = 0;
   std::uint64_t compactions_ = 0;
   std::uint64_t epoch_ = 0;
   std::vector<RequestId> touched_;  // requests touched this arrival
+  std::vector<RequestId> deaths_;   // scratch: kernel death stream
   std::vector<Delta> deltas_;       // output buffer
   std::function<void(EdgeId)> observer_;
 };

@@ -142,11 +142,15 @@ void NaiveFractionalEngine::augment_edge(EdgeId e) {
         rec.weight = zero_init_;
       }
     }
-    // (b) multiplicative step f_i *= (1 + 1/(n_e p_i)).
+    // (b) multiplicative step f_i *= (1 + 1/(n_e p_i)), computed as
+    // 1 + (1/n_e)·(1/p_i) with both reciprocals hoisted — the divide-free
+    // form the flat engine's kernels use (differential contract, header
+    // comment), so the two engines round identically member by member.
+    const double inv_ne = 1.0 / ne;
     for (RequestId i : members_[e]) {
       RequestRecord& rec = requests_[i];
       touch(static_cast<RequestId>(i));
-      const double w = rec.weight * (1.0 + 1.0 / (ne * rec.update_cost));
+      const double w = rec.weight * (1.0 + inv_ne * rec.inv_update_cost);
       // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
       // form that is true for NaN as well as genuine negatives, so a
       // poisoned weight fails loudly instead of corrupting invariant sums.
@@ -186,6 +190,7 @@ RequestId NaiveFractionalEngine::admit_existing(std::span<const EdgeId> edges,
   RequestRecord rec;
   rec.edges.assign(edges.begin(), edges.end());
   rec.update_cost = update_cost;
+  rec.inv_update_cost = 1.0 / update_cost;
   rec.report_cost = report_cost;
   rec.weight = initial_weight;
   requests_.push_back(std::move(rec));

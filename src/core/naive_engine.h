@@ -13,6 +13,18 @@
 // sets.  Correctness of the fast engine is established by this comparison,
 // not by faith.
 //
+// Differential contract (the parts of the arithmetic that are pinned so the
+// bit-identity assertions hold; DESIGN.md §8 spells out the reasoning):
+//   * Step (b)'s multiplier is computed as 1.0 + (1/n_e)·(1/p_i) — two
+//     reciprocals taken once (1/n_e per step, 1/p_i at admission) and a
+//     mul-then-add, never 1.0 + 1.0/(n_e·p_i) and never an FMA.  Both
+//     engines use this exact operation sequence; for unit costs it reduces
+//     bit-for-bit to the classic hoisted 1 + 1/n_e.
+//   * Covering-sum *decisions* compare sums accumulated in member-list
+//     order with scalar adds.  The flat engine's vector kernels only ever
+//     feed its incremental caches, whose drift is absorbed by the §3.2
+//     band check before any decision is taken.
+//
 // Builds of the whole library against this engine are compile-time
 // selectable: configure with -DMINREJ_NAIVE_ENGINE=ON and the
 // FractionalEngine alias (fractional_engine.h) points here instead.
@@ -129,6 +141,10 @@ class NaiveFractionalEngine {
     std::vector<EdgeId> edges;
     double weight = 0.0;
     double update_cost = 1.0;
+    /// 1 / update_cost, taken once at admission — step (b) multiplies by
+    /// it instead of dividing, in lockstep with the flat engine's hot row
+    /// (see the differential contract in the header comment).
+    double inv_update_cost = 1.0;
     double report_cost = 1.0;
     bool pinned = false;
     bool alive = true;  ///< weight < 1 (pinned requests stay alive forever)

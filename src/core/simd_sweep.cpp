@@ -1,0 +1,548 @@
+#include "core/simd_sweep.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/build_info.h"
+#include "util/check.h"
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(MINREJ_NO_SIMD)
+#define MINREJ_SIMD_KERNELS 1
+#include <immintrin.h>
+#else
+#define MINREJ_SIMD_KERNELS 0
+#endif
+
+namespace minrej::simd {
+
+namespace {
+
+/// Highest kernel tier this binary compiled AND this CPU executes.  The
+/// build_info string (which additionally honors the MINREJ_SWEEP_ISA env
+/// clamp) can only name tiers at or below this.
+SweepIsa max_supported_isa() noexcept {
+#if MINREJ_SIMD_KERNELS
+  if (__builtin_cpu_supports("avx512f")) return SweepIsa::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return SweepIsa::kAvx2;
+#endif
+  return SweepIsa::kScalar;
+}
+
+SweepIsa isa_from_name(const char* name) noexcept {
+  if (std::strcmp(name, "avx512") == 0) return SweepIsa::kAvx512;
+  if (std::strcmp(name, "avx2") == 0) return SweepIsa::kAvx2;
+  return SweepIsa::kScalar;
+}
+
+bool g_override_active = false;
+SweepIsa g_override = SweepIsa::kScalar;
+
+/// Lists shorter than this run the scalar kernel regardless of tier (see
+/// the dispatchers at the bottom) — measured crossover on the power-law
+/// duel, where vector prologue + gather latency dominate tiny lists.
+constexpr std::size_t kVectorCutoff = 32;
+
+// -- scalar kernels ---------------------------------------------------------
+
+/// Reference sweep over list[from, to): shared by the scalar tier (whole
+/// list) and the vector tiers (tail blocks).  `out` is the survivor write
+/// cursor into the same list (two-pointer compaction; out <= from always,
+/// so reads stay ahead of writes).
+double sweep_range_scalar(RequestId* list, std::size_t from, std::size_t to,
+                          std::size_t& out, EngineHotRow* rows, double inv_ne,
+                          double zero_init, std::uint64_t epoch,
+                          std::vector<RequestId>& touched,
+                          std::vector<RequestId>& deaths) {
+  double step_sum = 0.0;
+  for (std::size_t k = from; k < to; ++k) {
+    const RequestId i = list[k];
+    EngineHotRow& row = rows[i];
+    // Member lists hold only augmentable requests, for which death is
+    // exactly weight ≥ 1 — the dead-entry skip reads the hot row the
+    // sweep needs anyway.
+    const double old = row.weight;
+    if (old >= 1.0) continue;  // killed via another edge: drop entry
+    if (row.touch_epoch != epoch) {
+      row.touch_epoch = epoch;
+      row.weight_at_touch = old;  // alive, so already < 1
+      touched.push_back(i);
+    }
+    // (a) zero weights jump to the floor 1/(g·c)...
+    const double base = old == 0.0 ? zero_init : old;
+    // (b) ...then the multiplicative step f_i *= (1 + (1/n_e)·(1/p_i)).
+    // Mul-then-add, never fma: one rounding per operation is the shared
+    // arithmetic contract every kernel tier and the naive engine obey.
+    const double mult = 1.0 + inv_ne * row.inv_update_cost;
+    const double w = base * mult;
+    // The macro expands to `if (!(w >= 0.0)) throw` — the double-negative
+    // form that is true for NaN as well as genuine negatives, so a
+    // poisoned weight fails loudly instead of corrupting invariant sums.
+    MINREJ_CHECK(w >= 0.0, "fractional weight became NaN or negative");
+    const double now = std::min(w, kEngineWeightClamp);
+    row.weight = now;
+    if (now >= 1.0) {
+      // (c) the request crosses 1 and leaves every ALIVE list.  Net
+      // effect on a covering sum that never saw the increase: −old.
+      deaths.push_back(i);
+      step_sum -= old;
+      continue;
+    }
+    step_sum += now - old;
+    list[out++] = i;
+  }
+  return step_sum;
+}
+
+SweepStepResult sweep_step_scalar(RequestId* list, std::size_t size,
+                                  EngineHotRow* rows, double inv_ne,
+                                  double zero_init, std::uint64_t epoch,
+                                  std::vector<RequestId>& touched,
+                                  std::vector<RequestId>& deaths) {
+  SweepStepResult r;
+  r.step_sum = sweep_range_scalar(list, 0, size, r.new_size, rows, inv_ne,
+                                  zero_init, epoch, touched, deaths);
+  return r;
+}
+
+double alive_sum_scalar(const RequestId* list, std::size_t size,
+                        const EngineHotRow* rows) {
+  double sum = 0.0;
+  for (std::size_t k = 0; k < size; ++k) {
+    const double w = rows[list[k]].weight;
+    if (w < 1.0) sum += w;
+  }
+  return sum;
+}
+
+#if MINREJ_SIMD_KERNELS
+
+// -- AVX2 kernels -----------------------------------------------------------
+//
+// 4-lane gathers over the 32-byte hot rows (double-index stride 4: field f
+// of row id lives at ((double*)rows)[id*4 + f]).  Arithmetic and
+// classification are vectorized; write-backs and id-stream appends fall
+// out per lane (AVX2 has no scatter/compress), which still leaves the
+// gather latency and the multiplier pipeline — the actual bottlenecks of
+// the scalar loop — running four wide.
+
+__attribute__((target("avx2"))) SweepStepResult sweep_step_avx2(
+    RequestId* list, std::size_t size, EngineHotRow* rows, double inv_ne,
+    double zero_init, std::uint64_t epoch, std::vector<RequestId>& touched,
+    std::vector<RequestId>& deaths) {
+  auto* rowsd = reinterpret_cast<double*>(rows);
+  const auto* rowsq = reinterpret_cast<const long long*>(rows);
+  const __m256d kZero = _mm256_setzero_pd();
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  const __m256d kClamp = _mm256_set1_pd(kEngineWeightClamp);
+  const __m256d vInvNe = _mm256_set1_pd(inv_ne);
+  const __m256d vZeroInit = _mm256_set1_pd(zero_init);
+  const __m256i vEpoch = _mm256_set1_epi64x(static_cast<long long>(epoch));
+
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t out = 0;
+  std::size_t k = 0;
+  alignas(32) double old_a[4];
+  alignas(32) double now_a[4];
+  for (; k + 4 <= size; k += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(list + k));
+    const __m128i idx = _mm_slli_epi32(ids, 2);  // id*4 doubles per row
+    const __m256d w = _mm256_i32gather_pd(rowsd, idx, 8);
+    const __m256d dead = _mm256_cmp_pd(w, kOne, _CMP_GE_OQ);
+    const int alive_m = ~_mm256_movemask_pd(dead) & 0xF;
+    if (alive_m == 0) continue;  // whole block killed via other edges
+    const __m256d invc = _mm256_i32gather_pd(rowsd + 1, idx, 8);
+    const __m256i ep = _mm256_i32gather_epi64(rowsq + 3, idx, 8);
+    const int stale_m =
+        ~_mm256_movemask_pd(_mm256_castsi256_pd(
+            _mm256_cmpeq_epi64(ep, vEpoch))) & 0xF;
+    const int touch_m = stale_m & alive_m;
+    const __m256d zero_w = _mm256_cmp_pd(w, kZero, _CMP_EQ_OQ);
+    const __m256d base = _mm256_blendv_pd(w, vZeroInit, zero_w);
+    const __m256d mult =
+        _mm256_add_pd(kOne, _mm256_mul_pd(vInvNe, invc));
+    const __m256d grown = _mm256_mul_pd(base, mult);
+    const int bad_m =
+        _mm256_movemask_pd(_mm256_cmp_pd(grown, kZero, _CMP_NGE_UQ)) &
+        alive_m;
+    MINREJ_CHECK(bad_m == 0, "fractional weight became NaN or negative");
+    const __m256d now = _mm256_min_pd(grown, kClamp);
+    const int newdead_m =
+        _mm256_movemask_pd(_mm256_cmp_pd(now, kOne, _CMP_GE_OQ)) & alive_m;
+    // Covering-sum contribution: survivors now−old, deaths −old, dead 0.
+    const __m256d newdead_v = _mm256_cmp_pd(now, kOne, _CMP_GE_OQ);
+    const __m256d contrib = _mm256_blendv_pd(
+        _mm256_sub_pd(now, w), _mm256_sub_pd(kZero, w), newdead_v);
+    acc = _mm256_add_pd(acc, _mm256_andnot_pd(dead, contrib));
+    // Per-lane write-backs and id streams.
+    _mm256_store_pd(old_a, w);
+    _mm256_store_pd(now_a, now);
+    for (int j = 0; j < 4; ++j) {
+      if (!((alive_m >> j) & 1)) continue;
+      const RequestId i = list[k + static_cast<std::size_t>(j)];
+      EngineHotRow& row = rows[i];
+      if ((touch_m >> j) & 1) {
+        row.touch_epoch = epoch;
+        row.weight_at_touch = old_a[j];
+        touched.push_back(i);
+      }
+      row.weight = now_a[j];
+      if ((newdead_m >> j) & 1) {
+        deaths.push_back(i);
+      } else {
+        list[out++] = i;
+      }
+    }
+  }
+  SweepStepResult r;
+  alignas(32) double acc_a[4];
+  _mm256_store_pd(acc_a, acc);
+  r.step_sum = ((acc_a[0] + acc_a[1]) + (acc_a[2] + acc_a[3])) +
+               sweep_range_scalar(list, k, size, out, rows, inv_ne, zero_init,
+                                  epoch, touched, deaths);
+  r.new_size = out;
+  return r;
+}
+
+__attribute__((target("avx2"))) double alive_sum_avx2(
+    const RequestId* list, std::size_t size, const EngineHotRow* rows) {
+  const auto* rowsd = reinterpret_cast<const double*>(rows);
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= size; k += 4) {
+    const __m128i ids =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(list + k));
+    const __m128i idx = _mm_slli_epi32(ids, 2);
+    const __m256d w = _mm256_i32gather_pd(rowsd, idx, 8);
+    const __m256d alive = _mm256_cmp_pd(w, kOne, _CMP_LT_OQ);
+    acc = _mm256_add_pd(acc, _mm256_and_pd(w, alive));
+  }
+  alignas(32) double acc_a[4];
+  _mm256_store_pd(acc_a, acc);
+  double sum = (acc_a[0] + acc_a[1]) + (acc_a[2] + acc_a[3]);
+  for (; k < size; ++k) {
+    const double w = rows[list[k]].weight;
+    if (w < 1.0) sum += w;
+  }
+  return sum;
+}
+
+// -- AVX-512 kernels --------------------------------------------------------
+//
+// 8-lane version of the same dataflow, with the two pieces AVX2 cannot
+// vectorize: scatters write the weight / weight_at_touch / touch_epoch
+// fields back under their lane masks, and compress stores emit the
+// survivor, touched, and death id streams without a per-lane loop (the
+// in-place survivor compaction writes through the same two-pointer cursor
+// as the scalar kernel, so the compacted order is identical).
+
+// Shuffle constants for the contiguous-block fast path below.  A member
+// list compacts in ascending id order and dense workloads admit in id
+// order, so blocks of 8 consecutive ids are the common case — and for
+// those the whole 8-row stripe is 256 contiguous bytes.  Four plain
+// 64-byte loads plus qword permutes beat the 8-lane gathers by ~2.7× (the
+// hardware gather issues one cache access per lane regardless of
+// locality), and full-line stores beat the scatters the same way.
+namespace contig {
+// z0 = rows b,b+1 = [w0,c0,t0,e0,w1,c1,t1,e1]; pair-deinterleave then
+// split even/odd qwords to recover the w / inv_update_cost columns.
+inline constexpr long long kPairLo[8] = {0, 1, 4, 5, 8, 9, 12, 13};
+inline constexpr long long kPairHi[8] = {2, 3, 6, 7, 10, 11, 14, 15};
+inline constexpr long long kEvens[8] = {0, 2, 4, 6, 8, 10, 12, 14};
+inline constexpr long long kOdds[8] = {1, 3, 5, 7, 9, 11, 13, 15};
+// Interleave [a0..a7]×[b0..b7] → [a0,b0,a1,b1,...] (Lo half / Hi half),
+// then zip two interleaved vectors back into the 4-field row layout.
+inline constexpr long long kIlvLo[8] = {0, 8, 1, 9, 2, 10, 3, 11};
+inline constexpr long long kIlvHi[8] = {4, 12, 5, 13, 6, 14, 7, 15};
+inline constexpr long long kZipLo[8] = {0, 1, 8, 9, 2, 3, 10, 11};
+inline constexpr long long kZipHi[8] = {4, 5, 12, 13, 6, 7, 14, 15};
+}  // namespace contig
+
+__attribute__((target("avx512f"))) SweepStepResult sweep_step_avx512(
+    RequestId* list, std::size_t size, EngineHotRow* rows, double inv_ne,
+    double zero_init, std::uint64_t epoch, std::vector<RequestId>& touched,
+    std::vector<RequestId>& deaths) {
+  auto* rowsd = reinterpret_cast<double*>(rows);
+  auto* rowsq = reinterpret_cast<long long*>(rows);
+  const __m512d kZero = _mm512_setzero_pd();
+  const __m512d kOne = _mm512_set1_pd(1.0);
+  const __m512d kClamp = _mm512_set1_pd(kEngineWeightClamp);
+  const __m512d vInvNe = _mm512_set1_pd(inv_ne);
+  const __m512d vZeroInit = _mm512_set1_pd(zero_init);
+  const __m512i vEpoch = _mm512_set1_epi64(static_cast<long long>(epoch));
+  const __m256i kIota8 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m512i kPairLo = _mm512_loadu_si512(contig::kPairLo);
+  const __m512i kPairHi = _mm512_loadu_si512(contig::kPairHi);
+  const __m512i kEvens = _mm512_loadu_si512(contig::kEvens);
+  const __m512i kOdds = _mm512_loadu_si512(contig::kOdds);
+  const __m512i kIlvLo = _mm512_loadu_si512(contig::kIlvLo);
+  const __m512i kIlvHi = _mm512_loadu_si512(contig::kIlvHi);
+  const __m512i kZipLo = _mm512_loadu_si512(contig::kZipLo);
+  const __m512i kZipHi = _mm512_loadu_si512(contig::kZipHi);
+
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t out = 0;
+  std::size_t k = 0;
+  for (; k + 8 <= size; k += 8) {
+    const __m256i ids =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(list + k));
+    // Contiguity probe: ids == first + {0..7} lane-for-lane.
+    const __m256i expect = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(list[k])), kIota8);
+    const bool is_contig =
+        _mm256_movemask_epi8(_mm256_cmpeq_epi32(ids, expect)) == -1;
+    // Zero-initialized so the conditional-assignment diamond below does
+    // not trip GCC's maybe-uninitialized analysis (vpxor is free).
+    __m512d w = _mm512_setzero_pd();
+    __m512d invc = _mm512_setzero_pd();
+    __m512i ep = _mm512_setzero_si512();
+    __mmask8 alive = 0;
+    double* block = nullptr;
+    if (is_contig) {
+      block = rowsd + static_cast<std::size_t>(list[k]) * 4;
+      const __m512d z0 = _mm512_loadu_pd(block);
+      const __m512d z1 = _mm512_loadu_pd(block + 8);
+      const __m512d z2 = _mm512_loadu_pd(block + 16);
+      const __m512d z3 = _mm512_loadu_pd(block + 24);
+      const __m512d wcA = _mm512_permutex2var_pd(z0, kPairLo, z1);
+      const __m512d wcB = _mm512_permutex2var_pd(z2, kPairLo, z3);
+      w = _mm512_permutex2var_pd(wcA, kEvens, wcB);
+      alive = _mm512_cmp_pd_mask(w, kOne, _CMP_LT_OQ);
+      if (alive == 0) continue;
+      invc = _mm512_permutex2var_pd(wcA, kOdds, wcB);
+      const __m512i teA = _mm512_permutex2var_epi64(
+          _mm512_castpd_si512(z0), kPairHi, _mm512_castpd_si512(z1));
+      const __m512i teB = _mm512_permutex2var_epi64(
+          _mm512_castpd_si512(z2), kPairHi, _mm512_castpd_si512(z3));
+      ep = _mm512_permutex2var_epi64(teA, kOdds, teB);
+    } else {
+      const __m256i idx = _mm256_slli_epi32(ids, 2);
+      w = _mm512_i32gather_pd(idx, rowsd, 8);
+      alive = _mm512_cmp_pd_mask(w, kOne, _CMP_LT_OQ);
+      if (alive == 0) continue;
+      invc = _mm512_i32gather_pd(idx, rowsd + 1, 8);
+      ep = _mm512_i32gather_epi64(idx, rowsq + 3, 8);
+    }
+    const __mmask8 touch =
+        _mm512_mask_cmpneq_epu64_mask(alive, ep, vEpoch);
+    const __mmask8 zero_w =
+        _mm512_mask_cmp_pd_mask(alive, w, kZero, _CMP_EQ_OQ);
+    const __m512d base = _mm512_mask_blend_pd(zero_w, w, vZeroInit);
+    const __m512d mult =
+        _mm512_add_pd(kOne, _mm512_mul_pd(vInvNe, invc));
+    const __m512d grown = _mm512_mul_pd(base, mult);
+    const __mmask8 bad =
+        _mm512_mask_cmp_pd_mask(alive, grown, kZero, _CMP_NGE_UQ);
+    MINREJ_CHECK(bad == 0, "fractional weight became NaN or negative");
+    const __m512d now = _mm512_min_pd(grown, kClamp);
+    const __mmask8 newdead =
+        _mm512_mask_cmp_pd_mask(alive, now, kOne, _CMP_GE_OQ);
+    const __mmask8 survive =
+        static_cast<__mmask8>(alive & static_cast<__mmask8>(~newdead));
+    // Covering-sum contribution (lane-parallel partial sums).
+    const __m512d contrib = _mm512_mask_blend_pd(
+        newdead, _mm512_sub_pd(now, w), _mm512_sub_pd(kZero, w));
+    acc = _mm512_add_pd(acc, _mm512_maskz_mov_pd(alive, contrib));
+    const __m512i idsz = _mm512_castsi256_si512(ids);
+    // Contiguous fast stores for the two uniform cases that dominate a
+    // dense sweep: the first pass of an arrival (every lane first-touched)
+    // rebuilds all four 64-byte lines from registers, and later passes
+    // (no lane touched) write only the weight column under a 0x11 mask.
+    // Mixed blocks fall through to the scatter path below.
+    if (is_contig && alive == 0xFF && newdead == 0 &&
+        (touch == 0xFF || touch == 0)) {
+      if (touch == 0xFF) {
+        // Row r ← {now_r, invc_r, old w_r, epoch}: interleave the column
+        // vectors pairwise, then zip the pairs back into row layout.
+        const __m512d ncA = _mm512_permutex2var_pd(now, kIlvLo, invc);
+        const __m512d ncB = _mm512_permutex2var_pd(now, kIlvHi, invc);
+        const __m512d weA = _mm512_castsi512_pd(_mm512_permutex2var_epi64(
+            _mm512_castpd_si512(w), kIlvLo, vEpoch));
+        const __m512d weB = _mm512_castsi512_pd(_mm512_permutex2var_epi64(
+            _mm512_castpd_si512(w), kIlvHi, vEpoch));
+        _mm512_storeu_pd(block, _mm512_permutex2var_pd(ncA, kZipLo, weA));
+        _mm512_storeu_pd(block + 8, _mm512_permutex2var_pd(ncA, kZipHi, weA));
+        _mm512_storeu_pd(block + 16, _mm512_permutex2var_pd(ncB, kZipLo, weB));
+        _mm512_storeu_pd(block + 24, _mm512_permutex2var_pd(ncB, kZipHi, weB));
+        const std::size_t tn = touched.size();
+        touched.resize(tn + 8);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(touched.data() + tn),
+                            ids);
+      } else {
+        // Spread now_{2j},now_{2j+1} to qwords 0 and 4 of line j.
+        _mm512_mask_storeu_pd(
+            block, 0x11,
+            _mm512_permutexvar_pd(_mm512_setr_epi64(0, 0, 0, 0, 1, 1, 1, 1),
+                                  now));
+        _mm512_mask_storeu_pd(
+            block + 8, 0x11,
+            _mm512_permutexvar_pd(_mm512_setr_epi64(2, 2, 2, 2, 3, 3, 3, 3),
+                                  now));
+        _mm512_mask_storeu_pd(
+            block + 16, 0x11,
+            _mm512_permutexvar_pd(_mm512_setr_epi64(4, 4, 4, 4, 5, 5, 5, 5),
+                                  now));
+        _mm512_mask_storeu_pd(
+            block + 24, 0x11,
+            _mm512_permutexvar_pd(_mm512_setr_epi64(6, 6, 6, 6, 7, 7, 7, 7),
+                                  now));
+      }
+      // All eight lanes survive; the compaction cursor only needs a copy
+      // when earlier deaths made it lag the read cursor.
+      if (out != k) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(list + out), ids);
+      }
+      out += 8;
+      continue;
+    }
+    // First-touch bookkeeping: weight_at_touch ← old weight, epoch stamp,
+    // id appended to the touched stream.
+    const __m256i idx = _mm256_slli_epi32(ids, 2);
+    if (touch != 0) {
+      _mm512_mask_i32scatter_pd(rowsd + 2, touch, idx, w, 8);
+      _mm512_mask_i32scatter_epi64(rowsq + 3, touch, idx, vEpoch, 8);
+      const std::size_t tn = touched.size();
+      touched.resize(tn + 8);
+      _mm512_mask_compressstoreu_epi32(
+          touched.data() + tn, static_cast<__mmask16>(touch), idsz);
+      touched.resize(tn + static_cast<std::size_t>(
+                              __builtin_popcount(touch)));
+    }
+    // Weight write-back for every lane still alive at block start.
+    _mm512_mask_i32scatter_pd(rowsd, alive, idx, now, 8);
+    if (newdead != 0) {
+      const std::size_t dn = deaths.size();
+      deaths.resize(dn + 8);
+      _mm512_mask_compressstoreu_epi32(
+          deaths.data() + dn, static_cast<__mmask16>(newdead), idsz);
+      deaths.resize(dn + static_cast<std::size_t>(
+                             __builtin_popcount(newdead)));
+    }
+    // In-place survivor compaction: reads of this block happened above,
+    // and out <= k, so the compress store never overtakes the reader.
+    _mm512_mask_compressstoreu_epi32(list + out,
+                                     static_cast<__mmask16>(survive), idsz);
+    out += static_cast<std::size_t>(__builtin_popcount(survive));
+  }
+  SweepStepResult r;
+  r.step_sum = _mm512_reduce_add_pd(acc) +
+               sweep_range_scalar(list, k, size, out, rows, inv_ne, zero_init,
+                                  epoch, touched, deaths);
+  r.new_size = out;
+  return r;
+}
+
+__attribute__((target("avx512f"))) double alive_sum_avx512(
+    const RequestId* list, std::size_t size, const EngineHotRow* rows) {
+  const auto* rowsd = reinterpret_cast<const double*>(rows);
+  const __m512d kOne = _mm512_set1_pd(1.0);
+  const __m256i kIota8 = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m512i kPairLo = _mm512_loadu_si512(contig::kPairLo);
+  const __m512i kEvens = _mm512_loadu_si512(contig::kEvens);
+  __m512d acc = _mm512_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= size; k += 8) {
+    const __m256i ids =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(list + k));
+    const __m256i expect = _mm256_add_epi32(
+        _mm256_set1_epi32(static_cast<int>(list[k])), kIota8);
+    __m512d w = _mm512_setzero_pd();
+    if (_mm256_movemask_epi8(_mm256_cmpeq_epi32(ids, expect)) == -1) {
+      // Contiguous block: the weight column of 8 consecutive rows lives
+      // in 4 plain 64-byte loads (see sweep_step_avx512 above).
+      const double* block = rowsd + static_cast<std::size_t>(list[k]) * 4;
+      const __m512d wcA = _mm512_permutex2var_pd(
+          _mm512_loadu_pd(block), kPairLo, _mm512_loadu_pd(block + 8));
+      const __m512d wcB = _mm512_permutex2var_pd(
+          _mm512_loadu_pd(block + 16), kPairLo, _mm512_loadu_pd(block + 24));
+      w = _mm512_permutex2var_pd(wcA, kEvens, wcB);
+    } else {
+      const __m256i idx = _mm256_slli_epi32(ids, 2);
+      w = _mm512_i32gather_pd(idx, rowsd, 8);
+    }
+    const __mmask8 alive = _mm512_cmp_pd_mask(w, kOne, _CMP_LT_OQ);
+    acc = _mm512_add_pd(acc, _mm512_maskz_mov_pd(alive, w));
+  }
+  double sum = _mm512_reduce_add_pd(acc);
+  for (; k < size; ++k) {
+    const double w = rows[list[k]].weight;
+    if (w < 1.0) sum += w;
+  }
+  return sum;
+}
+
+#endif  // MINREJ_SIMD_KERNELS
+
+}  // namespace
+
+SweepIsa active_sweep_isa() noexcept {
+  if (g_override_active) return g_override;
+  // The build_info string already folds in MINREJ_NO_SIMD, the env clamp,
+  // and cpuid; parsing it here keeps the BENCH stamp and the dispatched
+  // kernel from ever disagreeing.
+  static const SweepIsa isa = isa_from_name(sweep_isa());
+  return isa;
+}
+
+const char* sweep_isa_name(SweepIsa isa) noexcept {
+  switch (isa) {
+    case SweepIsa::kAvx512: return "avx512";
+    case SweepIsa::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+SweepIsa set_sweep_isa_for_tests(SweepIsa isa) noexcept {
+  const SweepIsa cap = max_supported_isa();
+  if (isa > cap) isa = cap;
+  g_override = isa;
+  g_override_active = true;
+  return isa;
+}
+
+void clear_sweep_isa_override() noexcept { g_override_active = false; }
+
+SweepStepResult sweep_step(SweepIsa isa, RequestId* list, std::size_t size,
+                           EngineHotRow* rows, double inv_ne,
+                           double zero_init, std::uint64_t epoch,
+                           std::vector<RequestId>& touched,
+                           std::vector<RequestId>& deaths) {
+#if MINREJ_SIMD_KERNELS
+  // Short lists run the scalar kernel on every tier: below ~4 vector
+  // blocks the gather/scatter setup costs more than the lanes save (the
+  // power-law duel, median list ≈ 10 members, runs 0.96× naive through
+  // the vector kernels but 1.08× through this cutoff).  Decision-safe by
+  // the bit-identity contract — every tier produces the same weights.
+  if (size < kVectorCutoff) {
+    return sweep_step_scalar(list, size, rows, inv_ne, zero_init, epoch,
+                             touched, deaths);
+  }
+  if (isa == SweepIsa::kAvx512) {
+    return sweep_step_avx512(list, size, rows, inv_ne, zero_init, epoch,
+                             touched, deaths);
+  }
+  if (isa == SweepIsa::kAvx2) {
+    return sweep_step_avx2(list, size, rows, inv_ne, zero_init, epoch,
+                           touched, deaths);
+  }
+#else
+  (void)isa;
+#endif
+  return sweep_step_scalar(list, size, rows, inv_ne, zero_init, epoch,
+                           touched, deaths);
+}
+
+double alive_sum(SweepIsa isa, const RequestId* list, std::size_t size,
+                 const EngineHotRow* rows) {
+#if MINREJ_SIMD_KERNELS
+  if (size < kVectorCutoff) return alive_sum_scalar(list, size, rows);
+  if (isa == SweepIsa::kAvx512) return alive_sum_avx512(list, size, rows);
+  if (isa == SweepIsa::kAvx2) return alive_sum_avx2(list, size, rows);
+#else
+  (void)isa;
+#endif
+  return alive_sum_scalar(list, size, rows);
+}
+
+}  // namespace minrej::simd

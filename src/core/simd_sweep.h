@@ -1,0 +1,115 @@
+// simd_sweep.h — the data-parallel kernel layer under the flat engine's
+// hot loops (DESIGN.md §8).
+//
+// The fused (a)+(b)+(c) augmentation sweep and the covering-sum rescan are
+// lane-parallel over the 32-byte EngineHotRow array: per member the sweep
+// gathers {weight, 1/p_i}, computes min(base · (1 + (1/n_e)·(1/p_i)),
+// clamp), and classifies the lane (first touch this arrival / newly dead /
+// survivor).  This header exposes those two loops as free-function kernels
+// with three implementations behind one dispatch point:
+//
+//   * scalar   — straight-line reference, compiled everywhere; performs
+//                the per-member arithmetic in exactly the lane order and
+//                operation sequence of the vector kernels (one multiply,
+//                one add, one multiply, one min per member), so any build
+//                and any CPU produce bitwise-identical weight streams;
+//   * avx2     — 4-lane gathers + vector arithmetic, per-lane scalar
+//                stores (AVX2 has no scatter);
+//   * avx512   — 8-lane gathers, scatters for the write-backs, and
+//                compress stores for the in-place survivor compaction and
+//                the touched/death id streams; blocks of 8 *consecutive*
+//                ids (the common case on id-sorted lists under burst
+//                traffic) skip the gathers/scatters for plain 64-byte
+//                loads/stores plus qword permutes over the contiguous
+//                8-row stripe.
+//
+// The dispatchers additionally route lists shorter than ~4 vector blocks
+// to the scalar kernel on every tier — below that the vector prologue
+// and gather latency cost more than the lanes save (measured on the
+// power-law duel, median list ≈ 10 members).
+//
+// Selection happens once per process in util/build_info.cpp (sweep_isa():
+// MINREJ_NO_SIMD build flag > MINREJ_SWEEP_ISA env clamp > cpuid) so the
+// provenance stamp in every BENCH_*.json names the kernel that actually
+// ran.  Vector builds are emitted via function-level target attributes —
+// the translation unit itself compiles with the baseline flags, so the
+// binary stays runnable on any x86-64 (and any other arch: the non-GNU /
+// non-x86 path compiles the scalar kernel only).
+//
+// Bit-identity contract (§3.2, §3.3): per-lane weight arithmetic is
+// identical across kernels because every operation is elementwise IEEE
+// with one rounding (no FMA contraction — the multiplier is mul-then-add
+// on purpose, so the scalar fallback needs no correctly-rounded libm fma).
+// Only the *accumulation order* of the returned covering-sum contribution
+// differs (vector kernels keep per-lane partial sums); the engine's
+// termination band check re-derives boundary decisions with an exact
+// member-order rescan, which stays scalar inside the engine, so both the
+// SIMD and scalar builds take augmentation decisions bit-identical to the
+// naive reference engine.  The differential suite runs both kernels
+// against the reference in-process (set_sweep_isa_for_tests below).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine_types.h"
+#include "graph/types.h"
+
+namespace minrej::simd {
+
+enum class SweepIsa : std::uint8_t { kScalar, kAvx2, kAvx512 };
+
+/// The process-wide kernel tier, resolved once from util/build_info.cpp's
+/// sweep_isa() string (the single source of truth the BENCH stamp uses).
+SweepIsa active_sweep_isa() noexcept;
+
+/// "scalar" / "avx2" / "avx512".
+const char* sweep_isa_name(SweepIsa isa) noexcept;
+
+/// Test hook: forces every engine constructed afterwards onto the given
+/// tier, clamped to what this CPU supports (so a test requesting avx512 on
+/// an avx2 machine degrades instead of faulting).  Returns the tier that
+/// will actually run.  The differential suite uses this to drive the
+/// scalar and vector kernels through identical workloads in one process.
+SweepIsa set_sweep_isa_for_tests(SweepIsa isa) noexcept;
+/// Clears the test override.
+void clear_sweep_isa_override() noexcept;
+
+/// Result of one fused sweep: the net covering-sum change of the swept
+/// edge (survivors contribute new−old, deaths −old) and the compacted
+/// member-list length.
+struct SweepStepResult {
+  double step_sum = 0.0;
+  std::size_t new_size = 0;
+};
+
+/// One fused (a)+(b)+(c) pass over a member list with in-place survivor
+/// compaction.  For every listed member still alive (weight < 1):
+///   base = weight == 0 ? zero_init : weight            (step a)
+///   w    = base * (1.0 + inv_ne * inv_update_cost)     (step b, mul+add)
+///   new  = min(w, kEngineWeightClamp)
+/// first-touch bookkeeping (weight_at_touch, touch_epoch, id appended to
+/// `touched`) happens for lanes whose touch_epoch != epoch; lanes crossing
+/// new ≥ 1 are appended to `deaths` (step c — the caller owns the count
+/// bookkeeping) and dropped from the list; entries already dead at load
+/// are dropped silently.  Throws InternalError if any weight goes NaN or
+/// negative (entries already processed keep their stores — tripwire, not
+/// a transaction).
+SweepStepResult sweep_step(SweepIsa isa, RequestId* list, std::size_t size,
+                           EngineHotRow* rows, double inv_ne,
+                           double zero_init, std::uint64_t epoch,
+                           std::vector<RequestId>& touched,
+                           std::vector<RequestId>& deaths);
+
+/// Σ weight over listed members with weight < 1 — the cache-refresh sum
+/// for covering-sum reconciliation (DESIGN.md §8).  Vector tiers
+/// accumulate in lanes, so the result may differ from the member-order sum
+/// by IEEE reassociation noise; it feeds only the incremental cache, whose
+/// drift budget (the §3.2 band) is nine orders of magnitude wider.  The
+/// *decision* rescan (FlatFractionalEngine::exact_alive_sum) stays scalar
+/// member-order and never routes through here.
+double alive_sum(SweepIsa isa, const RequestId* list, std::size_t size,
+                 const EngineHotRow* rows);
+
+}  // namespace minrej::simd

@@ -69,12 +69,14 @@ std::vector<SetId> WeightedBicriteriaSetCover::handle_element(ElementId j) {
     const long double phi_start = potential();
 
     // (a) cost-scaled multiplicative step: cheap sets grow faster, the
-    // same asymmetry §2 uses for requests (1 + 1/(n_e p_i)).
+    // same asymmetry §2 uses for requests (1 + 1/(n_e p_i)).  Divide-free
+    // via the substrate's precomputed reciprocal-cost column — the same
+    // 1 + (1/n)·(1/p) operation sequence the engines use.
+    const double inv_2k = 1.0 / (2.0 * static_cast<double>(k));
     for (SetId s : sub_->rows_of(j)) {
       if (in_cover_[s]) continue;
       const double before = weight_[s];
-      weight_[s] = before * (1.0 + 1.0 / (2.0 * static_cast<double>(k) *
-                                          sub_->row_cost(s)));
+      weight_[s] = before * (1.0 + inv_2k * sub_->row_recip_cost(s));
       const double delta = weight_[s] - before;
       for (ElementId member : sub_->cols_of(s)) {
         elem_weight_[member] += delta;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "util/check.h"
 #include "util/stats.h"
@@ -36,12 +37,43 @@ std::uint64_t augmentation_step_budget(std::size_t arrivals,
   return static_cast<std::uint64_t>(budget);
 }
 
+std::string augmentation_budget_warning(
+    std::uint64_t steps, std::uint64_t budget, std::size_t crossing_arrival,
+    std::size_t arrivals, std::uint64_t crossing_id, const char* id_kind,
+    const char* regime_hint) {
+  std::ostringstream os;
+  os << "augmentation steps blew through the per-run budget: " << steps
+     << " steps vs budget " << budget;
+  if (crossing_arrival != kBudgetNeverCrossed) {
+    os << "; first crossed at arrival " << crossing_arrival << " of "
+       << arrivals << " (" << id_kind << " " << crossing_id << ")";
+  }
+  os << " — " << regime_hint
+     << " (sim/runner.h: augmentation_step_budget)";
+  return os.str();
+}
+
 AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
                            const AdmissionInstance& instance,
                            const RunOptions& options) {
   MINREJ_REQUIRE(&algorithm.graph() != nullptr, "algorithm without graph");
   std::vector<double> latencies;
   AdmissionRun run;
+  run.augmentation_budget = augmentation_step_budget(
+      instance.request_count(), instance.graph().edge_count(),
+      instance.graph().max_capacity());
+  // Cheap per-arrival probe (one virtual accessor and a compare) so the
+  // warning can name the first arrival that blew the budget.
+  std::size_t index = 0;
+  const auto note_crossing = [&](const Request& request) {
+    if (run.budget_crossing_arrival == kBudgetNeverCrossed &&
+        algorithm.augmentation_steps() > run.augmentation_budget) {
+      run.budget_crossing_arrival = index;
+      run.budget_crossing_edge =
+          request.edges.empty() ? 0 : request.edges.front();
+    }
+    ++index;
+  };
   Timer timer;
   if (options.collect_latencies) {
     latencies.reserve(instance.request_count());
@@ -50,10 +82,12 @@ AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
       arrival_timer.reset();
       algorithm.process(request);
       latencies.push_back(arrival_timer.elapsed_s());
+      note_crossing(request);
     }
   } else {
     for (const Request& request : instance.requests()) {
       algorithm.process(request);
+      note_crossing(request);
     }
   }
   run.seconds = timer.elapsed_s();
@@ -61,16 +95,16 @@ AdmissionRun run_admission(OnlineAdmissionAlgorithm& algorithm,
   run.rejected_count = algorithm.rejected_count();
   run.arrivals = instance.request_count();
   run.augmentation_steps = algorithm.augmentation_steps();
-  run.augmentation_budget = augmentation_step_budget(
-      run.arrivals, instance.graph().edge_count(),
-      instance.graph().max_capacity());
   run.augmentation_budget_exceeded =
       run.augmentation_steps > run.augmentation_budget;
   if (options.warn_augmentation_budget) {
-    MINREJ_WARN_IF(run.augmentation_budget_exceeded,
-                   "augmentation steps blew through the per-run budget — "
-                   "per-edge capacity is likely in the superlinear regime "
-                   "(sim/runner.h: augmentation_step_budget)");
+    MINREJ_WARN_IF(
+        run.augmentation_budget_exceeded,
+        augmentation_budget_warning(
+            run.augmentation_steps, run.augmentation_budget,
+            run.budget_crossing_arrival, run.arrivals,
+            run.budget_crossing_edge, "edge",
+            "per-edge capacity is likely in the superlinear regime"));
   }
   fill_latency_quantiles(run, latencies);
   return run;
@@ -81,6 +115,22 @@ CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
                       const RunOptions& options) {
   std::vector<double> latencies;
   CoverRun run;
+  // Through the §4 reduction the edges are the elements and the largest
+  // capacity is the largest degree — which is exactly the substrate's
+  // max_capacity under the degree binding SetSystem enforces.
+  const SetSystem& system = algorithm.system();
+  run.augmentation_budget = augmentation_step_budget(
+      arrivals.size(), system.element_count(),
+      std::max<std::int64_t>(1, system.substrate().max_capacity()));
+  std::size_t index = 0;
+  const auto note_crossing = [&](ElementId j) {
+    if (run.budget_crossing_arrival == kBudgetNeverCrossed &&
+        algorithm.augmentation_steps() > run.augmentation_budget) {
+      run.budget_crossing_arrival = index;
+      run.budget_crossing_element = j;
+    }
+    ++index;
+  };
   Timer timer;
   if (options.collect_latencies) {
     latencies.reserve(arrivals.size());
@@ -89,10 +139,12 @@ CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
       arrival_timer.reset();
       algorithm.on_element(j);
       latencies.push_back(arrival_timer.elapsed_s());
+      note_crossing(j);
     }
   } else {
     for (ElementId j : arrivals) {
       algorithm.on_element(j);
+      note_crossing(j);
     }
   }
   run.seconds = timer.elapsed_s();
@@ -100,21 +152,17 @@ CoverRun run_setcover(OnlineSetCoverAlgorithm& algorithm,
   run.chosen_count = algorithm.chosen_count();
   run.arrivals = arrivals.size();
   run.augmentation_steps = algorithm.augmentation_steps();
-  // Through the §4 reduction the edges are the elements and the largest
-  // capacity is the largest degree — which is exactly the substrate's
-  // max_capacity under the degree binding SetSystem enforces.
-  const SetSystem& system = algorithm.system();
-  run.augmentation_budget = augmentation_step_budget(
-      run.arrivals, system.element_count(),
-      std::max<std::int64_t>(1, system.substrate().max_capacity()));
   run.augmentation_budget_exceeded =
       run.augmentation_steps > run.augmentation_budget;
   if (options.warn_augmentation_budget) {
-    MINREJ_WARN_IF(run.augmentation_budget_exceeded,
-                   "augmentation steps blew through the per-run budget — "
-                   "demands near the element degrees drive the §4 "
-                   "reduction into the superlinear regime "
-                   "(sim/runner.h: augmentation_step_budget)");
+    MINREJ_WARN_IF(
+        run.augmentation_budget_exceeded,
+        augmentation_budget_warning(
+            run.augmentation_steps, run.augmentation_budget,
+            run.budget_crossing_arrival, run.arrivals,
+            run.budget_crossing_element, "element",
+            "demands near the element degrees drive the §4 reduction into "
+            "the superlinear regime"));
   }
   fill_latency_quantiles(run, latencies);
   return run;

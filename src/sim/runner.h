@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/online_admission.h"
@@ -50,6 +51,24 @@ std::uint64_t augmentation_step_budget(std::size_t arrivals,
                                        std::size_t edge_count,
                                        std::int64_t max_capacity);
 
+/// Sentinel for AdmissionRun/CoverRun budget_crossing_arrival: the run
+/// never crossed its augmentation-step budget.
+inline constexpr std::size_t kBudgetNeverCrossed =
+    static_cast<std::size_t>(-1);
+
+/// Builds the augmentation-budget warning line run_admission/run_setcover
+/// emit through MINREJ_WARN_IF, with enough context to localize the
+/// blow-up in a log: actual vs budgeted step counts, the first arrival
+/// (0-based, out of `arrivals`) at which the count crossed the budget, and
+/// an id of that arrival (`id_kind` names it: "edge" for admission runs,
+/// "element" for set-cover runs).  `regime_hint` is the run-family-specific
+/// diagnosis appended at the end.  Exposed as a free function so tests can
+/// pin the message contents without scraping stderr.
+std::string augmentation_budget_warning(
+    std::uint64_t steps, std::uint64_t budget, std::size_t crossing_arrival,
+    std::size_t arrivals, std::uint64_t crossing_id, const char* id_kind,
+    const char* regime_hint);
+
 /// Outcome of running one admission algorithm over one instance.
 struct AdmissionRun {
   double rejected_cost = 0.0;
@@ -64,6 +83,12 @@ struct AdmissionRun {
   /// below).
   std::uint64_t augmentation_budget = 0;
   bool augmentation_budget_exceeded = false;
+  /// First arrival index (0-based) at which the cumulative step count
+  /// crossed the budget, or kBudgetNeverCrossed if it never did, plus the
+  /// first edge of that arrival's request — the context the enriched
+  /// MINREJ_WARN_IF line reports (see augmentation_budget_warning).
+  std::size_t budget_crossing_arrival = kBudgetNeverCrossed;
+  EdgeId budget_crossing_edge = 0;
   /// Per-arrival processing latency quantiles and maximum, in seconds.
   double p50_arrival_s = 0.0;
   double p95_arrival_s = 0.0;
@@ -89,6 +114,10 @@ struct CoverRun {
   std::uint64_t augmentation_steps = 0;
   std::uint64_t augmentation_budget = 0;
   bool augmentation_budget_exceeded = false;
+  /// First arrival index at which the step count crossed the budget
+  /// (kBudgetNeverCrossed if never) and the element requested there.
+  std::size_t budget_crossing_arrival = kBudgetNeverCrossed;
+  ElementId budget_crossing_element = 0;
   double p50_arrival_s = 0.0;
   double p95_arrival_s = 0.0;
   double max_arrival_s = 0.0;

@@ -256,6 +256,9 @@ constexpr ScenarioInfo kCatalog[] = {
     {"setcover_reduction_replay",
      "uniform set system replayed through the §4 reduction (phase 1 + "
      "repeated element demands)"},
+    {"shared_sets_overlap",
+     "§4 reduction of a 25%-density random system, half-degree round-robin "
+     "demands; every request row is wide and heavily shared"},
 };
 
 /// capacity == 0 picks the scenario default; any other value is taken
@@ -387,6 +390,44 @@ AdmissionInstance make_scenario(const std::string& name,
     const std::size_t phase1 = sys.set_count();
     const std::size_t want = requests > phase1 ? requests - phase1 : 0;
     if (arrivals.size() > want) arrivals.resize(want);
+    pad_reduction_arrivals(sys, want, arrivals);
+    return reduced_admission_instance(sys, arrivals);
+  }
+  if (name == "shared_sets_overlap") {
+    // Dense shared membership through the §4 reduction: a 25%-density
+    // random system (any two sets overlap on ~n/16 elements), each element
+    // demanded up to half its degree, round-robin.  Every reduction row is
+    // wide (≈ n/4 incident edges) and every edge's member list is long and
+    // heavily shared — the workload shape where per-arrival cross-edge
+    // fix-up work dominates the engine (DESIGN.md §7.5/§8; E15's overlap
+    // stack duel measures the same shape).  n is sized so phase 1 (n
+    // requests) plus the half-degree demand mass (≈ n²/8 arrivals) meets
+    // the request budget.  Unit set costs, same rationale as
+    // setcover_powerlaw.
+    const std::size_t n = std::max<std::size_t>(
+        8, static_cast<std::size_t>(
+               std::sqrt(8.0 * static_cast<double>(requests))));
+    SetSystem sys = random_density_system(n, n, 0.25, /*min_degree=*/4, rng);
+    const std::size_t phase1 = sys.set_count();
+    const std::size_t want = requests > phase1 ? requests - phase1 : 0;
+    std::vector<ElementId> arrivals;
+    arrivals.reserve(want);
+    std::vector<std::int64_t> demand(sys.element_count(), 0);
+    bool progress = true;
+    while (arrivals.size() < want && progress) {
+      progress = false;
+      for (std::size_t j = 0;
+           j < sys.element_count() && arrivals.size() < want; ++j) {
+        const auto elem = static_cast<ElementId>(j);
+        if (demand[j] < static_cast<std::int64_t>(sys.degree(elem) / 2)) {
+          arrivals.push_back(elem);
+          ++demand[j];
+          progress = true;
+        }
+      }
+    }
+    // Small request budgets can leave spare half-degree mass unused; large
+    // ones spill past the half-degree cap up to full degree.
     pad_reduction_arrivals(sys, want, arrivals);
     return reduced_admission_instance(sys, arrivals);
   }

@@ -159,10 +159,11 @@ struct ScenarioInfo {
 
 /// All catalog scenarios, in stable order: dense_burst, power_law,
 /// diurnal, adversarial_single_edge, multi_tenant, setcover_powerlaw,
-/// setcover_reduction_replay.  The setcover_* entries realize online
-/// set cover as admission traffic through the §4 reduction
-/// (core/reduction.h), so every admission driver — the benches, the
-/// sharded service, minrej_serve — replays them end-to-end.
+/// setcover_reduction_replay, shared_sets_overlap.  The setcover_* and
+/// shared_sets_overlap entries realize online set cover as admission
+/// traffic through the §4 reduction (core/reduction.h), so every admission
+/// driver — the benches, the sharded service, minrej_serve — replays them
+/// end-to-end.
 std::span<const ScenarioInfo> scenario_catalog();
 
 /// True iff `name` is a catalog scenario.

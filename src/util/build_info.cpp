@@ -10,10 +10,42 @@
 #define MINREJ_BUILD_TYPE "unknown"
 #endif
 
+#include <cstdlib>
+#include <cstring>
+
 namespace minrej {
 
 const char* build_git_sha() noexcept { return MINREJ_GIT_SHA; }
 
 const char* build_type() noexcept { return MINREJ_BUILD_TYPE; }
+
+namespace {
+
+const char* resolve_sweep_isa() noexcept {
+#if defined(MINREJ_NO_SIMD) || !defined(__x86_64__) || !defined(__GNUC__)
+  return "scalar";
+#else
+  const bool has_avx2 = __builtin_cpu_supports("avx2");
+  const bool has_avx512 = __builtin_cpu_supports("avx512f");
+  // Operator escape hatch for calibration runs: cap the ISA below what the
+  // CPU offers (never above — an unsupported request falls through to the
+  // best supported tier so the process cannot fault).
+  if (const char* want = std::getenv("MINREJ_SWEEP_ISA")) {
+    if (std::strcmp(want, "scalar") == 0) return "scalar";
+    if (std::strcmp(want, "avx2") == 0 && has_avx2) return "avx2";
+  }
+  if (has_avx512) return "avx512";
+  if (has_avx2) return "avx2";
+  return "scalar";
+#endif
+}
+
+}  // namespace
+
+const char* sweep_isa() noexcept {
+  // Resolved once; getenv and cpuid are not hot-path material.
+  static const char* const isa = resolve_sweep_isa();
+  return isa;
+}
 
 }  // namespace minrej

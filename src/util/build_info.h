@@ -19,4 +19,14 @@ const char* build_git_sha() noexcept;
 /// "RelWithDebInfo", ...), or "unknown" when none was set.
 const char* build_type() noexcept;
 
+/// Name of the sweep-kernel instruction set the engine hot paths run on in
+/// this process: "scalar", "avx2", or "avx512" (core/simd_sweep.h
+/// dispatches on the same value, so the stamp and the executed kernel
+/// cannot disagree).  Resolved once per process from, in priority order:
+/// the MINREJ_NO_SIMD build flag (always "scalar"), the MINREJ_SWEEP_ISA
+/// environment variable (clamped to what the CPU supports), and runtime
+/// CPU detection.  Stamped into every BENCH_*.json next to the git SHA so
+/// a perf number is attributable to the kernel that produced it.
+const char* sweep_isa() noexcept;
+
 }  // namespace minrej

@@ -13,6 +13,7 @@
 
 #include "core/fractional_engine.h"
 #include "core/naive_engine.h"
+#include "core/simd_sweep.h"
 #include "graph/generators.h"
 #include "sim/workloads.h"
 #include "test_util.h"
@@ -62,11 +63,16 @@ void expect_deltas_equal(const std::vector<WeightDelta>& a,
 /// Replays an instance into both engines.  `pin_probability` interleaves
 /// pinned (must-accept-style) registrations; `carry_probability` admits
 /// some requests passively with a carried weight and restores their edges
-/// afterwards, the α-phase-rebuild call pattern.
+/// afterwards, the α-phase-rebuild call pattern.  `small_list_threshold`
+/// feeds the flat engine's tunable small-list cutoff — the naive engine
+/// has no such knob, so equality at any setting proves the cutoff only
+/// selects a strategy, never a decision.
 void run_differential(const AdmissionInstance& inst, double zero_init,
                       double pin_probability, double carry_probability,
-                      std::uint64_t seed) {
-  FlatFractionalEngine flat(inst.graph(), zero_init);
+                      std::uint64_t seed,
+                      std::size_t small_list_threshold =
+                          FlatFractionalEngine::kSmallListThreshold) {
+  FlatFractionalEngine flat(inst.graph(), zero_init, small_list_threshold);
   NaiveFractionalEngine naive(inst.graph(), zero_init);
   Rng choices(seed);
   for (RequestId i = 0; i < inst.request_count(); ++i) {
@@ -140,8 +146,91 @@ TEST_P(DifferentialSeeds, InstantRejectionZeroInitOne) {
   run_differential(inst, 1.0, 0.1, 0.0, GetParam());
 }
 
+TEST_P(DifferentialSeeds, SharedSetsOverlapScenario) {
+  // The scenario every request row of which is wide and heavily shared —
+  // the shape that exercises the cross-arrival fix-up journal (large
+  // incident row degrees, many edges touched per arrival).  Phase-2
+  // reduction arrivals ride along as ordinary weighted arrivals; the
+  // engines only see identical operation sequences.
+  Rng rng(GetParam() + 600);
+  ScenarioParams params;
+  params.requests = 260;
+  AdmissionInstance inst = make_scenario("shared_sets_overlap", params, rng);
+  run_differential(inst, 0.1, 0.05, 0.0, GetParam());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeeds,
                          ::testing::Range<std::uint64_t>(0, 10));
+
+// ---------------------------------------------------------------------------
+// Small-list threshold band (the ctor-tunable eager/journal cutoff)
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdBand, DifferentialHoldsAtBoundaryThresholds) {
+  // Thresholds straddling the default band (47/48/49 around the default
+  // 48) and the degenerate extremes: 0 routes every edge through the
+  // journal/rescan machinery, 1<<30 keeps every edge on the eager exact
+  // path.  All must be decision-identical to the naive engine — the
+  // threshold may only change *how* sums are maintained.
+  const std::size_t thresholds[] = {0, 1, 47, 48, 49, std::size_t{1} << 30};
+  for (std::size_t threshold : thresholds) {
+    {
+      // Single edge whose member list grows straight through the band.
+      Rng rng(33);
+      AdmissionInstance inst =
+          make_single_edge_burst(4, 120, CostModel::spread(1.0, 8.0), rng);
+      run_differential(inst, 0.05, 0.1, 0.1, 33, threshold);
+    }
+    {
+      // Multi-edge rows: fix-up strategy differs per incident edge.
+      Rng rng(34);
+      AdmissionInstance inst = make_power_law_workload(
+          10, 2, 150, 3, 1.2, CostModel::spread(1.0, 4.0), rng);
+      run_differential(inst, 0.1, 0.05, 0.05, 34, threshold);
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "diverged at small_list_threshold " << threshold;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-kernel tiers (core/simd_sweep.h): scalar vs SIMD bit-identity
+// ---------------------------------------------------------------------------
+
+TEST(KernelEquivalence, EveryTierMatchesNaiveBitForBit) {
+  // Each engine snapshots the active kernel at construction, so forcing
+  // the override before constructing pins the flat engine to one tier.
+  // set_sweep_isa_for_tests clamps to what the CPU supports (and to
+  // scalar under MINREJ_NO_SIMD), so this passes — vacuously narrower —
+  // everywhere.  Weighted costs matter: they are what an FMA-contraction
+  // or reassociation bug in a vector tier would corrupt first.
+  const simd::SweepIsa tiers[] = {simd::SweepIsa::kScalar,
+                                  simd::SweepIsa::kAvx2,
+                                  simd::SweepIsa::kAvx512};
+  for (simd::SweepIsa isa : tiers) {
+    simd::set_sweep_isa_for_tests(isa);
+    {
+      Rng rng(55);
+      AdmissionInstance inst = make_power_law_workload(
+          12, 2, 200, 3, 1.2, CostModel::spread(1.0, 8.0), rng);
+      run_differential(inst, 0.1, 0.05, 0.05, 55);
+    }
+    {
+      // Dense burst: long member lists keep the vector main loop (not
+      // just the scalar tail) on the hot path.
+      Rng rng(56);
+      AdmissionInstance inst =
+          make_single_edge_burst(8, 160, CostModel::spread(1.0, 16.0), rng);
+      run_differential(inst, 0.05, 0.0, 0.1, 56);
+    }
+    simd::clear_sweep_isa_override();
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "tier " << simd::sweep_isa_name(isa)
+             << " diverged from the naive engine";
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Compaction gating (the flat engine's threshold-based lazy deletion)

@@ -261,7 +261,7 @@ TEST(Workloads, MultiTenantRequestsStayInsideTenantBlocks) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioCatalog, EveryEntryBuildsAtRequestedSize) {
-  ASSERT_EQ(scenario_catalog().size(), 7u);
+  ASSERT_EQ(scenario_catalog().size(), 8u);
   ScenarioParams params;
   params.requests = 300;
   params.edges = 16;
@@ -300,6 +300,33 @@ TEST(ScenarioCatalog, UnknownNameThrowsAndListsCatalog) {
     EXPECT_NE(std::string(e.what()).find("dense_burst"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("multi_tenant"), std::string::npos);
   }
+}
+
+TEST(ScenarioCatalog, SharedSetsOverlapIsWideAndShared) {
+  // The scenario exists to exercise the wide-row/shared-member regime
+  // (DESIGN.md §8): phase-1 rows must be far wider than the journal's
+  // eager-fix-up boundary, and edges must be shared across many rows.
+  ScenarioParams params;
+  params.requests = 400;
+  Rng rng(34);
+  const AdmissionInstance inst =
+      make_scenario("shared_sets_overlap", params, rng);
+  EXPECT_EQ(inst.request_count(), 400u);
+  EXPECT_TRUE(all_unit_costs(inst));
+  // Phase-1 requests (one per set) carry the set's full element list; at
+  // 25% density over n = ceil(sqrt(8·400)) ≈ 57 elements the widest rows
+  // hold dozens of edges.
+  std::size_t widest = 0;
+  std::vector<std::size_t> edge_rows(inst.graph().edge_count(), 0);
+  for (const Request& r : inst.requests()) {
+    widest = std::max(widest, r.edges.size());
+    for (EdgeId e : r.edges) ++edge_rows[e];
+  }
+  EXPECT_GT(widest, 8u);  // beyond any eager fix-up boundary
+  std::size_t shared_edges = 0;
+  for (std::size_t c : edge_rows) shared_edges += c >= 8 ? 1 : 0;
+  // Essentially every element is a member of many sets.
+  EXPECT_GT(shared_edges, inst.graph().edge_count() / 2);
 }
 
 TEST(ScenarioCatalog, GenerationIsSeedStable) {

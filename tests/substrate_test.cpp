@@ -10,12 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/covering_instance.h"
 #include "core/fractional_engine.h"
 #include "core/fractional_setcover.h"
 #include "core/naive_engine.h"
+#include "core/online_admission.h"
 #include "core/online_setcover.h"
 #include "core/randomized_admission.h"
 #include "core/reduction.h"
@@ -446,6 +448,68 @@ TEST(AugmentationBudget, SurfacedInRunsAndScalesWithInstance) {
   EXPECT_GT(run.augmentation_budget, 0u);
   EXPECT_FALSE(run.augmentation_budget_exceeded);
   EXPECT_LE(run.augmentation_steps, run.augmentation_budget);
+  EXPECT_EQ(run.budget_crossing_arrival, kBudgetNeverCrossed);
+}
+
+// Rejects everything and reports a fixed number of augmentation steps per
+// arrival, so the exact arrival at which a run crosses its budget is a
+// closed-form function of the budget — the deterministic probe the
+// crossing-context test needs.
+class FixedStepAlgorithm final : public OnlineAdmissionAlgorithm {
+ public:
+  FixedStepAlgorithm(const Graph& graph, std::uint64_t steps_per_arrival)
+      : OnlineAdmissionAlgorithm(graph), per_arrival_(steps_per_arrival) {}
+  std::string name() const override { return "fixed-step stub"; }
+  std::uint64_t augmentation_steps() const noexcept override {
+    return per_arrival_ * arrivals();
+  }
+
+ protected:
+  ArrivalResult handle(RequestId, const Request&) override {
+    return {false, {}};
+  }
+
+ private:
+  std::uint64_t per_arrival_;
+};
+
+TEST(AugmentationBudget, CrossingContextRecordedInRuns) {
+  Rng rng(7);
+  const AdmissionInstance instance =
+      make_single_edge_burst(1, 10, CostModel::unit_costs(), rng);
+  const std::uint64_t budget = augmentation_step_budget(10, 1, 1);
+  constexpr std::uint64_t kStepsPerArrival = 100;
+  ASSERT_GT(budget, kStepsPerArrival);           // crossing happens mid-run
+  ASSERT_LT(budget, 10 * kStepsPerArrival);      // ... but does happen
+  // After arrival i the stub reports 100·(i+1) steps, so the first index
+  // past the budget is budget / 100.
+  const auto expect_crossing = static_cast<std::size_t>(budget / kStepsPerArrival);
+
+  FixedStepAlgorithm alg(instance.graph(), kStepsPerArrival);
+  const AdmissionRun run = run_admission(alg, instance);
+  EXPECT_TRUE(run.augmentation_budget_exceeded);
+  EXPECT_EQ(run.augmentation_budget, budget);
+  EXPECT_EQ(run.augmentation_steps, 10 * kStepsPerArrival);
+  EXPECT_EQ(run.budget_crossing_arrival, expect_crossing);
+  EXPECT_EQ(run.budget_crossing_edge, 0u);  // the burst's only edge
+}
+
+TEST(AugmentationBudget, WarningMessageCarriesFullContext) {
+  const std::string msg = augmentation_budget_warning(
+      600, 507, 5, 10, 3, "edge", "capacity regime hint");
+  EXPECT_NE(msg.find("600 steps"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("budget 507"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("arrival 5 of 10"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("edge 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("capacity regime hint"), std::string::npos) << msg;
+
+  // Defensive path: a run can exceed in total without any single probe
+  // having seen the crossing (e.g. options recorded no context) — the
+  // crossing clause is simply omitted.
+  const std::string no_ctx = augmentation_budget_warning(
+      600, 507, kBudgetNeverCrossed, 10, 0, "edge", "hint");
+  EXPECT_EQ(no_ctx.find("arrival"), std::string::npos) << no_ctx;
+  EXPECT_NE(no_ctx.find("600 steps"), std::string::npos) << no_ctx;
 }
 
 }  // namespace

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate the bench duels: fail if any speedup in BENCH_*.json is below a floor.
+
+The engine/substrate benches (E10, E15) record head-to-head duels between
+the production flat stack and the retained naive/nested reference; each
+duel row carries a "speedup" field (flat throughput / reference
+throughput).  The project-level invariant is that no scenario runs the
+engine below parity *against the naive reference*, so CI runs this after
+the smoke benches with a floor of 0.95 — parity minus smoke-size noise
+margin — over the engine-vs-reference duel arrays
+("engine_head_to_head", "stack_duel").  Other speedup fields (e.g. the
+E15 storage duel, a pure-layout microbenchmark running byte-identical
+code over two allocations, bounded by host cache noise rather than
+engine work) are printed for the trajectory but gated only with --all.
+
+Usage: check_bench_ratios.py [--min 0.95] [--all] BENCH_e10.json ...
+
+Stdlib only; prints every speedup it finds so the CI log doubles as the
+perf trajectory at smoke sizes.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_ARRAYS = ("engine_head_to_head", "stack_duel")
+
+
+def iter_speedups(node, path, gated):
+    """Yields (label, speedup, gated) for dicts with a numeric "speedup"."""
+    if isinstance(node, dict):
+        if isinstance(node.get("speedup"), (int, float)):
+            label = (
+                node.get("workload")
+                or node.get("scenario")
+                or node.get("system")
+                or path
+            )
+            yield str(label), float(node["speedup"]), gated
+        for key, value in node.items():
+            yield from iter_speedups(
+                value, f"{path}.{key}", gated or key in GATED_ARRAYS
+            )
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from iter_speedups(value, f"{path}[{i}]", gated)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to gate")
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=0.95,
+        dest="floor",
+        help="minimum acceptable speedup (default 0.95)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="gate_all",
+        help="gate every speedup field, not just the vs-naive duel arrays",
+    )
+    args = parser.parse_args()
+
+    failures = []
+    total = 0
+    for filename in args.files:
+        with open(filename) as handle:
+            data = json.load(handle)
+        isa = data.get("sweep_isa", "?")
+        build = data.get("build_type", "?")
+        for label, speedup, gated in iter_speedups(data, filename, False):
+            gated = gated or args.gate_all
+            total += 1
+            below = speedup < args.floor
+            verdict = "FAIL" if below and gated else "info" if not gated else "ok"
+            print(
+                f"{verdict:4} {speedup:8.3f}x  {filename} [{build}/{isa}]  {label}"
+            )
+            if below and gated:
+                failures.append((filename, label, speedup))
+
+    if total == 0:
+        print("error: no speedup fields found in the given files", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\n{len(failures)} duel(s) below the {args.floor}x floor:",
+            file=sys.stderr,
+        )
+        for filename, label, speedup in failures:
+            print(f"  {filename}: {label} = {speedup:.3f}x", file=sys.stderr)
+        return 1
+    print(f"\nno gated duel below {args.floor}x ({total} speedups inspected)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,6 +188,7 @@ int serve_main(int argc, char** argv) {
   root.field("bench", "serve")
       .field("git_sha", build_git_sha())
       .field("build_type", build_type())
+      .field("sweep_isa", sweep_isa())
       .field("scenario", source)
       .field("algorithm", algorithm)
       .field("unit_costs", unit_costs)
