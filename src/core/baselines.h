@@ -23,6 +23,7 @@ class GreedyNoPreempt : public OnlineAdmissionAlgorithm {
  public:
   using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
   std::string name() const override { return "greedy-no-preempt"; }
+  bool snapshot_supported() const noexcept override { return true; }
 
  protected:
   ArrivalResult handle(RequestId id, const Request& request) override;
@@ -37,6 +38,7 @@ class PreemptCheapest : public OnlineAdmissionAlgorithm {
  public:
   using OnlineAdmissionAlgorithm::OnlineAdmissionAlgorithm;
   std::string name() const override { return "preempt-cheapest"; }
+  bool snapshot_supported() const noexcept override { return true; }
 
  protected:
   ArrivalResult handle(RequestId id, const Request& request) override;
@@ -49,9 +51,12 @@ class PreemptRandom : public OnlineAdmissionAlgorithm {
  public:
   PreemptRandom(const Graph& graph, std::uint64_t seed);
   std::string name() const override { return "preempt-random"; }
+  bool snapshot_supported() const noexcept override { return true; }
 
  protected:
   ArrivalResult handle(RequestId id, const Request& request) override;
+  void save_extra(SnapshotWriter& w) const override;
+  void load_extra(SnapshotReader& r) override;
 
  private:
   Rng rng_;

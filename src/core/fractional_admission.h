@@ -41,6 +41,9 @@
 
 namespace minrej {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Tuning knobs; the defaults follow the paper.
 struct FractionalConfig {
   /// Unweighted mode: all costs must equal 1.  Skips classification and
@@ -132,6 +135,16 @@ class FractionalAdmission {
   /// Engine of the current phase (tests only; null before first overload
   /// in auto-α mode).
   const FractionalEngine* engine() const noexcept { return engine_.get(); }
+
+  /// Serializes the full wrapper state, current-phase engine included
+  /// (io/snapshot.h; DESIGN.md §9).  The stream embeds the configuration;
+  /// load_state cross-checks it so a snapshot can only restore into a
+  /// wrapper built by the same factory.
+  void save_state(SnapshotWriter& w) const;
+
+  /// Restores a save_state stream into this freshly constructed wrapper
+  /// (no arrivals processed yet, same substrate column count).
+  void load_state(SnapshotReader& r);
 
  private:
   struct Record {

@@ -79,6 +79,9 @@
 
 namespace minrej {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Flat-storage weight-augmentation engine (one instance per α-phase).
 class FlatFractionalEngine {
  public:
@@ -188,6 +191,18 @@ class FlatFractionalEngine {
   /// simd::active_sweep_isa() at construction, so a test override applies
   /// to engines constructed after it).
   simd::SweepIsa sweep_kernel() const noexcept { return kernel_; }
+
+  /// Serializes the complete engine state into `w` (DESIGN.md §9).  Legal
+  /// only between arrivals (the per-arrival scratch must be empty); the
+  /// stream is tagged with the engine kind, so a flat snapshot refuses to
+  /// load into a naive-engine build and vice versa.
+  void save_state(SnapshotWriter& w) const;
+
+  /// Restores a save_state stream into this engine, which must be freshly
+  /// constructed on a substrate with the same column count.  Every field
+  /// that feeds the arithmetic is restored bit-exactly, so the continued
+  /// trajectory equals the uninterrupted one.
+  void load_state(SnapshotReader& r);
 
   /// Test hook: invoked after every single augmentation step with the
   /// edge that was augmented.  The Lemma-1 white-box test uses this to

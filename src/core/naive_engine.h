@@ -42,6 +42,9 @@
 
 namespace minrej {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Reference weight-augmentation engine (one instance per α-phase).
 class NaiveFractionalEngine {
  public:
@@ -113,6 +116,13 @@ class NaiveFractionalEngine {
   /// removes (the EngineCompaction tests in engine_differential_test.cpp
   /// pin down the difference).
   std::uint64_t compactions() const noexcept { return compactions_; }
+
+  /// Serializes the complete engine state (same contract as
+  /// FlatFractionalEngine::save_state; streams are engine-kind tagged).
+  void save_state(SnapshotWriter& w) const;
+
+  /// Restores a save_state stream into this freshly constructed engine.
+  void load_state(SnapshotReader& r);
 
   /// Test hook: invoked after every single augmentation step.
   void set_augmentation_observer(std::function<void(EdgeId)> observer) {

@@ -24,6 +24,9 @@
 
 namespace minrej {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// Lifecycle of a request inside an online algorithm.
 enum class RequestState : std::uint8_t { kAccepted, kRejected };
 
@@ -46,6 +49,32 @@ class OnlineAdmissionAlgorithm {
 
   /// Processes the next arrival.  Returns the validated outcome.
   ArrivalResult process(const Request& request);
+
+  /// Degraded-mode arrival (DESIGN.md §9): decide by the cheap threshold
+  /// rule — accept iff the request fits under current usage, never preempt
+  /// — through the same bookkeeping as process(), but without invoking the
+  /// subclass handle() hook.  The service's load-shed path uses this when
+  /// a shard is past its deadline or augmentation budget: the competitive
+  /// guarantee is suspended for shed arrivals, the counters stay exact.
+  /// must_accept requests cannot be shed (throws if one would not fit).
+  ArrivalResult process_shed(const Request& request);
+
+  // -- snapshot/restore (io/snapshot.h; DESIGN.md §9) -----------------------
+
+  /// True if this algorithm implements full-state serialization.  The
+  /// base-class machinery works for every subclass; a subclass only opts
+  /// in once its extra state travels through save_extra/load_extra.
+  virtual bool snapshot_supported() const noexcept { return false; }
+
+  /// Serializes the complete algorithm state (base bookkeeping + the
+  /// subclass extras).  Restore-then-continue is bit-identical to an
+  /// uninterrupted run.  Throws if !snapshot_supported().
+  void save_snapshot(SnapshotWriter& w) const;
+
+  /// Restores a save_snapshot stream into this freshly constructed
+  /// instance (same graph shape, same configuration — the stream carries
+  /// the algorithm name and the configs are cross-checked).
+  void load_snapshot(SnapshotReader& r);
 
   /// Human-readable algorithm name for result tables.
   virtual std::string name() const = 0;
@@ -82,6 +111,12 @@ class OnlineAdmissionAlgorithm {
 
   /// Stored copy of a processed request (subclasses read these freely).
   const Request& stored_request(RequestId id) const { return requests_[id]; }
+
+  /// Subclass hooks for the extra state beyond the base bookkeeping.
+  /// Implementations must write/read matching field sequences; the base
+  /// class brackets them with a structure tag so drift fails loudly.
+  virtual void save_extra(SnapshotWriter& w) const;
+  virtual void load_extra(SnapshotReader& r);
 
  private:
   void apply_rejection(RequestId id);

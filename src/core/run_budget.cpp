@@ -1,0 +1,35 @@
+#include "core/run_budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace minrej {
+
+std::uint64_t augmentation_step_budget(std::size_t arrivals,
+                                       std::size_t edge_count,
+                                       std::int64_t max_capacity) {
+  const double mc = static_cast<double>(edge_count) *
+                    static_cast<double>(std::max<std::int64_t>(1, max_capacity));
+  const double budget =
+      32.0 * static_cast<double>(arrivals) * std::log2(2.0 + mc);
+  return static_cast<std::uint64_t>(budget);
+}
+
+std::string augmentation_budget_warning(
+    std::uint64_t steps, std::uint64_t budget, std::size_t crossing_arrival,
+    std::size_t arrivals, std::uint64_t crossing_id, const char* id_kind,
+    const char* regime_hint) {
+  std::ostringstream os;
+  os << "augmentation steps blew through the per-run budget: " << steps
+     << " steps vs budget " << budget;
+  if (crossing_arrival != kBudgetNeverCrossed) {
+    os << "; first crossed at arrival " << crossing_arrival << " of "
+       << arrivals << " (" << id_kind << " " << crossing_id << ")";
+  }
+  os << " — " << regime_hint
+     << " (core/run_budget.h: augmentation_step_budget)";
+  return os.str();
+}
+
+}  // namespace minrej

@@ -1,0 +1,46 @@
+// run_budget.h — the augmentation-step blow-up guard shared by the sim
+// runner and the sharded service (formerly private to sim/runner.h; moved
+// to core so service-layer stats can report per-shard budget verdicts
+// without a sim dependency).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace minrej {
+
+/// Soft ceiling on the weight-augmentation steps a healthy run performs:
+/// 32 · arrivals · log2(2 + m·c).  Lemma 1 charges O(α·log(gc)) steps per
+/// phase, which is amortized-constant-ish per arrival with a polylog
+/// factor — but PR 3 observed the *weighted* engine's per-arrival work
+/// growing superlinearly with per-edge capacity c (each arrival sweeps a
+/// Θ(c)-long member list per step, and normalized costs up to 2mc make
+/// each step's multiplicative gain microscopic).  A run past this budget
+/// is in that blow-up regime: its wall-clock numbers measure the
+/// pathology, not the steady state.  The scenario catalog keeps c small
+/// for exactly this reason (sim/workloads.cpp); run_admission/run_setcover
+/// surface the verdict in AdmissionRun/CoverRun, and AdmissionService
+/// surfaces it per shard in ShardStats (DESIGN.md §9).
+std::uint64_t augmentation_step_budget(std::size_t arrivals,
+                                       std::size_t edge_count,
+                                       std::int64_t max_capacity);
+
+/// Sentinel for AdmissionRun/CoverRun budget_crossing_arrival: the run
+/// never crossed its augmentation-step budget.
+inline constexpr std::size_t kBudgetNeverCrossed =
+    static_cast<std::size_t>(-1);
+
+/// Builds the augmentation-budget warning line run_admission/run_setcover
+/// emit through MINREJ_WARN_IF, with enough context to localize the
+/// blow-up in a log: actual vs budgeted step counts, the first arrival
+/// (0-based, out of `arrivals`) at which the count crossed the budget, and
+/// an id of that arrival (`id_kind` names it: "edge" for admission runs,
+/// "element" for set-cover runs).  `regime_hint` is the run-family-specific
+/// diagnosis appended at the end.  Exposed as a free function so tests can
+/// pin the message contents without scraping stderr.
+std::string augmentation_budget_warning(
+    std::uint64_t steps, std::uint64_t budget, std::size_t crossing_arrival,
+    std::size_t arrivals, std::uint64_t crossing_id, const char* id_kind,
+    const char* regime_hint);
+
+}  // namespace minrej

@@ -45,9 +45,12 @@ class ThroughputAdmission : public OnlineAdmissionAlgorithm {
 
   std::size_t accepted_count() const noexcept { return accepted_count_; }
   double accepted_benefit() const noexcept { return accepted_benefit_; }
+  bool snapshot_supported() const noexcept override { return true; }
 
  protected:
   ArrivalResult handle(RequestId id, const Request& request) override;
+  void save_extra(SnapshotWriter& w) const override;
+  void load_extra(SnapshotReader& r) override;
 
  private:
   ThroughputConfig config_;

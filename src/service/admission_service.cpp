@@ -1,10 +1,16 @@
 #include "service/admission_service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string_view>
 #include <thread>
 
 #include "core/randomized_admission.h"
+#include "core/run_budget.h"
+#include "io/snapshot.h"
 #include "util/check.h"
+#include "util/fault_injector.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -31,20 +37,52 @@ std::size_t pool_threads(const ServiceConfig& config) {
   return std::max<std::size_t>(1, std::min(want, config.shards));
 }
 
+/// Stream kinds of the two nested snapshot formats (io/snapshot.h).
+constexpr std::string_view kServiceSnapshotKind = "minrej.service";
+constexpr std::string_view kAlgorithmSnapshotKind = "minrej.algorithm";
+constexpr std::uint32_t kServiceSnapshotVersion = 1;
+constexpr std::uint32_t kAlgorithmSnapshotVersion = 1;
+
+/// Order-sensitive fingerprint of the capacity vector: snapshots refuse to
+/// load onto a graph with the same edge count but different capacities.
+std::uint64_t capacity_fingerprint(const Graph& graph) noexcept {
+  std::uint64_t state = 0x6D696E72656A6670ULL;  // "minrejfp"
+  for (const std::int64_t c : graph.capacities()) {
+    state ^= static_cast<std::uint64_t>(c);
+    splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
 }  // namespace
 
 AdmissionService::AdmissionService(const Graph& graph,
                                    ShardAlgorithmFactory factory,
                                    ServiceConfig config)
-    : graph_(graph), config_(std::move(config)),
+    : graph_(graph), factory_(std::move(factory)), config_(std::move(config)),
       pool_(pool_threads(config_)) {
   MINREJ_REQUIRE(config_.shards >= 1, "service needs at least one shard");
   MINREJ_REQUIRE(config_.batch >= 1, "batch must be positive");
-  MINREJ_REQUIRE(static_cast<bool>(factory), "null algorithm factory");
+  MINREJ_REQUIRE(static_cast<bool>(factory_), "null algorithm factory");
   MINREJ_REQUIRE(graph_.edge_count() >= 1, "graph has no edges");
+  if (config_.partition) {
+    // A partition that maps any edge out of range would fail mid-pump on
+    // the first request touching that edge; surface it at construction
+    // instead, where the error names the config, not the traffic.
+    for (std::size_t e = 0; e < graph_.edge_count(); ++e) {
+      MINREJ_REQUIRE(config_.partition(static_cast<EdgeId>(e)) <
+                         config_.shards,
+                     "partition maps an edge to a shard >= the shard count");
+    }
+  }
+  const RetryPolicy& retry = config_.fault_tolerance.retry;
+  MINREJ_REQUIRE(retry.backoff_base_s >= 0.0 && retry.backoff_max_s >= 0.0,
+                 "retry backoff must be non-negative");
+  MINREJ_REQUIRE(retry.jitter >= 0.0 && retry.jitter <= 1.0,
+                 "retry jitter must be in [0, 1]");
   shards_.resize(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    shards_[s].algorithm = factory(graph_, s);
+    shards_[s].algorithm = factory_(graph_, s);
     MINREJ_REQUIRE(shards_[s].algorithm != nullptr,
                    "factory returned a null algorithm");
     MINREJ_REQUIRE(&shards_[s].algorithm->graph() == &graph_,
@@ -78,6 +116,9 @@ std::size_t AdmissionService::shard_of_request(const Request& request) const {
 
 std::vector<bool> AdmissionService::submit_batch(
     std::span<const Request> batch) {
+  // One branch is the whole cost of the fault-tolerance layer when it is
+  // disabled: the code below is the pre-existing fast path, untouched.
+  if (config_.fault_tolerance.enabled) return submit_batch_ft(batch);
   Timer wall;
   for (Shard& shard : shards_) shard.pending.clear();
   const std::size_t base = placement_.size();
@@ -152,6 +193,479 @@ std::vector<bool> AdmissionService::submit_batch(
   return accepted;
 }
 
+bool AdmissionService::request_well_formed(
+    const Request& request) const noexcept {
+  if (request.edges.empty()) return false;
+  if (!(request.cost > 0.0) || !std::isfinite(request.cost)) return false;
+  EdgeId prev = 0;
+  for (std::size_t i = 0; i < request.edges.size(); ++i) {
+    const EdgeId e = request.edges[i];
+    if (e >= graph_.edge_count()) return false;
+    if (i > 0 && e <= prev) return false;  // sorted + unique contract
+    prev = e;
+  }
+  return true;
+}
+
+std::vector<bool> AdmissionService::submit_batch_ft(
+    std::span<const Request> batch) {
+  Timer wall;
+  const FaultToleranceConfig& ft = config_.fault_tolerance;
+  const FaultInjector* injector = ft.injector.get();
+  for (Shard& shard : shards_) shard.pending.clear();
+  const std::size_t base = placement_.size();
+  placement_.reserve(base + batch.size());
+  modes_.reserve(base + batch.size());
+  decisions_.assign(batch.size(), 0);
+
+  // Route + admit-to-the-pump on the caller's thread.  Arrivals that are
+  // malformed (or flagged corrupt by the injector), owned by a
+  // quarantined shard, or beyond a shard's queue limit never reach an
+  // algorithm: their decision stays "rejected", their placement is voided
+  // (is_accepted throws instead of answering for the wrong request), and
+  // the mode records why.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i];
+    if ((injector && injector->corrupt(base + i)) ||
+        !request_well_formed(request)) {
+      // Attribute to the shard the first edge routes to when it is
+      // routable at all; shard 0 is the catch-all for unroutable garbage.
+      const std::size_t s =
+          (!request.edges.empty() && request.edges.front() < graph_.edge_count())
+              ? shard_of_edge(request.edges.front())
+              : 0;
+      ++shards_[s].malformed;
+      placement_.emplace_back(static_cast<std::uint32_t>(s), kInvalidId);
+      modes_.push_back(static_cast<std::uint8_t>(DecisionMode::kMalformed));
+      continue;
+    }
+    const std::size_t s = shard_of_request(request);
+    Shard& shard = shards_[s];
+    if (shard.quarantined) {
+      ++shard.shed;
+      placement_.emplace_back(static_cast<std::uint32_t>(s), kInvalidId);
+      modes_.push_back(
+          static_cast<std::uint8_t>(DecisionMode::kQuarantineShed));
+      continue;
+    }
+    if (ft.overload.max_shard_queue > 0 &&
+        shard.pending.size() >= ft.overload.max_shard_queue) {
+      ++shard.shed;
+      placement_.emplace_back(static_cast<std::uint32_t>(s), kInvalidId);
+      modes_.push_back(static_cast<std::uint8_t>(DecisionMode::kShed));
+      continue;
+    }
+    const auto local = static_cast<RequestId>(shard.algorithm->arrivals() +
+                                              shard.pending.size());
+    shard.pending.push_back(i);
+    placement_.emplace_back(static_cast<std::uint32_t>(s), local);
+    // Provisional; commit_shard_batch overwrites with the mode actually
+    // used (kShed when the degraded rule handled it).
+    modes_.push_back(static_cast<std::uint8_t>(DecisionMode::kEngine));
+  }
+
+  // Attempt loop: run every busy shard, retry the failed ones with
+  // exponential backoff (rebuilding their algorithms to the committed
+  // pre-batch state first), quarantine the ones that exhaust retries.
+  std::vector<std::size_t> to_run;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].pending.empty()) to_run.push_back(s);
+  }
+  std::uint64_t jitter_state =
+      ft.retry.jitter_seed ^ (static_cast<std::uint64_t>(base) + 1);
+  std::size_t attempt = 0;
+  while (!to_run.empty()) {
+    for (const std::size_t s : to_run) {
+      Shard& shard = shards_[s];
+      shard.error = nullptr;
+      shard.mode_scratch.assign(shard.pending.size(), 0);
+      shard.latency_scratch.clear();
+      pool_.submit([this, s, batch, base, attempt, injector] {
+        run_shard_task_ft(s, batch, base, attempt, injector);
+      });
+    }
+    pool_.wait_idle();
+    std::vector<std::size_t> retry_set;
+    for (const std::size_t s : to_run) {
+      Shard& shard = shards_[s];
+      if (!shard.error) {
+        commit_shard_batch(s, batch, base);
+        continue;
+      }
+      shard.error = nullptr;
+      ++shard.task_failures;
+      if (attempt >= ft.retry.max_retries) {
+        quarantine_shard(s, base);
+      } else {
+        rebuild_shard(s);
+        ++shard.retries;
+        retry_set.push_back(s);
+      }
+    }
+    to_run = std::move(retry_set);
+    if (!to_run.empty()) {
+      const double doubling =
+          static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(
+                                  attempt, 30));
+      double delay = std::min(ft.retry.backoff_max_s,
+                              ft.retry.backoff_base_s * doubling);
+      const double u =
+          static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+      delay *= 1.0 + ft.retry.jitter * (2.0 * u - 1.0);
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+      ++attempt;
+    }
+  }
+  pumped_seconds_ += wall.elapsed_s();
+
+  std::vector<bool> accepted(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    accepted[i] = decisions_[i] != 0;
+  }
+  return accepted;
+}
+
+void AdmissionService::run_shard_task_ft(std::size_t shard_index,
+                                         std::span<const Request> batch,
+                                         std::size_t base, std::size_t attempt,
+                                         const FaultInjector* injector) {
+  Shard& shard = shards_[shard_index];
+  try {
+    Timer busy;
+    Timer arrival_timer;
+    const OverloadPolicy& overload = config_.fault_tolerance.overload;
+    // Deadline shedding is per-batch: a slow sub-batch degrades its own
+    // tail, the next batch starts fresh.  The budget latch is per-shard
+    // and permanent until a rebuild re-derives it.
+    bool deadline_shed = false;
+    for (std::size_t j = 0; j < shard.pending.size(); ++j) {
+      const std::size_t idx = shard.pending[j];
+      if (injector) {
+        // Probe on the service-global arrival index: it advances even when
+        // the shard sheds, so a healed shard is not doomed to replay the
+        // exact probe pattern that quarantined it.
+        const std::size_t global_arrival = base + idx;
+        switch (injector->probe(shard_index, global_arrival, attempt)) {
+          case FaultAction::kException:
+            throw InjectedFault("injected shard-task fault (shard " +
+                                std::to_string(shard_index) + ", arrival " +
+                                std::to_string(global_arrival) + ", attempt " +
+                                std::to_string(attempt) + ")");
+          case FaultAction::kDelay:
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(injector->delay_seconds()));
+            ++shard.injected_delays;
+            break;
+          case FaultAction::kNone:
+            break;
+        }
+      }
+      if (overload.shard_deadline_s > 0.0 && !deadline_shed &&
+          busy.elapsed_s() > overload.shard_deadline_s) {
+        deadline_shed = true;
+      }
+      const bool shed_this = shard.degraded || deadline_shed;
+      if (config_.collect_latencies) arrival_timer.reset();
+      const ArrivalResult result =
+          shed_this ? shard.algorithm->process_shed(batch[idx])
+                    : shard.algorithm->process(batch[idx]);
+      if (config_.collect_latencies) {
+        shard.latency_scratch.push_back(arrival_timer.elapsed_s());
+      }
+      decisions_[idx] = result.accepted ? 1 : 0;
+      shard.mode_scratch[j] = static_cast<std::uint8_t>(
+          shed_this ? DecisionMode::kShed : DecisionMode::kEngine);
+      if (overload.shed_on_budget && !shard.degraded) {
+        const std::uint64_t budget = augmentation_step_budget(
+            shard.algorithm->arrivals(), graph_.edge_count(),
+            graph_.max_capacity());
+        if (shard.algorithm->augmentation_steps() > budget) {
+          shard.degraded = true;
+        }
+      }
+    }
+    shard.busy_seconds += busy.elapsed_s();
+  } catch (...) {
+    shard.error = std::current_exception();
+  }
+}
+
+void AdmissionService::commit_shard_batch(std::size_t shard_index,
+                                          std::span<const Request> batch,
+                                          std::size_t base) {
+  Shard& shard = shards_[shard_index];
+  shard.log.reserve(shard.log.size() + shard.pending.size());
+  for (std::size_t j = 0; j < shard.pending.size(); ++j) {
+    const std::size_t idx = shard.pending[j];
+    shard.log.push_back(LogEntry{batch[idx], shard.mode_scratch[j]});
+    modes_[base + idx] = shard.mode_scratch[j];
+  }
+  shard.arrivals += shard.pending.size();
+  shard.latencies_s.insert(shard.latencies_s.end(),
+                           shard.latency_scratch.begin(),
+                           shard.latency_scratch.end());
+}
+
+void AdmissionService::rebuild_shard(std::size_t shard_index) {
+  Shard& shard = shards_[shard_index];
+  std::unique_ptr<OnlineAdmissionAlgorithm> fresh =
+      factory_(graph_, shard_index);
+  MINREJ_CHECK(fresh != nullptr, "factory returned a null algorithm");
+  std::size_t replay_from = 0;
+  bool degraded = false;
+  if (!shard.checkpoint_blob.empty() && fresh->snapshot_supported()) {
+    SnapshotReader r(shard.checkpoint_blob, kAlgorithmSnapshotKind);
+    fresh->load_snapshot(r);
+    r.expect_end();
+    replay_from = shard.checkpoint_log_len;
+    degraded = shard.checkpoint_degraded;
+  }
+  const OverloadPolicy& overload = config_.fault_tolerance.overload;
+  for (std::size_t j = replay_from; j < shard.log.size(); ++j) {
+    const LogEntry& entry = shard.log[j];
+    // The logged mode is authoritative: replay calls exactly what the
+    // live pump called, so the trajectory (weights, RNG draws, ids) is
+    // reproduced bit-for-bit.
+    if (entry.mode == static_cast<std::uint8_t>(DecisionMode::kShed)) {
+      fresh->process_shed(entry.request);
+    } else {
+      fresh->process(entry.request);
+    }
+    // Re-derive the budget latch with the same per-arrival check the live
+    // pump applies — deterministic in (steps, arrivals), both replayed.
+    if (overload.shed_on_budget && !degraded) {
+      const std::uint64_t budget = augmentation_step_budget(
+          fresh->arrivals(), graph_.edge_count(), graph_.max_capacity());
+      if (fresh->augmentation_steps() > budget) degraded = true;
+    }
+  }
+  shard.algorithm = std::move(fresh);
+  shard.degraded = degraded;
+  ++shard.restores;
+}
+
+void AdmissionService::quarantine_shard(std::size_t shard_index,
+                                        std::size_t base) {
+  Shard& shard = shards_[shard_index];
+  // The failed attempt may have left the algorithm mid-trajectory; roll it
+  // back to the last committed state so stats read sane numbers while the
+  // shard refuses traffic.
+  rebuild_shard(shard_index);
+  shard.quarantined = true;
+  for (const std::size_t idx : shard.pending) {
+    decisions_[idx] = 0;
+    placement_[base + idx].second = kInvalidId;
+    modes_[base + idx] =
+        static_cast<std::uint8_t>(DecisionMode::kQuarantineShed);
+    ++shard.shed;
+  }
+}
+
+DecisionMode AdmissionService::decision_mode(
+    std::size_t arrival_index) const {
+  MINREJ_REQUIRE(arrival_index < placement_.size(),
+                 "arrival index out of range");
+  if (arrival_index >= modes_.size()) return DecisionMode::kEngine;
+  return static_cast<DecisionMode>(modes_[arrival_index]);
+}
+
+bool AdmissionService::shard_quarantined(std::size_t shard) const {
+  MINREJ_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard].quarantined;
+}
+
+bool AdmissionService::shard_degraded(std::size_t shard) const {
+  MINREJ_REQUIRE(shard < shards_.size(), "shard index out of range");
+  return shards_[shard].degraded;
+}
+
+void AdmissionService::checkpoint() {
+  MINREJ_REQUIRE(config_.fault_tolerance.enabled,
+                 "checkpoint() needs fault tolerance enabled (the recovery "
+                 "replay consumes the per-shard arrival log)");
+  for (Shard& shard : shards_) {
+    if (!shard.algorithm->snapshot_supported()) {
+      // Recovery falls back to full log replay for this shard.
+      shard.checkpoint_blob.clear();
+      shard.checkpoint_log_len = 0;
+      shard.checkpoint_degraded = false;
+      continue;
+    }
+    SnapshotWriter w(std::string(kAlgorithmSnapshotKind),
+                     kAlgorithmSnapshotVersion);
+    shard.algorithm->save_snapshot(w);
+    shard.checkpoint_blob = w.finish();
+    shard.checkpoint_log_len = shard.log.size();
+    shard.checkpoint_degraded = shard.degraded;
+  }
+}
+
+void AdmissionService::restore_shard(std::size_t shard) {
+  MINREJ_REQUIRE(config_.fault_tolerance.enabled,
+                 "restore_shard() needs fault tolerance enabled");
+  MINREJ_REQUIRE(shard < shards_.size(), "shard index out of range");
+  rebuild_shard(shard);
+  shards_[shard].quarantined = false;
+}
+
+std::vector<std::uint8_t> AdmissionService::snapshot() const {
+  for (const Shard& shard : shards_) {
+    MINREJ_REQUIRE(shard.algorithm->snapshot_supported(),
+                   "snapshot() requires every shard algorithm to support "
+                   "snapshots (docs/API.md)");
+  }
+  SnapshotWriter w(std::string(kServiceSnapshotKind), kServiceSnapshotVersion);
+  w.tag("SRVC");
+  w.u64(shards_.size());
+  w.u64(graph_.edge_count());
+  w.u64(capacity_fingerprint(graph_));
+  const bool has_log = config_.fault_tolerance.enabled;
+  w.boolean(has_log);
+  w.u64(placement_.size());
+  for (const auto& [shard, local] : placement_) {
+    w.u32(shard);
+    w.u32(local);
+  }
+  w.vec(modes_);
+  for (const Shard& shard : shards_) {
+    w.tag("SHRD");
+    w.u64(shard.arrivals);
+    w.u64(shard.task_failures);
+    w.u64(shard.retries);
+    w.u64(shard.restores);
+    w.u64(shard.shed);
+    w.u64(shard.malformed);
+    w.u64(shard.injected_delays);
+    w.boolean(shard.quarantined);
+    w.boolean(shard.degraded);
+    w.u64(shard.log.size());
+    for (const LogEntry& entry : shard.log) {
+      w.vec(entry.request.edges);
+      w.f64(entry.request.cost);
+      w.boolean(entry.request.must_accept);
+      w.u8(entry.mode);
+    }
+    SnapshotWriter algo(std::string(kAlgorithmSnapshotKind),
+                        kAlgorithmSnapshotVersion);
+    shard.algorithm->save_snapshot(algo);
+    w.blob(algo.finish());
+  }
+  return w.finish();
+}
+
+void AdmissionService::restore(std::span<const std::uint8_t> blob) {
+  MINREJ_REQUIRE(placement_.empty(),
+                 "restore() requires a freshly constructed service");
+  SnapshotReader r(blob, kServiceSnapshotKind);
+  MINREJ_REQUIRE(r.version() == kServiceSnapshotVersion,
+                 "unsupported service snapshot version");
+  r.expect_tag("SRVC");
+  const std::uint64_t source_shards = r.u64();
+  MINREJ_REQUIRE(r.u64() == graph_.edge_count(),
+                 "snapshot was taken on a graph with a different edge count");
+  MINREJ_REQUIRE(r.u64() == capacity_fingerprint(graph_),
+                 "snapshot was taken on a graph with different capacities");
+  const bool has_log = r.boolean();
+  const std::uint64_t arrival_count = r.u64();
+  std::vector<std::pair<std::uint32_t, RequestId>> placements;
+  placements.reserve(static_cast<std::size_t>(arrival_count));
+  for (std::uint64_t i = 0; i < arrival_count; ++i) {
+    const std::uint32_t shard = r.u32();
+    const RequestId local = r.u32();
+    placements.emplace_back(shard, local);
+  }
+  std::vector<std::uint8_t> modes = r.vec<std::uint8_t>();
+
+  if (source_shards == shards_.size()) {
+    // Same shard count: load every shard's algorithm snapshot directly.
+    // The continuation is bit-identical to the uninterrupted run.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = shards_[s];
+      r.expect_tag("SHRD");
+      shard.arrivals = static_cast<std::size_t>(r.u64());
+      shard.task_failures = static_cast<std::size_t>(r.u64());
+      shard.retries = static_cast<std::size_t>(r.u64());
+      shard.restores = static_cast<std::size_t>(r.u64());
+      shard.shed = static_cast<std::size_t>(r.u64());
+      shard.malformed = static_cast<std::size_t>(r.u64());
+      shard.injected_delays = static_cast<std::size_t>(r.u64());
+      shard.quarantined = r.boolean();
+      shard.degraded = r.boolean();
+      const std::uint64_t log_size = r.u64();
+      shard.log.clear();
+      shard.log.reserve(static_cast<std::size_t>(log_size));
+      for (std::uint64_t j = 0; j < log_size; ++j) {
+        LogEntry entry;
+        entry.request.edges = r.vec<EdgeId>();
+        entry.request.cost = r.f64();
+        entry.request.must_accept = r.boolean();
+        entry.mode = r.u8();
+        shard.log.push_back(std::move(entry));
+      }
+      const std::vector<std::uint8_t> algo_blob = r.blob();
+      std::unique_ptr<OnlineAdmissionAlgorithm> fresh = factory_(graph_, s);
+      MINREJ_CHECK(fresh != nullptr, "factory returned a null algorithm");
+      SnapshotReader algo(algo_blob, kAlgorithmSnapshotKind);
+      fresh->load_snapshot(algo);
+      algo.expect_end();
+      shard.algorithm = std::move(fresh);
+    }
+    r.expect_end();
+    placement_ = std::move(placements);
+    modes_ = std::move(modes);
+    return;
+  }
+
+  // Reshard-on-restore: replay the committed global arrival sequence
+  // through this service's own routing.  Exact only when the source kept
+  // logs, shed/voided nothing, and processed everything in engine mode —
+  // i.e. the deterministic shard-disjoint regime DESIGN.md §6.1 pins down.
+  MINREJ_REQUIRE(has_log,
+                 "reshard-on-restore needs the source service's arrival log "
+                 "(fault tolerance was disabled when the snapshot was taken)");
+  std::vector<std::vector<Request>> logs(
+      static_cast<std::size_t>(source_shards));
+  for (std::uint64_t s = 0; s < source_shards; ++s) {
+    r.expect_tag("SHRD");
+    for (int skip = 0; skip < 7; ++skip) r.u64();  // counters
+    r.boolean();  // quarantined
+    r.boolean();  // degraded
+    const std::uint64_t log_size = r.u64();
+    logs[s].reserve(static_cast<std::size_t>(log_size));
+    for (std::uint64_t j = 0; j < log_size; ++j) {
+      Request request;
+      request.edges = r.vec<EdgeId>();
+      request.cost = r.f64();
+      request.must_accept = r.boolean();
+      const std::uint8_t mode = r.u8();
+      MINREJ_REQUIRE(mode == static_cast<std::uint8_t>(DecisionMode::kEngine),
+                     "reshard-on-restore requires an engine-mode-only "
+                     "trajectory (the source load-shed arrivals)");
+      logs[s].push_back(std::move(request));
+    }
+    r.blob();  // the source algorithm snapshot; replay rebuilds from logs
+  }
+  r.expect_end();
+  std::vector<Request> sequence;
+  sequence.reserve(placements.size());
+  for (const auto& [shard, local] : placements) {
+    MINREJ_REQUIRE(local != kInvalidId,
+                   "reshard-on-restore cannot replay shed or malformed "
+                   "arrivals — their requests were never logged");
+    MINREJ_REQUIRE(shard < logs.size() && local < logs[shard].size(),
+                   "snapshot placement points outside the shard log");
+    sequence.push_back(logs[static_cast<std::size_t>(shard)][local]);
+  }
+  for (std::size_t offset = 0; offset < sequence.size();
+       offset += config_.batch) {
+    const std::size_t count =
+        std::min(config_.batch, sequence.size() - offset);
+    submit_batch(std::span<const Request>(sequence.data() + offset, count));
+  }
+}
+
 ServiceStats AdmissionService::run(const AdmissionInstance& instance) {
   MINREJ_REQUIRE(instance.graph().edge_count() == graph_.edge_count(),
                  "instance graph does not match the service graph");
@@ -201,6 +715,18 @@ ShardStats AdmissionService::shard_stats(std::size_t shard) const {
   stats.augmentation_steps = s.algorithm->augmentation_steps();
   stats.busy_seconds = s.busy_seconds;
   stats.latencies_s = s.latencies_s;
+  stats.augmentation_budget = augmentation_step_budget(
+      s.arrivals, graph_.edge_count(), graph_.max_capacity());
+  stats.augmentation_budget_exceeded =
+      stats.augmentation_steps > stats.augmentation_budget;
+  stats.task_failures = s.task_failures;
+  stats.retries = s.retries;
+  stats.restores = s.restores;
+  stats.shed = s.shed;
+  stats.malformed = s.malformed;
+  stats.injected_delays = s.injected_delays;
+  stats.quarantined = s.quarantined;
+  stats.degraded = s.degraded;
   return stats;
 }
 
@@ -222,6 +748,19 @@ ServiceStats AdmissionService::aggregate() const {
     stats.total_busy_s += shard.busy_seconds;
     latencies.insert(latencies.end(), shard.latencies_s.begin(),
                      shard.latencies_s.end());
+    const std::uint64_t budget = augmentation_step_budget(
+        shard.arrivals, graph_.edge_count(), graph_.max_capacity());
+    if (shard.algorithm->augmentation_steps() > budget) {
+      ++stats.budget_exceeded_shards;
+    }
+    stats.task_failures += shard.task_failures;
+    stats.retries += shard.retries;
+    stats.restores += shard.restores;
+    stats.shed += shard.shed;
+    stats.malformed += shard.malformed;
+    stats.injected_delays += shard.injected_delays;
+    if (shard.quarantined) ++stats.quarantined_shards;
+    if (shard.degraded) ++stats.degraded_shards;
   }
   if (!latencies.empty()) {
     std::sort(latencies.begin(), latencies.end());

@@ -25,6 +25,16 @@
 // own view only — admission decisions remain safe per shard but edges
 // shared across shards may be oversubscribed globally; see DESIGN.md §6.1
 // for why this is the documented relaxation rather than an error.
+//
+// Fault tolerance (DESIGN.md §9): with ServiceConfig::fault_tolerance
+// enabled the pump validates arrivals before they reach an algorithm,
+// retries failed shard tasks with exponential backoff, quarantines a shard
+// whose retries are exhausted (rebuilding it to its last committed state),
+// applies backpressure and load-shedding under overload, and keeps a
+// per-shard committed arrival log that — together with the snapshot layer
+// (io/snapshot.h) — supports snapshot(), restore(), checkpoint() and
+// restore_shard().  All of it is behind one branch in submit_batch: a
+// service with fault tolerance disabled runs the exact pre-existing code.
 #pragma once
 
 #include <cstddef>
@@ -41,6 +51,63 @@
 #include "util/thread_pool.h"
 
 namespace minrej {
+
+class FaultInjector;
+
+/// How the pump resolved one arrival (decision_mode()).  Only tracked
+/// under fault tolerance; without it every arrival is kEngine.
+enum class DecisionMode : std::uint8_t {
+  /// Processed by the shard algorithm's full engine (process()).
+  kEngine = 0,
+  /// Load-shed: either dropped at routing by backpressure (never reached
+  /// the algorithm) or processed by the degraded threshold rule
+  /// (process_shed()) — the shard log tells them apart.
+  kShed = 1,
+  /// Rejected at validation (empty/out-of-range/unsorted edges or a
+  /// non-finite/non-positive cost); never reached an algorithm.
+  kMalformed = 2,
+  /// Dropped because the owning shard was quarantined at arrival time.
+  kQuarantineShed = 3,
+};
+
+/// Retry/backoff knobs for failed shard tasks (DESIGN.md §9).
+struct RetryPolicy {
+  /// Retries after the first failed attempt before quarantine.
+  std::size_t max_retries = 2;
+  /// Backoff before retry r is min(backoff_base_s * 2^r, backoff_max_s),
+  /// jittered by ±jitter (fraction).  Jitter perturbs only sleep times,
+  /// never decisions, so fault-tolerant runs stay deterministic.
+  double backoff_base_s = 0.0005;
+  double backoff_max_s = 0.01;
+  double jitter = 0.2;
+  std::uint64_t jitter_seed = 0x5EEDBA5Eu;
+};
+
+/// Overload / graceful-degradation knobs (DESIGN.md §9).
+struct OverloadPolicy {
+  /// Max arrivals queued per shard per batch; overflow is shed at routing
+  /// (backpressure — the closed-loop clients re-arrive them).  0 = off.
+  std::size_t max_shard_queue = 0;
+  /// Per-batch processing deadline per shard; once a shard task exceeds
+  /// it, the rest of its sub-batch runs through the degraded threshold
+  /// rule (process_shed).  Timing-dependent, hence opt-in and excluded
+  /// from the determinism contract.  0 = off.
+  double shard_deadline_s = 0.0;
+  /// Latch a shard into degraded mode once its augmentation steps exceed
+  /// the core/run_budget.h budget.  Deterministic.
+  bool shed_on_budget = false;
+};
+
+/// Master switch plus policies.  Disabled (the default) costs one branch
+/// per submit_batch; nothing else changes.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  RetryPolicy retry;
+  OverloadPolicy overload;
+  /// Optional deterministic fault source (util/fault_injector.h) consulted
+  /// by the pump: task exceptions, slow shards, corrupted arrivals.
+  std::shared_ptr<const FaultInjector> injector;
+};
 
 /// Builds the algorithm instance owned by one shard.  Must construct on
 /// the graph it is given (the service's graph — shards share the topology;
@@ -62,10 +129,13 @@ struct ServiceConfig {
   /// inside the shard task).  Off by default, same rationale as
   /// RunOptions::collect_latencies.
   bool collect_latencies = false;
-  /// Optional edge → shard override (must return values < shards).  The
-  /// default is the splitmix64 hash partition; a tenant-aligned override
-  /// makes multi-tenant traffic shard-disjoint (DESIGN.md §6.1).
+  /// Optional edge → shard override (must return values < shards; checked
+  /// over every edge at construction).  The default is the splitmix64 hash
+  /// partition; a tenant-aligned override makes multi-tenant traffic
+  /// shard-disjoint (DESIGN.md §6.1).
   std::function<std::size_t(EdgeId)> partition;
+  /// Fault-tolerance layer (DESIGN.md §9).  Off by default.
+  FaultToleranceConfig fault_tolerance;
 };
 
 /// Counters for one shard.  accepted/rejected/rejected_cost/augmentations
@@ -84,6 +154,20 @@ struct ShardStats {
   /// Per-arrival latencies in seconds, arrival order (empty unless
   /// ServiceConfig::collect_latencies).
   std::vector<double> latencies_s;
+  /// The shard's core/run_budget.h augmentation-step budget at its current
+  /// arrival count, and whether its steps exceed it — the per-shard
+  /// blow-up verdict (same guard the sim runner reports per run).
+  std::uint64_t augmentation_budget = 0;
+  bool augmentation_budget_exceeded = false;
+  /// Fault-tolerance counters (all 0 when the layer is disabled).
+  std::size_t task_failures = 0;   ///< failed task attempts (incl. injected)
+  std::size_t retries = 0;         ///< attempts re-run after backoff
+  std::size_t restores = 0;        ///< algorithm rebuilds (retry/quarantine/heal)
+  std::size_t shed = 0;            ///< arrivals shed at routing (backpressure/quarantine)
+  std::size_t malformed = 0;       ///< arrivals rejected at validation
+  std::size_t injected_delays = 0; ///< injector kDelay probes observed
+  bool quarantined = false;        ///< currently refusing traffic
+  bool degraded = false;           ///< load-shed latch active (process_shed)
 };
 
 /// Merged view across all shards (util/stats quantile merge).
@@ -106,6 +190,18 @@ struct ServiceStats {
   double p50_arrival_s = 0.0;
   double p95_arrival_s = 0.0;
   double max_arrival_s = 0.0;
+  /// Shards whose augmentation steps exceed their budget (satellite of
+  /// the per-shard ShardStats verdict).
+  std::size_t budget_exceeded_shards = 0;
+  /// Summed fault-tolerance counters (see ShardStats).
+  std::size_t task_failures = 0;
+  std::size_t retries = 0;
+  std::size_t restores = 0;
+  std::size_t shed = 0;
+  std::size_t malformed = 0;
+  std::size_t injected_delays = 0;
+  std::size_t quarantined_shards = 0;
+  std::size_t degraded_shards = 0;
 
   double arrivals_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
@@ -180,7 +276,54 @@ class AdmissionService {
   /// Merged counters; seconds is the accumulated submit_batch wall time.
   ServiceStats aggregate() const;
 
+  // --- fault tolerance / recovery (DESIGN.md §9; docs/API.md) ---
+
+  /// How the pump resolved the i-th arrival.  kEngine for everything when
+  /// fault tolerance is disabled (modes are not tracked then).
+  DecisionMode decision_mode(std::size_t arrival_index) const;
+
+  bool shard_quarantined(std::size_t shard) const;
+  /// True while the shard's load-shed latch routes arrivals through the
+  /// degraded threshold rule (process_shed).
+  bool shard_degraded(std::size_t shard) const;
+
+  /// Serializes the full service state — placements, decision modes,
+  /// per-shard counters/logs, and one embedded algorithm snapshot per
+  /// shard — into a sealed io/snapshot.h stream.  Requires every shard
+  /// algorithm to support snapshots.  Legal only between batches.
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Rebuilds the state captured by snapshot() into this service, which
+  /// must be freshly constructed (no arrivals) with the same graph and
+  /// factory.  Same shard count: algorithm snapshots load directly and
+  /// the continuation is bit-identical to the uninterrupted run.
+  /// Different shard count (reshard-on-restore): the committed global
+  /// arrival sequence is replayed through this service's own routing —
+  /// requires the source to have kept logs (fault tolerance enabled),
+  /// no shed/malformed arrivals, and engine-mode-only trajectories; the
+  /// decisions match the source for shard-disjoint deterministic traffic
+  /// (DESIGN.md §6.1/§9).
+  void restore(std::span<const std::uint8_t> blob);
+
+  /// Captures an in-memory per-shard recovery point (algorithm snapshot +
+  /// log position): quarantine recovery and restore_shard() rebuild from
+  /// here and replay only the log suffix.  Requires fault tolerance.
+  void checkpoint();
+
+  /// Rebuilds one shard to its last committed state (from its checkpoint
+  /// when one exists, else by full log replay) and lifts its quarantine.
+  /// The soak harness's kill-and-recover primitive.
+  void restore_shard(std::size_t shard);
+
  private:
+  /// One committed arrival of a shard: the request plus the mode it was
+  /// actually processed under.  Log index == shard-local request id, so
+  /// replaying the log reproduces the algorithm trajectory exactly.
+  struct LogEntry {
+    Request request;
+    std::uint8_t mode = 0;  // DecisionMode::kEngine or kShed
+  };
+
   struct Shard {
     std::unique_ptr<OnlineAdmissionAlgorithm> algorithm;
     std::size_t arrivals = 0;
@@ -188,14 +331,50 @@ class AdmissionService {
     std::vector<double> latencies_s;
     std::vector<std::size_t> pending;  // batch indices, reused per batch
     std::exception_ptr error;
+    // Fault-tolerance state (untouched when the layer is disabled).
+    std::vector<LogEntry> log;         // committed arrivals, id order
+    std::vector<std::uint8_t> mode_scratch;    // per-batch, parallels pending
+    std::vector<double> latency_scratch;       // committed only on success
+    std::vector<std::uint8_t> checkpoint_blob; // last checkpoint() snapshot
+    std::size_t checkpoint_log_len = 0;
+    bool checkpoint_degraded = false;
+    bool quarantined = false;
+    bool degraded = false;  // load-shed latch (OverloadPolicy::shed_on_budget)
+    std::size_t task_failures = 0;
+    std::size_t retries = 0;
+    std::size_t restores = 0;
+    std::size_t shed = 0;
+    std::size_t malformed = 0;
+    std::size_t injected_delays = 0;
   };
 
+  std::vector<bool> submit_batch_ft(std::span<const Request> batch);
+  /// Body of one fault-tolerant shard task (runs on the pool).
+  void run_shard_task_ft(std::size_t shard, std::span<const Request> batch,
+                         std::size_t base, std::size_t attempt,
+                         const FaultInjector* injector);
+  /// Appends a successful sub-batch to the shard's log and commits its
+  /// scratch (modes, latencies, arrival count).
+  void commit_shard_batch(std::size_t shard, std::span<const Request> batch,
+                          std::size_t base);
+  /// Rebuilds the shard's algorithm to its last committed state: fresh
+  /// factory instance, checkpoint load when available, log replay for the
+  /// rest (re-deriving the budget latch deterministically).
+  void rebuild_shard(std::size_t shard);
+  /// Exhausted retries: rebuild to committed state, mark quarantined, and
+  /// shed the shard's pending arrivals of this batch.
+  void quarantine_shard(std::size_t shard, std::size_t base);
+  bool request_well_formed(const Request& request) const noexcept;
+
   const Graph& graph_;
+  ShardAlgorithmFactory factory_;
   ServiceConfig config_;
   std::vector<Shard> shards_;
   ThreadPool pool_;
   /// arrival index → (shard, shard-local request id).
   std::vector<std::pair<std::uint32_t, RequestId>> placement_;
+  /// arrival index → DecisionMode (only under fault tolerance).
+  std::vector<std::uint8_t> modes_;
   /// Per-batch decision scratch (uint8_t, not vector<bool>: shard tasks
   /// write disjoint elements concurrently and vector<bool> packs bits).
   std::vector<std::uint8_t> decisions_;

@@ -175,6 +175,68 @@ AdmissionInstance make_diurnal_workload(std::size_t edge_count,
   return AdmissionInstance(std::move(graph), std::move(requests));
 }
 
+AdmissionInstance make_flash_crowd_workload(std::size_t edge_count,
+                                            std::int64_t capacity,
+                                            std::size_t request_count,
+                                            double crowd_start,
+                                            double crowd_end,
+                                            std::size_t hot_edges,
+                                            const CostModel& costs, Rng& rng) {
+  MINREJ_REQUIRE(edge_count >= 1, "flash crowd needs edges");
+  MINREJ_REQUIRE(hot_edges >= 1 && hot_edges <= edge_count, "bad hot_edges");
+  MINREJ_REQUIRE(crowd_start >= 0.0 && crowd_end <= 1.0 &&
+                     crowd_start < crowd_end,
+                 "crowd window must satisfy 0 <= start < end <= 1");
+  Graph graph = make_star_graph(edge_count, capacity);
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    const double t = request_count > 1
+                         ? static_cast<double>(i) /
+                               static_cast<double>(request_count)
+                         : 0.0;
+    const bool in_crowd = t >= crowd_start && t < crowd_end;
+    const EdgeId e = (in_crowd && rng.bernoulli(0.9))
+                         ? static_cast<EdgeId>(rng.index(hot_edges))
+                         : static_cast<EdgeId>(rng.index(edge_count));
+    requests.emplace_back(std::vector<EdgeId>{e}, costs.sample(rng));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
+AdmissionInstance make_cascading_failure_workload(std::size_t edge_count,
+                                                  std::int64_t capacity,
+                                                  std::size_t request_count,
+                                                  std::size_t groups,
+                                                  const CostModel& costs,
+                                                  Rng& rng) {
+  MINREJ_REQUIRE(edge_count >= 1, "cascading failure needs edges");
+  MINREJ_REQUIRE(groups >= 1 && groups <= edge_count,
+                 "groups must be in [1, edge_count]");
+  Graph graph = make_star_graph(edge_count, capacity);
+  const std::size_t block = edge_count / groups;  // last block takes the rest
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t i = 0; i < request_count; ++i) {
+    // Window g of the run aims the hotspot at block g.
+    const std::size_t g =
+        std::min(groups - 1, i * groups / std::max<std::size_t>(1,
+                                                                request_count));
+    EdgeId e;
+    if (rng.bernoulli(0.8)) {
+      const std::size_t begin = g * block;
+      const std::size_t size =
+          (g + 1 == groups) ? edge_count - begin : block;
+      e = static_cast<EdgeId>(begin + rng.index(std::max<std::size_t>(1,
+                                                                      size)));
+    } else {
+      e = static_cast<EdgeId>(rng.index(edge_count));
+    }
+    requests.emplace_back(std::vector<EdgeId>{e}, costs.sample(rng));
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
 AdmissionInstance make_adversarial_single_edge(std::int64_t capacity,
                                                std::size_t request_count,
                                                double cost_ratio) {
@@ -247,6 +309,11 @@ constexpr ScenarioInfo kCatalog[] = {
      "Zipf(1.1) multi-edge requests, log-uniform costs in [1, 32]"},
     {"diurnal",
      "sinusoidal hot-set wave (3 periods); peaks overload the hot edges"},
+    {"flash_crowd",
+     "uniform traffic with a [40%, 55%) crowd window concentrating 90% of "
+     "load on a small hot set"},
+    {"cascading_failure",
+     "rolling hotspot: 8 edge blocks take turns absorbing 80% of traffic"},
     {"adversarial_single_edge",
      "one edge, strictly escalating costs; maximal preemption churn"},
     {"multi_tenant",
@@ -332,6 +399,26 @@ AdmissionInstance make_scenario(const std::string& name,
     const std::size_t hot = std::max<std::size_t>(1, edges / 8);
     return make_diurnal_workload(edges, cap, requests, 3.0, hot,
                                  CostModel::unit_costs(), rng);
+  }
+  if (name == "flash_crowd") {
+    // Capacity = the uniform per-edge load: outside the crowd window every
+    // spoke runs at its capacity, inside it the hot set (a sixteenth of
+    // the spokes) takes ~90% of the offered load and overloads an order
+    // of magnitude deep.  Unit costs, same service-rate rationale as
+    // diurnal.
+    const std::int64_t cap = pick_capacity(params.capacity, per_edge);
+    const std::size_t hot = std::max<std::size_t>(1, edges / 16);
+    return make_flash_crowd_workload(edges, cap, requests, 0.40, 0.55, hot,
+                                     CostModel::unit_costs(), rng);
+  }
+  if (name == "cascading_failure") {
+    // Eight blocks, each overloaded ~2.5x while the hotspot sits on it
+    // (80% of traffic into an eighth of the edges at capacity ≈ double
+    // the uniform per-edge load).  Unit costs, service-rate rationale.
+    const std::int64_t cap = pick_capacity(params.capacity, 2 * per_edge);
+    const std::size_t groups = std::min<std::size_t>(8, edges);
+    return make_cascading_failure_workload(edges, cap, requests, groups,
+                                           CostModel::unit_costs(), rng);
   }
   if (name == "adversarial_single_edge") {
     // Capacity well below requests/4: the preemption-churn cost grows

@@ -110,6 +110,38 @@ AdmissionInstance make_diurnal_workload(std::size_t edge_count,
                                         double periods, std::size_t hot_edges,
                                         const CostModel& costs, Rng& rng);
 
+/// Flash crowd on a star of `edge_count` spokes: uniform single-edge
+/// traffic except inside the crowd window [crowd_start, crowd_end) (run
+/// fractions in [0, 1]), where each arrival targets the hot set (the
+/// first `hot_edges` spokes) with probability 0.9.  Models a viral event:
+/// a stable service suddenly concentrates its whole offered load on a few
+/// resources, deeply overloading them, then recovers.  Single-edge
+/// requests — shard-disjoint like the dense burst — which is what makes
+/// it the soak harness's default fault-injection stage (DESIGN.md §9).
+AdmissionInstance make_flash_crowd_workload(std::size_t edge_count,
+                                            std::int64_t capacity,
+                                            std::size_t request_count,
+                                            double crowd_start,
+                                            double crowd_end,
+                                            std::size_t hot_edges,
+                                            const CostModel& costs, Rng& rng);
+
+/// Cascading failure across `groups` equal blocks of spokes: the run is
+/// split into `groups` windows, and in window g traffic targets block g
+/// with probability 0.8 (uniform otherwise) — the load that block g's
+/// "failed" predecessor shed lands on it, overloads it, and the hotspot
+/// rolls on.  Every block takes its turn being the overloaded survivor.
+/// Single-edge requests, shard-disjoint; with the block-aligned partition
+/// e ↦ (e / (edge_count/groups)) mod K the rolling hotspot visits the
+/// service's shards one after another (the cascading_failure scenario of
+/// the soak harness).
+AdmissionInstance make_cascading_failure_workload(std::size_t edge_count,
+                                                  std::int64_t capacity,
+                                                  std::size_t request_count,
+                                                  std::size_t groups,
+                                                  const CostModel& costs,
+                                                  Rng& rng);
+
 /// Adversarial escalation on one edge of capacity `capacity`: request i
 /// costs cost_ratio^{i/(request_count−1)} (deterministic, strictly
 /// increasing from 1 to cost_ratio), so every arrival is worth more than
@@ -158,12 +190,14 @@ struct ScenarioInfo {
 };
 
 /// All catalog scenarios, in stable order: dense_burst, power_law,
-/// diurnal, adversarial_single_edge, multi_tenant, setcover_powerlaw,
-/// setcover_reduction_replay, shared_sets_overlap.  The setcover_* and
-/// shared_sets_overlap entries realize online set cover as admission
-/// traffic through the §4 reduction (core/reduction.h), so every admission
-/// driver — the benches, the sharded service, minrej_serve — replays them
-/// end-to-end.
+/// diurnal, flash_crowd, cascading_failure, adversarial_single_edge,
+/// multi_tenant, setcover_powerlaw, setcover_reduction_replay,
+/// shared_sets_overlap.  The setcover_* and shared_sets_overlap entries
+/// realize online set cover as admission traffic through the §4 reduction
+/// (core/reduction.h), so every admission driver — the benches, the
+/// sharded service, minrej_serve — replays them end-to-end; flash_crowd
+/// and cascading_failure are the overload/fault stages of the soak
+/// harness (DESIGN.md §9).
 std::span<const ScenarioInfo> scenario_catalog();
 
 /// True iff `name` is a catalog scenario.

@@ -1,0 +1,69 @@
+#include "util/fault_injector.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace minrej {
+
+namespace {
+
+/// Uniform double in [0, 1) from a splitmix64 chain over the probe
+/// coordinates.  Each coordinate is folded into the MIXED OUTPUT of the
+/// previous step (splitmix64 advances its state linearly and returns the
+/// avalanche-mixed value — chaining the raw state would leave coordinates
+/// combined by bare XOR/ADD, where u(arrival ^ d, attempt ^ d) often
+/// equals u(arrival, attempt): one unlucky arrival in a batch would then
+/// doom every retry attempt, because the failing coordinate just shifts
+/// to arrival ^ t at attempt t and stays inside the batch).
+double probe_uniform(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c, std::uint64_t salt) noexcept {
+  std::uint64_t state = seed ^ salt;
+  state = splitmix64(state) ^ a;
+  state = splitmix64(state) ^ b;
+  state = splitmix64(state) ^ c;
+  const std::uint64_t bits = splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  const auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  MINREJ_REQUIRE(rate_ok(plan_.exception_rate), "exception_rate not in [0, 1]");
+  MINREJ_REQUIRE(rate_ok(plan_.delay_rate), "delay_rate not in [0, 1]");
+  MINREJ_REQUIRE(rate_ok(plan_.corrupt_rate), "corrupt_rate not in [0, 1]");
+  MINREJ_REQUIRE(plan_.delay_seconds >= 0.0, "delay_seconds must be >= 0");
+  for (const ScriptedFault& f : plan_.scripted) {
+    MINREJ_REQUIRE(f.attempts >= 1, "scripted fault needs attempts >= 1");
+    MINREJ_REQUIRE(f.action != FaultAction::kNone,
+                   "scripted fault needs a non-trivial action");
+  }
+}
+
+FaultAction FaultInjector::probe(std::size_t shard, std::size_t arrival,
+                                 std::size_t attempt) const noexcept {
+  for (const ScriptedFault& f : plan_.scripted) {
+    if (f.shard == shard && f.arrival == arrival && attempt < f.attempts) {
+      return f.action;
+    }
+  }
+  if (plan_.exception_rate > 0.0 &&
+      probe_uniform(plan_.seed, shard, arrival, attempt, 0x45584300u) <
+          plan_.exception_rate) {
+    return FaultAction::kException;
+  }
+  if (plan_.delay_rate > 0.0 &&
+      probe_uniform(plan_.seed, shard, arrival, attempt, 0x444C5900u) <
+          plan_.delay_rate) {
+    return FaultAction::kDelay;
+  }
+  return FaultAction::kNone;
+}
+
+bool FaultInjector::corrupt(std::size_t global_arrival) const noexcept {
+  if (plan_.corrupt_rate <= 0.0) return false;
+  return probe_uniform(plan_.seed, global_arrival, 0, 0, 0x434F5200u) <
+         plan_.corrupt_rate;
+}
+
+}  // namespace minrej

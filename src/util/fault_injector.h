@@ -1,0 +1,99 @@
+// fault_injector.h — deterministic fault injection for the sharded
+// service's soak harness (DESIGN.md §9).
+//
+// Faults are decided by hashing (seed, shard, arrival, attempt) through
+// splitmix64 — stateless, so probes are thread-safe, independent of pump
+// scheduling, and *retry-aware*: attempt 0 and attempt 1 of the same
+// arrival hash differently, so a retried task is not doomed to hit the
+// same injected exception forever (but with a scripted fault it can be,
+// deliberately — see FaultPlan::scripted).  The same plan + seed always
+// injects the same faults at the same points, which is what lets the soak
+// harness compare a fault-injected run against a clean control run
+// decision-for-decision.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace minrej {
+
+/// What the injector tells the pump to do for one (shard, arrival,
+/// attempt) probe.
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  /// Throw InjectedFault from inside the shard task (exercises the
+  /// retry/backoff/quarantine path).
+  kException = 1,
+  /// Sleep for FaultPlan::delay_seconds before processing (exercises the
+  /// deadline/degradation path; counted in ShardStats::injected_delays).
+  kDelay = 2,
+};
+
+/// A fault pinned to an exact (shard, arrival) coordinate rather than
+/// drawn from the hash.  `attempts` is how many consecutive attempts the
+/// fault fires on: 1 means the first retry succeeds; a value above the
+/// pump's retry limit forces the shard into quarantine.
+struct ScriptedFault {
+  std::size_t shard = 0;
+  /// Service-global arrival index of the request being processed (the
+  /// pump probes with the same coordinate corrupt() uses).
+  std::size_t arrival = 0;
+  std::size_t attempts = 1;
+  FaultAction action = FaultAction::kException;
+};
+
+/// Probabilities and scripted faults for one injector.  Rates are per
+/// probe in [0, 1]; exception_rate is tested first, so with both rates at
+/// 1.0 every probe throws.
+struct FaultPlan {
+  double exception_rate = 0.0;
+  double delay_rate = 0.0;
+  /// Sleep length for kDelay actions.  Kept small by default so soak runs
+  /// stay fast while still reordering shard completion times.
+  double delay_seconds = 0.0005;
+  /// Probability that corrupt() flags a global arrival index as malformed
+  /// (the pump then mangles the request before validation sees it).
+  double corrupt_rate = 0.0;
+  std::uint64_t seed = 0;
+  std::vector<ScriptedFault> scripted;
+};
+
+/// Exception type thrown by the pump on kException probes, so tests and
+/// the quarantine accounting can tell injected faults from genuine
+/// algorithm errors (which also take the retry path, but a real
+/// InvalidArgument escaping retries is a bug worth seeing in the stats).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic fault oracle.  Immutable after construction; probes are
+/// const and lock-free, so one injector can be shared by every shard task.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Decides the fault for one processing attempt.  `arrival` is the
+  /// service-global arrival index of the request; `attempt` counts retries
+  /// from 0.  Keyed on the global index (which advances even when a shard
+  /// sheds) so a healed shard sees fresh probes instead of replaying the
+  /// exact fault pattern that quarantined it.
+  FaultAction probe(std::size_t shard, std::size_t arrival,
+                    std::size_t attempt) const noexcept;
+
+  /// True if the request at this *global* arrival index should reach the
+  /// service malformed (empty edge list + non-finite cost).  Decided on
+  /// the global index so corruption is independent of sharding.
+  bool corrupt(std::size_t global_arrival) const noexcept;
+
+  double delay_seconds() const noexcept { return plan_.delay_seconds; }
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+}  // namespace minrej

@@ -103,6 +103,15 @@ class Rng {
   /// Sample k distinct indices from [0, n) (k <= n), in random order.
   std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
 
+  /// The raw 256-bit generator state, for snapshot/restore (io/snapshot.h):
+  /// restoring a saved state resumes the exact output stream, which is what
+  /// makes restored randomized algorithms bit-identical to uninterrupted
+  /// runs (DESIGN.md §9).
+  std::array<std::uint64_t, 4> state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
   /// Derive an independent child generator (for per-trial parallel streams).
   Rng split() noexcept {
     // Mix all four state words into a fresh seed; advancing *this keeps

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -38,6 +39,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (task_error_) {
+    std::exception_ptr error = std::exchange(task_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,9 +57,15 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr escaped;
+    try {
+      task();
+    } catch (...) {
+      escaped = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (escaped && !task_error_) task_error_ = std::move(escaped);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -38,11 +38,16 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task.  Tasks must not throw through the pool; use
-  /// parallel_for_index for exception-propagating fork-join work.
+  /// Enqueues a task.  A task that throws does not kill its worker: the
+  /// first escaped exception is captured and rethrown by the next
+  /// wait_idle() (later ones are dropped — fork-join callers care that
+  /// *something* failed, and the first failure is the deterministic one to
+  /// report).  The pool stays usable afterwards.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle, then
+  /// rethrows the first exception any task threw since the last
+  /// wait_idle() (clearing it, so the pool is reusable after a failure).
   void wait_idle();
 
  private:
@@ -55,6 +60,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  /// First exception thrown by a task since the last wait_idle() (guarded
+  /// by mu_).  See submit() for the capture contract.
+  std::exception_ptr task_error_;
 };
 
 /// Runs body(i) for every i in [0, count) across `threads` workers.

@@ -1,0 +1,572 @@
+// Tests for the fault-tolerance stack (DESIGN.md §9): the snapshot
+// container (io/snapshot.h), algorithm save/load continuation, service
+// snapshot → restore → continue bit-identity, reshard-on-restore, the
+// deterministic fault injector, and the pump's retry/quarantine/shedding
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "io/snapshot.h"
+#include "service/admission_service.h"
+#include "sim/workloads.h"
+#include "util/check.h"
+#include "util/fault_injector.h"
+#include "util/rng.h"
+
+namespace minrej {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Snapshot container
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, RoundTripsEveryFieldType) {
+  SnapshotWriter w("test.kind", 3);
+  w.tag("HEAD");
+  w.u8(200);
+  w.boolean(true);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(-0.1);  // not representable exactly — must come back bit-identical
+  w.str("hello snapshot");
+  w.vec(std::vector<std::uint32_t>{1, 2, 3});
+  w.vec(std::vector<double>{0.5, -1.5});
+  w.bit_vec(std::vector<bool>{true, false, true});
+  const std::vector<std::uint8_t> inner{9, 8, 7};
+  w.blob(inner);
+  const std::vector<std::uint8_t> bytes = w.finish();
+
+  SnapshotReader r(bytes, "test.kind");
+  EXPECT_EQ(r.version(), 3u);
+  r.expect_tag("HEAD");
+  EXPECT_EQ(r.u8(), 200);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  const double d = r.f64();
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(d),
+            std::bit_cast<std::uint64_t>(-0.1));
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.vec<std::uint32_t>(), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(r.vec<double>(), (std::vector<double>{0.5, -1.5}));
+  EXPECT_EQ(r.bit_vec(), (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(r.blob(), inner);
+  r.expect_end();
+}
+
+TEST(Snapshot, NanSurvivesBitExactly) {
+  SnapshotWriter w("test.kind", 1);
+  w.f64(std::numeric_limits<double>::quiet_NaN());
+  const auto bytes = w.finish();
+  SnapshotReader r(bytes, "test.kind");
+  EXPECT_TRUE(std::isnan(r.f64()));
+}
+
+TEST(Snapshot, CorruptionTruncationAndMismatchAllThrow) {
+  SnapshotWriter w("test.kind", 1);
+  w.u64(77);
+  w.str("payload");
+  std::vector<std::uint8_t> good = w.finish();
+
+  // Flipping any payload byte fails the checksum before any field parses.
+  std::vector<std::uint8_t> corrupt = good;
+  corrupt.back() ^= 0x01;
+  EXPECT_THROW(SnapshotReader(corrupt, "test.kind"), InvalidArgument);
+
+  // Truncation is detected by the header size check.
+  std::vector<std::uint8_t> truncated(good.begin(), good.end() - 3);
+  EXPECT_THROW(SnapshotReader(truncated, "test.kind"), InvalidArgument);
+
+  // Kind mismatch names both kinds; magic mismatch rejects foreign bytes.
+  EXPECT_THROW(SnapshotReader(good, "other.kind"), InvalidArgument);
+  std::vector<std::uint8_t> foreign = good;
+  foreign[0] = 'X';
+  EXPECT_THROW(SnapshotReader(foreign, "test.kind"), InvalidArgument);
+
+  // A reader that under-consumes fails expect_end; one that over-consumes
+  // fails the typed read.
+  SnapshotReader under(good, "test.kind");
+  under.u64();
+  EXPECT_THROW(under.expect_end(), InvalidArgument);
+  SnapshotReader over(good, "test.kind");
+  over.u64();
+  over.str();
+  EXPECT_THROW(over.u64(), InvalidArgument);
+}
+
+TEST(Snapshot, CorruptedLengthPrefixCannotDriveAHugeAllocation) {
+  SnapshotWriter w("test.kind", 1);
+  w.u64(std::numeric_limits<std::uint64_t>::max());  // absurd length prefix
+  const auto bytes = w.finish();
+  SnapshotReader r(bytes, "test.kind");
+  EXPECT_THROW(r.vec<std::uint64_t>(), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm save/load continuation
+// ---------------------------------------------------------------------------
+
+AdmissionInstance make_mixed_instance(std::size_t requests,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  return make_power_law_workload(24, 3, requests, 3, 1.1,
+                                 CostModel::spread(1.0, 16.0), rng);
+}
+
+TEST(AlgorithmSnapshot, RestoreThenContinueMatchesUninterrupted) {
+  const AdmissionInstance inst = make_mixed_instance(400, 11);
+  const ShardAlgorithmFactory factory = randomized_shard_factory(false, 21);
+
+  // Uninterrupted run.
+  std::unique_ptr<OnlineAdmissionAlgorithm> full = factory(inst.graph(), 0);
+  std::vector<bool> full_decisions;
+  for (const Request& r : inst.requests()) {
+    full_decisions.push_back(full->process(r).accepted);
+  }
+
+  // Interrupted run: process half, snapshot, load into a fresh instance,
+  // continue there.
+  std::unique_ptr<OnlineAdmissionAlgorithm> first = factory(inst.graph(), 0);
+  ASSERT_TRUE(first->snapshot_supported());
+  std::vector<bool> split_decisions;
+  for (std::size_t i = 0; i < 200; ++i) {
+    split_decisions.push_back(
+        first->process(inst.request(static_cast<RequestId>(i))).accepted);
+  }
+  SnapshotWriter w("algo", 1);
+  first->save_snapshot(w);
+  const auto blob = w.finish();
+  first.reset();
+
+  std::unique_ptr<OnlineAdmissionAlgorithm> second = factory(inst.graph(), 0);
+  SnapshotReader r(blob, "algo");
+  second->load_snapshot(r);
+  r.expect_end();
+  for (std::size_t i = 200; i < 400; ++i) {
+    split_decisions.push_back(
+        second->process(inst.request(static_cast<RequestId>(i))).accepted);
+  }
+
+  EXPECT_EQ(split_decisions, full_decisions);
+  EXPECT_DOUBLE_EQ(second->rejected_cost(), full->rejected_cost());
+  // The final states are bitwise identical, not just behaviourally close.
+  SnapshotWriter wa("algo", 1), wb("algo", 1);
+  full->save_snapshot(wa);
+  second->save_snapshot(wb);
+  EXPECT_EQ(wa.finish(), wb.finish());
+}
+
+TEST(AlgorithmSnapshot, LoadRejectsTheWrongAlgorithm) {
+  const AdmissionInstance inst = make_mixed_instance(10, 12);
+  GreedyNoPreempt greedy(inst.graph());
+  SnapshotWriter w("algo", 1);
+  greedy.save_snapshot(w);
+  const auto blob = w.finish();
+  PreemptCheapest other(inst.graph());
+  SnapshotReader r(blob, "algo");
+  EXPECT_THROW(other.load_snapshot(r), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Service snapshot → restore → continue
+// ---------------------------------------------------------------------------
+
+ShardAlgorithmFactory greedy_factory() {
+  return [](const Graph& g, std::size_t) {
+    return std::make_unique<GreedyNoPreempt>(g);
+  };
+}
+
+void pump(AdmissionService& service, const AdmissionInstance& inst,
+          std::size_t from, std::size_t to, std::size_t batch) {
+  const std::vector<Request>& requests = inst.requests();
+  for (std::size_t offset = from; offset < to; offset += batch) {
+    const std::size_t count = std::min(batch, to - offset);
+    service.submit_batch(
+        std::span<const Request>(requests.data() + offset, count));
+  }
+}
+
+TEST(ServiceSnapshot, RestoreThenContinueIsBitIdenticalAcrossTheCatalog) {
+  // Every deterministic catalog scenario: split the pump at the midpoint,
+  // snapshot, restore into a fresh service, continue, and require the
+  // final service snapshot to equal the uninterrupted run's bitwise.
+  ScenarioParams params;
+  params.requests = 600;
+  params.edges = 24;
+  for (const ScenarioInfo& info : scenario_catalog()) {
+    Rng rng(41);
+    const AdmissionInstance inst = make_scenario(info.name, params, rng);
+    const ShardAlgorithmFactory factory =
+        randomized_shard_factory(all_unit_costs(inst), 5);
+    ServiceConfig cfg;
+    cfg.shards = 3;
+    cfg.batch = 64;
+    cfg.collect_latencies = false;  // timings are not part of the contract
+    cfg.fault_tolerance.enabled = true;
+
+    AdmissionService full(inst.graph(), factory, cfg);
+    pump(full, inst, 0, 600, cfg.batch);
+
+    AdmissionService first(inst.graph(), factory, cfg);
+    pump(first, inst, 0, 300, cfg.batch);
+    const std::vector<std::uint8_t> blob = first.snapshot();
+
+    AdmissionService resumed(inst.graph(), factory, cfg);
+    resumed.restore(blob);
+    // The restore itself is lossless…
+    EXPECT_EQ(resumed.snapshot(), blob) << info.name;
+    pump(resumed, inst, 300, 600, cfg.batch);
+    // …and the continuation walks the uninterrupted trajectory.
+    EXPECT_EQ(resumed.snapshot(), full.snapshot()) << info.name;
+    ASSERT_EQ(resumed.arrivals(), full.arrivals()) << info.name;
+    for (std::size_t i = 0; i < full.arrivals(); ++i) {
+      ASSERT_EQ(resumed.is_accepted(i), full.is_accepted(i))
+          << info.name << " arrival " << i;
+    }
+    const ServiceStats a = resumed.aggregate();
+    const ServiceStats b = full.aggregate();
+    EXPECT_EQ(a.accepted, b.accepted) << info.name;
+    EXPECT_DOUBLE_EQ(a.rejected_cost, b.rejected_cost) << info.name;
+  }
+}
+
+TEST(ServiceSnapshot, RestoreValidatesTheGraphAndFreshness) {
+  const AdmissionInstance inst = make_mixed_instance(100, 13);
+  ServiceConfig cfg;
+  cfg.fault_tolerance.enabled = true;
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  pump(service, inst, 0, 100, 32);
+  const auto blob = service.snapshot();
+
+  // A service that already pumped arrivals refuses to restore over them.
+  EXPECT_THROW(service.restore(blob), InvalidArgument);
+
+  // A graph with different capacities fails the fingerprint check.
+  const std::vector<std::int64_t> caps(24, 4);
+  const Graph other = Graph::star(caps);
+  AdmissionService mismatched(other, greedy_factory(), cfg);
+  EXPECT_THROW(mismatched.restore(blob), InvalidArgument);
+}
+
+TEST(ServiceSnapshot, ReshardOnRestoreMatchesAFreshRunAtTheNewWidth) {
+  // Shard-disjoint traffic (single-edge requests): a K=2 snapshot restored
+  // into a K=4 service must match a from-scratch K=4 run bit for bit.
+  ScenarioParams params;
+  params.requests = 500;
+  params.edges = 32;
+  Rng rng(42);
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  const ShardAlgorithmFactory factory = randomized_shard_factory(true, 9);
+
+  ServiceConfig narrow;
+  narrow.shards = 2;
+  narrow.batch = 64;
+  narrow.collect_latencies = false;
+  narrow.fault_tolerance.enabled = true;  // reshard needs the arrival log
+  AdmissionService source(inst.graph(), factory, narrow);
+  pump(source, inst, 0, 500, narrow.batch);
+  const auto blob = source.snapshot();
+
+  ServiceConfig wide = narrow;
+  wide.shards = 4;
+  AdmissionService resharded(inst.graph(), factory, wide);
+  resharded.restore(blob);
+
+  AdmissionService fresh(inst.graph(), factory, wide);
+  pump(fresh, inst, 0, 500, wide.batch);
+
+  EXPECT_EQ(resharded.snapshot(), fresh.snapshot());
+  ASSERT_EQ(resharded.arrivals(), fresh.arrivals());
+  for (std::size_t i = 0; i < fresh.arrivals(); ++i) {
+    ASSERT_EQ(resharded.is_accepted(i), fresh.is_accepted(i)) << i;
+  }
+  // And the resharded service keeps serving.
+  pump(resharded, inst, 0, 100, wide.batch);
+  EXPECT_EQ(resharded.arrivals(), 600u);
+}
+
+TEST(ServiceSnapshot, ReshardWithoutALogIsRejected) {
+  const AdmissionInstance inst = make_mixed_instance(80, 14);
+  ServiceConfig narrow;
+  narrow.shards = 2;  // fault tolerance off: no arrival log
+  AdmissionService source(inst.graph(), greedy_factory(), narrow);
+  pump(source, inst, 0, 80, 32);
+  const auto blob = source.snapshot();
+  ServiceConfig wide = narrow;
+  wide.shards = 3;
+  AdmissionService resharded(inst.graph(), greedy_factory(), wide);
+  EXPECT_THROW(resharded.restore(blob), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorOracle, IsDeterministicRetryAwareAndRateBounded) {
+  FaultPlan plan;
+  plan.exception_rate = 0.25;
+  plan.seed = 77;
+  const FaultInjector a(plan), b(plan);
+  std::size_t fired = 0, recovered = 0;
+  for (std::size_t arrival = 0; arrival < 2000; ++arrival) {
+    const FaultAction first = a.probe(0, arrival, 0);
+    EXPECT_EQ(first, b.probe(0, arrival, 0)) << arrival;  // deterministic
+    if (first == FaultAction::kException) {
+      ++fired;
+      // Retry-aware: attempt 1 re-rolls instead of repeating attempt 0.
+      if (a.probe(0, arrival, 1) == FaultAction::kNone) ++recovered;
+    }
+  }
+  EXPECT_GT(fired, 2000u / 4 / 2);   // ~500 expected
+  EXPECT_LT(fired, 2000u / 4 * 2);
+  EXPECT_GT(recovered, fired / 2);   // ~75% of retries clear
+}
+
+TEST(FaultInjectorOracle, ScriptedFaultsPinExactCoordinates) {
+  FaultPlan plan;
+  ScriptedFault fault;
+  fault.shard = 1;
+  fault.arrival = 5;
+  fault.attempts = 2;
+  fault.action = FaultAction::kDelay;
+  plan.scripted.push_back(fault);
+  const FaultInjector inj(plan);
+  EXPECT_EQ(inj.probe(1, 5, 0), FaultAction::kDelay);
+  EXPECT_EQ(inj.probe(1, 5, 1), FaultAction::kDelay);
+  EXPECT_EQ(inj.probe(1, 5, 2), FaultAction::kNone);  // attempts exhausted
+  EXPECT_EQ(inj.probe(0, 5, 0), FaultAction::kNone);  // other shard
+  EXPECT_EQ(inj.probe(1, 6, 0), FaultAction::kNone);  // other arrival
+}
+
+TEST(FaultInjectorOracle, RejectsNonsensePlans) {
+  FaultPlan bad_rate;
+  bad_rate.exception_rate = 1.5;
+  EXPECT_THROW(FaultInjector{bad_rate}, InvalidArgument);
+  FaultPlan bad_script;
+  bad_script.scripted.push_back(ScriptedFault{0, 0, 0, FaultAction::kNone});
+  EXPECT_THROW(FaultInjector{bad_script}, InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant pump: retries, quarantine, shedding, malformed input
+// ---------------------------------------------------------------------------
+
+TEST(FaultTolerantPump, InjectedFaultsAreInvisibleAfterRetries) {
+  // A fault-injected run whose retries recover everything must make the
+  // same decisions as a fault-free control run.
+  const AdmissionInstance inst = make_mixed_instance(1500, 15);
+  const ShardAlgorithmFactory factory = randomized_shard_factory(false, 33);
+  ServiceConfig plain;
+  plain.shards = 2;
+  plain.batch = 64;
+  plain.collect_latencies = false;
+  AdmissionService control(inst.graph(), factory, plain);
+  pump(control, inst, 0, 1500, plain.batch);
+
+  ServiceConfig faulty = plain;
+  faulty.fault_tolerance.enabled = true;
+  faulty.fault_tolerance.retry.max_retries = 8;
+  faulty.fault_tolerance.retry.backoff_base_s = 0.0;  // fast test
+  FaultPlan fault_plan;
+  fault_plan.exception_rate = 0.01;
+  fault_plan.seed = 99;
+  faulty.fault_tolerance.injector =
+      std::make_shared<FaultInjector>(fault_plan);
+  AdmissionService injected(inst.graph(), factory, faulty);
+  pump(injected, inst, 0, 1500, faulty.batch);
+
+  const ServiceStats stats = injected.aggregate();
+  EXPECT_GT(stats.task_failures, 0u);  // faults actually fired
+  EXPECT_EQ(stats.retries, stats.task_failures);  // …and all recovered
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.quarantined_shards, 0u);
+  ASSERT_EQ(injected.arrivals(), control.arrivals());
+  for (std::size_t i = 0; i < control.arrivals(); ++i) {
+    ASSERT_EQ(injected.is_accepted(i), control.is_accepted(i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(stats.rejected_cost, control.aggregate().rejected_cost);
+}
+
+TEST(FaultTolerantPump, ExhaustedRetriesQuarantineAndRestoreShardHeals) {
+  const AdmissionInstance inst = make_mixed_instance(200, 16);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.batch = 50;
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.retry.max_retries = 2;
+  cfg.fault_tolerance.retry.backoff_base_s = 0.0;
+  FaultPlan plan;
+  ScriptedFault fault;
+  fault.shard = 0;
+  fault.arrival = 60;       // second batch trips the fault…
+  fault.attempts = 100;     // …on every attempt: quarantine is forced
+  plan.scripted.push_back(fault);
+  cfg.fault_tolerance.injector = std::make_shared<FaultInjector>(plan);
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+
+  pump(service, inst, 0, 50, cfg.batch);  // first batch: clean
+  EXPECT_FALSE(service.shard_quarantined(0));
+  EXPECT_EQ(service.aggregate().accepted, service.shard_stats(0).accepted);
+
+  pump(service, inst, 50, 100, cfg.batch);  // second batch: quarantined
+  EXPECT_TRUE(service.shard_quarantined(0));
+  ShardStats stats = service.shard_stats(0);
+  EXPECT_EQ(stats.task_failures, 3u);  // initial attempt + 2 retries
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.shed, 50u);          // the whole failed batch was shed
+  EXPECT_EQ(stats.arrivals, 50u);      // committed state: first batch only
+  for (std::size_t i = 50; i < 100; ++i) {
+    EXPECT_EQ(service.decision_mode(i), DecisionMode::kQuarantineShed) << i;
+    EXPECT_THROW((void)service.is_accepted(i), InvalidArgument) << i;
+  }
+
+  pump(service, inst, 100, 150, cfg.batch);  // quarantine sheds at routing
+  EXPECT_EQ(service.shard_stats(0).shed, 100u);
+  EXPECT_EQ(service.shard_stats(0).arrivals, 50u);
+
+  service.restore_shard(0);  // heal: rebuilt from the committed log
+  EXPECT_FALSE(service.shard_quarantined(0));
+  pump(service, inst, 150, 200, cfg.batch);
+  stats = service.shard_stats(0);
+  EXPECT_EQ(stats.arrivals, 100u);  // traffic flows again
+  EXPECT_EQ(stats.shed, 100u);      // and no new drops
+  EXPECT_EQ(service.decision_mode(160), DecisionMode::kEngine);
+}
+
+TEST(FaultTolerantPump, QueueLimitShedsDeterministically) {
+  const AdmissionInstance inst = make_mixed_instance(100, 17);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.batch = 100;
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.overload.max_shard_queue = 30;
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  pump(service, inst, 0, 100, cfg.batch);
+  // One shard, one batch of 100 against a queue limit of 30: exactly the
+  // first 30 are processed, the rest are shed with a recorded mode.
+  EXPECT_EQ(service.shard_stats(0).arrivals, 30u);
+  EXPECT_EQ(service.shard_stats(0).shed, 70u);
+  EXPECT_EQ(service.decision_mode(10), DecisionMode::kEngine);
+  EXPECT_EQ(service.decision_mode(40), DecisionMode::kShed);
+  EXPECT_THROW((void)service.is_accepted(40), InvalidArgument);
+}
+
+TEST(FaultTolerantPump, MalformedAndCorruptedArrivalsNeverReachTheEngine) {
+  const std::vector<std::int64_t> caps(8, 4);
+  const Graph graph = Graph::star(caps);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.fault_tolerance.enabled = true;
+  AdmissionService service(graph, greedy_factory(), cfg);
+
+  // Built by member assignment: the Request(vector, cost) constructor
+  // normalizes (sorts + dedups), and the whole point is to deliver bytes
+  // that violate the contract, as a corrupting transport would.
+  const auto raw = [](std::vector<EdgeId> edges, double cost) {
+    Request r;
+    r.edges = std::move(edges);
+    r.cost = cost;
+    return r;
+  };
+  std::vector<Request> batch;
+  batch.push_back(raw({0}, 1.0));     // fine
+  batch.push_back(raw({}, 1.0));      // no edges
+  batch.push_back(raw({1}, -3.0));    // negative cost
+  batch.push_back(raw({2, 1}, 1.0));  // unsorted
+  batch.push_back(raw({3, 3}, 1.0));  // duplicate edge
+  batch.push_back(raw({99}, 1.0));    // out of range
+  batch.push_back(raw({4}, std::numeric_limits<double>::quiet_NaN()));
+  const std::vector<bool> accepted =
+      service.submit_batch(std::span<const Request>(batch));
+
+  EXPECT_TRUE(accepted[0]);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    EXPECT_FALSE(accepted[i]) << i;
+    EXPECT_EQ(service.decision_mode(i), DecisionMode::kMalformed) << i;
+  }
+  EXPECT_EQ(service.aggregate().malformed, batch.size() - 1);
+  // aggregate().arrivals counts algorithm-processed arrivals only;
+  // arrivals() counts everything routed (drops carry no cost accounting —
+  // feedback clients re-arrive them).
+  EXPECT_EQ(service.aggregate().arrivals, 1u);
+  EXPECT_EQ(service.arrivals(), batch.size());
+  EXPECT_EQ(service.shard_stats(0).arrivals +
+                service.shard_stats(1).arrivals +
+                service.shard_stats(2).arrivals +
+                service.shard_stats(3).arrivals,
+            1u);
+
+  // corrupt_rate 1: the injector flags every arrival, well-formed or not.
+  ServiceConfig corrupting = cfg;
+  FaultPlan plan;
+  plan.corrupt_rate = 1.0;
+  corrupting.fault_tolerance.injector = std::make_shared<FaultInjector>(plan);
+  AdmissionService corrupted(graph, greedy_factory(), corrupting);
+  const std::vector<Request> clean{Request{{0}, 1.0, false},
+                                   Request{{1}, 1.0, false}};
+  corrupted.submit_batch(std::span<const Request>(clean));
+  EXPECT_EQ(corrupted.aggregate().malformed, 2u);
+}
+
+TEST(FaultTolerantPump, DelayFaultsTripTheBatchDeadlineIntoDegradedMode) {
+  const AdmissionInstance inst = make_mixed_instance(60, 18);
+  ServiceConfig cfg;
+  cfg.shards = 1;
+  cfg.batch = 30;
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.overload.shard_deadline_s = 1e-4;
+  FaultPlan plan;
+  plan.delay_rate = 1.0;       // every arrival sleeps…
+  plan.delay_seconds = 5e-4;   // …past the whole deadline
+  cfg.fault_tolerance.injector = std::make_shared<FaultInjector>(plan);
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  pump(service, inst, 0, 30, cfg.batch);
+  // The first arrival's delay exceeds the batch deadline, so the tail of
+  // the batch is handled by the cheap threshold rule (kShed mode with a
+  // live placement — processed, not dropped).
+  EXPECT_EQ(service.shard_stats(0).arrivals, 30u);
+  EXPECT_GT(service.shard_stats(0).injected_delays, 0u);
+  std::size_t degraded_decisions = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (service.decision_mode(i) == DecisionMode::kShed) {
+      ++degraded_decisions;
+      EXPECT_NE(service.placement(i).second, kInvalidId) << i;
+      (void)service.is_accepted(i);  // answers instead of throwing
+    }
+  }
+  EXPECT_GT(degraded_decisions, 0u);
+}
+
+TEST(FaultTolerantPump, DisabledFaultToleranceKeepsTheFastPath) {
+  // ShardStats surface zeros for the fault-tolerance counters when the
+  // layer is off, and the arrival budget is still reported (satellite:
+  // augmentation_budget_exceeded is visible per shard either way).
+  const AdmissionInstance inst = make_mixed_instance(120, 19);
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  AdmissionService service(inst.graph(), greedy_factory(), cfg);
+  pump(service, inst, 0, 120, 60);
+  for (std::size_t s = 0; s < 2; ++s) {
+    const ShardStats stats = service.shard_stats(s);
+    EXPECT_EQ(stats.task_failures, 0u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.malformed, 0u);
+    EXPECT_FALSE(stats.quarantined);
+    EXPECT_GT(stats.augmentation_budget, 0u);
+    EXPECT_FALSE(stats.augmentation_budget_exceeded);
+  }
+  EXPECT_EQ(service.aggregate().budget_exceeded_shards, 0u);
+}
+
+}  // namespace
+}  // namespace minrej

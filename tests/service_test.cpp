@@ -133,8 +133,10 @@ TEST(ShardRouting, OutOfRangePartitionThrows) {
   ServiceConfig cfg;
   cfg.shards = 2;
   cfg.partition = [](EdgeId) { return std::size_t{7}; };
-  AdmissionService service(inst.graph(), greedy_factory(), cfg);
-  EXPECT_THROW(service.shard_of_edge(0), InvalidArgument);
+  // The out-of-range mapping is now caught at construction (the partition
+  // is validated over every edge), not lazily on the first routed request.
+  EXPECT_THROW(AdmissionService(inst.graph(), greedy_factory(), cfg),
+               InvalidArgument);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,8 @@
 #include "core/online_setcover.h"
 #include "core/randomized_admission.h"
 #include "setcover/generators.h"
+#include "service/admission_service.h"
+#include "sim/feedbacksim.h"
 #include "sim/runner.h"
 #include "sim/trace.h"
 #include "sim/workloads.h"
@@ -261,7 +263,7 @@ TEST(Workloads, MultiTenantRequestsStayInsideTenantBlocks) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioCatalog, EveryEntryBuildsAtRequestedSize) {
-  ASSERT_EQ(scenario_catalog().size(), 8u);
+  ASSERT_EQ(scenario_catalog().size(), 10u);
   ScenarioParams params;
   params.requests = 300;
   params.edges = 16;
@@ -327,6 +329,116 @@ TEST(ScenarioCatalog, SharedSetsOverlapIsWideAndShared) {
   for (std::size_t c : edge_rows) shared_edges += c >= 8 ? 1 : 0;
   // Essentially every element is a member of many sets.
   EXPECT_GT(shared_edges, inst.graph().edge_count() / 2);
+}
+
+TEST(ScenarioCatalog, FlashCrowdConcentratesLoadInsideTheWindow) {
+  // 90% of in-window arrivals land on the hot set; outside the window the
+  // hot edges draw only their uniform share.
+  Rng rng(35);
+  const std::size_t edges = 32;
+  const std::size_t hot = 2;
+  const AdmissionInstance inst = make_flash_crowd_workload(
+      edges, 4, 1000, 0.40, 0.55, hot, CostModel::unit_costs(), rng);
+  ASSERT_EQ(inst.request_count(), 1000u);
+  std::size_t window_hot = 0, window_total = 0, outside_hot = 0,
+              outside_total = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const Request& r = inst.request(static_cast<RequestId>(i));
+    ASSERT_EQ(r.edges.size(), 1u);  // shard-disjoint: single-edge requests
+    const bool in_window = i >= 400 && i < 550;
+    const bool is_hot = r.edges.front() < hot;
+    (in_window ? window_total : outside_total) += 1;
+    if (is_hot) (in_window ? window_hot : outside_hot) += 1;
+  }
+  // In-window hot share ~0.9 vs the uniform 2/32 baseline outside.
+  EXPECT_GT(window_hot * 10, window_total * 7);
+  EXPECT_LT(outside_hot * 4, outside_total);
+}
+
+TEST(ScenarioCatalog, CascadingFailureRollsTheHotspotAcrossBlocks) {
+  Rng rng(36);
+  const std::size_t edges = 32;
+  const std::size_t groups = 4;
+  const AdmissionInstance inst = make_cascading_failure_workload(
+      edges, 8, 800, groups, CostModel::unit_costs(), rng);
+  ASSERT_EQ(inst.request_count(), 800u);
+  // During window g, block g absorbs ~80% of arrivals.
+  const std::size_t block = edges / groups;
+  for (std::size_t g = 0; g < groups; ++g) {
+    std::size_t in_block = 0;
+    for (std::size_t i = g * 200; i < (g + 1) * 200; ++i) {
+      const EdgeId e =
+          inst.request(static_cast<RequestId>(i)).edges.front();
+      if (e >= g * block && (g + 1 == groups || e < (g + 1) * block)) {
+        ++in_block;
+      }
+    }
+    EXPECT_GT(in_block, 200u * 6 / 10) << "window " << g;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop feedback driver
+// ---------------------------------------------------------------------------
+
+TEST(Feedback, AdmittedPlusAbandonedCoversEveryFreshRequest) {
+  Rng rng(37);
+  // Tight capacity so a good fraction of requests are rejected and retry.
+  const AdmissionInstance inst = make_flash_crowd_workload(
+      16, 2, 400, 0.30, 0.60, 2, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.shards = 2;
+  cfg.fault_tolerance.enabled = true;
+  AdmissionService service(
+      inst.graph(),
+      [](const Graph& g, std::size_t) {
+        return std::make_unique<GreedyNoPreempt>(g);
+      },
+      cfg);
+  FeedbackConfig fc;
+  fc.epochs = 8;
+  fc.retry.max_attempts = 3;
+  const FeedbackResult result = run_feedback(service, inst, fc);
+  // Drain mode: every fresh request is eventually admitted or abandoned.
+  EXPECT_EQ(result.backlog, 0u);
+  std::size_t fresh = 0, retried = 0;
+  for (const FeedbackEpochStats& es : result.epochs) {
+    fresh += es.fresh;
+    retried += es.retried;
+    EXPECT_EQ(es.offered, es.fresh + es.retried) << "epoch " << es.epoch;
+  }
+  EXPECT_EQ(fresh, 400u);
+  EXPECT_GT(retried, 0u);  // tight capacity must force retries
+  EXPECT_EQ(result.offered, fresh + retried);
+  // admitted + abandoned partition the fresh requests: each is observed
+  // until it is accepted or runs out of attempts.
+  EXPECT_EQ(result.admitted + result.abandoned, 400u);
+  // Every arrival the service saw came from this loop.
+  EXPECT_EQ(service.arrivals(), result.offered);
+}
+
+TEST(Feedback, RetriesAreCappedByMaxAttempts) {
+  Rng rng(38);
+  // Capacity 1 on one edge: after the first admit, everything rejects.
+  const AdmissionInstance inst =
+      make_single_edge_burst(1, 40, CostModel::unit_costs(), rng);
+  ServiceConfig cfg;
+  cfg.fault_tolerance.enabled = true;
+  AdmissionService service(
+      inst.graph(),
+      [](const Graph& g, std::size_t) {
+        return std::make_unique<GreedyNoPreempt>(g);
+      },
+      cfg);
+  FeedbackConfig fc;
+  fc.epochs = 4;
+  fc.retry.max_attempts = 2;
+  const FeedbackResult result = run_feedback(service, inst, fc);
+  EXPECT_EQ(result.backlog, 0u);
+  // Each rejected request is offered at most max_attempts times.
+  EXPECT_LE(result.offered, 40u * 2);
+  EXPECT_GT(result.offered, 40u);  // but rejections did retry at least once
+  EXPECT_EQ(result.admitted + result.abandoned, 40u);
 }
 
 TEST(ScenarioCatalog, GenerationIsSeedStable) {
