@@ -383,6 +383,14 @@ int main(int argc, char** argv) {
       .raw("bicriteria", bicriteria_json)
       .raw("parallel_sweep", json_array(sweep_json))
       .field("headline_speedup", headline);
+  // Schema-driven CI gate (tools/check_bench_ratios.py): no duel scenario
+  // may run the flat engine below parity-minus-noise vs the naive
+  // reference.
+  JsonObject gate;
+  gate.field("array", "engine_head_to_head")
+      .field("field", "speedup")
+      .field("min", 0.95);
+  root.raw("gates", json_array({gate.dump()}));
   emit_json(flags, "e10", root.dump());
   return EXIT_SUCCESS;
 }

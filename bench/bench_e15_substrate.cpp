@@ -526,6 +526,15 @@ int main(int argc, char** argv) {
       .raw("reduction_duel", red_json.dump())
       .raw("full_stack", json_array(stack_json))
       .field("headline_speedup", headline);
+  // Schema-driven CI gate (tools/check_bench_ratios.py): the CSR stack
+  // must hold parity-minus-noise against the nested reference on every
+  // duel.  The storage duel stays ungated — byte-identical code over two
+  // allocations, bounded by host cache noise, info only.
+  JsonObject gate;
+  gate.field("array", "stack_duel")
+      .field("field", "speedup")
+      .field("min", 0.95);
+  root.raw("gates", json_array({gate.dump()}));
   emit_json(flags, "e15", root.dump());
   return EXIT_SUCCESS;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "offline/maxflow.h"
 #include "util/check.h"
 
 namespace minrej {
@@ -296,6 +297,115 @@ AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
   MINREJ_CHECK(is_feasible_acceptance(instance, result.accepted),
                "offline solver produced an infeasible acceptance");
   return result;
+}
+
+bool maxflow_solvable(const AdmissionInstance& instance) {
+  for (const Request& req : instance.requests()) {
+    if (!req.must_accept && req.edges.size() != 1) return false;
+  }
+  return true;
+}
+
+AdmissionOpt solve_admission_opt_maxflow(const AdmissionInstance& instance) {
+  MINREJ_REQUIRE(maxflow_solvable(instance),
+                 "kMaxFlow backend needs single-edge rejectable requests");
+  const Graph& g = instance.graph();
+  const std::size_t r = instance.request_count();
+  const std::size_t m = g.edge_count();
+
+  // Capacity left for the rejectable requests once must_accept load is
+  // pinned.  Same feasibility condition (and message) as build_cover_view.
+  std::vector<std::int64_t> remaining(g.capacities().begin(),
+                                      g.capacities().end());
+  std::vector<std::vector<RequestId>> on_edge(m);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Request& req = instance.request(static_cast<RequestId>(i));
+    if (req.must_accept) {
+      for (EdgeId e : req.edges) --remaining[e];
+    } else {
+      on_edge[req.edges.front()].push_back(static_cast<RequestId>(i));
+    }
+  }
+  for (std::int64_t rem : remaining) {
+    MINREJ_REQUIRE(
+        rem >= 0,
+        "must_accept requests alone exceed an edge capacity — infeasible");
+  }
+
+  // Bipartite acceptance network: source → request (cap 1) → its edge →
+  // sink (cap = remaining capacity).  Max flow = max number of rejectable
+  // requests acceptable simultaneously; with single-edge requests the
+  // per-edge flow decomposes, so WHICH requests each edge accepts is a
+  // free choice the cost objective settles below.
+  const std::size_t source = 0;
+  const std::size_t first_request = 1;
+  const std::size_t first_edge = first_request + r;
+  const std::size_t sink = first_edge + m;
+  MaxFlowNetwork net(sink + 1);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Request& req = instance.request(static_cast<RequestId>(i));
+    if (req.must_accept) continue;
+    net.add_arc(source, first_request + i, 1);
+    net.add_arc(first_request + i, first_edge + req.edges.front(), 1);
+  }
+  std::vector<std::size_t> edge_arc(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    edge_arc[e] = net.add_arc(first_edge + e, sink, remaining[e]);
+  }
+  const std::int64_t flow = net.solve(source, sink);
+
+  AdmissionOpt result;
+  result.accepted.assign(r, true);
+  result.nodes = net.augmentations();
+  result.exact = true;
+
+  std::int64_t accepted_total = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto accept_count =
+        static_cast<std::size_t>(net.flow_on(edge_arc[e]));
+    accepted_total += static_cast<std::int64_t>(accept_count);
+    MINREJ_CHECK(accept_count ==
+                     std::min(on_edge[e].size(),
+                              static_cast<std::size_t>(remaining[e])),
+                 "max flow under-filled an edge");
+    if (accept_count == on_edge[e].size()) continue;
+    // Exchange argument: with every rejectable request on exactly one
+    // edge, any optimum accepts exactly accept_count requests here, and
+    // swapping an accepted request for a costlier rejected one never hurts
+    // — so keeping the accept_count most expensive is optimal.  Ties break
+    // deterministically by id.
+    std::vector<RequestId>& ids = on_edge[e];
+    std::sort(ids.begin(), ids.end(), [&](RequestId a, RequestId b) {
+      const double ca = instance.request(a).cost;
+      const double cb = instance.request(b).cost;
+      return ca != cb ? ca > cb : a < b;
+    });
+    for (std::size_t k = accept_count; k < ids.size(); ++k) {
+      result.accepted[ids[k]] = false;
+      result.rejected_cost += instance.request(ids[k]).cost;
+    }
+  }
+  MINREJ_CHECK(flow == accepted_total,
+               "per-edge flows disagree with the max-flow value");
+  MINREJ_CHECK(is_feasible_acceptance(instance, result.accepted),
+               "max-flow backend produced an infeasible acceptance");
+  return result;
+}
+
+AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
+                                 OptBackend backend,
+                                 std::uint64_t node_budget) {
+  switch (backend) {
+    case OptBackend::kMaxFlow:
+      return solve_admission_opt_maxflow(instance);
+    case OptBackend::kBranchAndBound:
+      return solve_admission_opt(instance, node_budget);
+    case OptBackend::kAuto:
+      break;
+  }
+  return maxflow_solvable(instance)
+             ? solve_admission_opt_maxflow(instance)
+             : solve_admission_opt(instance, node_budget);
 }
 
 std::int64_t excess_lower_bound(const AdmissionInstance& instance) {

@@ -34,11 +34,46 @@ struct AdmissionOpt {
   bool exact = true;
 };
 
+/// Which exact solver computes the offline optimum.
+///
+///  * kBranchAndBound — the multicover B&B above: any instance shape, but
+///    exponential in the worst case (small/medium instances only).
+///  * kMaxFlow — the combinatorial Dinic reduction (maxflow.h): near-linear
+///    at 10⁶-request scale, but exact only on the single-edge-disjoint
+///    class maxflow_solvable() describes; throws InvalidArgument outside
+///    it.
+///  * kAuto — kMaxFlow when the instance qualifies, else kBranchAndBound.
+enum class OptBackend : std::uint8_t { kAuto, kBranchAndBound, kMaxFlow };
+
 /// Exact (or budget-capped) offline optimum.  must_accept requests are never
 /// rejected; throws InvalidArgument if that makes the instance infeasible.
 /// `node_budget` == 0 selects a generous default.
 AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
                                  std::uint64_t node_budget = 0);
+
+/// Backend-selecting overload.  node_budget applies to kBranchAndBound
+/// only.  The kMaxFlow result reports Dinic augmenting paths in `nodes`
+/// and is always exact.
+AdmissionOpt solve_admission_opt(const AdmissionInstance& instance,
+                                 OptBackend backend,
+                                 std::uint64_t node_budget = 0);
+
+/// True iff the instance is in the max-flow backend's exactness class:
+/// every rejectable (non-must_accept) request touches exactly one edge.
+/// must_accept requests may touch any number of edges — they only lower
+/// the per-edge capacity left for the rejectable ones.  Outside this class
+/// the problem embeds set cover (paper §4) and no flow reduction can be
+/// exact.
+bool maxflow_solvable(const AdmissionInstance& instance);
+
+/// The kMaxFlow backend directly: builds the bipartite acceptance network
+/// S → request → edge → T, runs Dinic, and converts the per-edge
+/// acceptance counts into the min-cost rejection by keeping each edge's
+/// most expensive rejectable requests (an exchange argument makes that
+/// exact — DESIGN.md §10.1).  Throws InvalidArgument when
+/// !maxflow_solvable(instance) or when must_accept load alone exceeds a
+/// capacity.
+AdmissionOpt solve_admission_opt_maxflow(const AdmissionInstance& instance);
 
 /// Greedy upper bound: repeatedly reject the request with the best
 /// (residual coverage / cost) ratio until all excesses are met.  Fast and

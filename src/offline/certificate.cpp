@@ -1,0 +1,167 @@
+#include "offline/certificate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+
+/// D(y) over a dense y (one entry per edge): Σ y_e·excess_e minus the
+/// rejectable-request penalties.  One pass over the edges plus one pass
+/// over the request/edge incidences — the verifier's whole cost.
+double dual_value(const AdmissionInstance& instance,
+                  const std::vector<double>& y_dense,
+                  const std::vector<std::int64_t>& excess) {
+  double value = 0.0;
+  for (std::size_t e = 0; e < y_dense.size(); ++e) {
+    if (y_dense[e] != 0.0) {
+      value += y_dense[e] * static_cast<double>(excess[e]);
+    }
+  }
+  for (const Request& req : instance.requests()) {
+    if (req.must_accept) continue;
+    double sum = 0.0;
+    for (EdgeId e : req.edges) sum += y_dense[e];
+    if (sum > req.cost) value -= sum - req.cost;
+  }
+  return value;
+}
+
+std::vector<std::int64_t> signed_excess(const AdmissionInstance& instance) {
+  const Graph& g = instance.graph();
+  std::vector<std::int64_t> excess(g.edge_count());
+  for (std::size_t e = 0; e < g.edge_count(); ++e) {
+    excess[e] =
+        instance.edge_load()[e] - g.capacity(static_cast<EdgeId>(e));
+  }
+  return excess;
+}
+
+/// Damping factors tried over the quantile dual.  On disjoint instances
+/// t = 1 is provably optimal; with overlapping requests the penalty term
+/// sums y over several edges per request, and a damped (or occasionally
+/// amplified) dual trades first-term mass against penalty mass.  D(t·y)
+/// is concave piecewise-linear in t, so a geometric grid brackets the
+/// maximum well.
+constexpr double kScales[] = {1.0,          1.25,         1.5,
+                              0.75,         0.5,          0.25,
+                              0.125,        1.0 / 16.0,   1.0 / 32.0,
+                              1.0 / 64.0,   1.0 / 128.0,  1.0 / 256.0,
+                              1.0 / 1024.0, 1.0 / 4096.0};
+
+}  // namespace
+
+DualCertificate build_dual_certificate(const AdmissionInstance& instance) {
+  const Graph& g = instance.graph();
+  const std::size_t m = g.edge_count();
+  const std::vector<std::int64_t> excess = signed_excess(instance);
+
+  // Rejectable costs per overloaded edge.
+  std::vector<std::vector<double>> costs(m);
+  for (const Request& req : instance.requests()) {
+    if (req.must_accept) continue;
+    for (EdgeId e : req.edges) {
+      if (excess[e] > 0) costs[e].push_back(req.cost);
+    }
+  }
+
+  // Quantile dual: y_e = the excess_e-th smallest rejectable cost on e.
+  // Any feasible rejection set removes ≥ excess_e rejectable requests
+  // from e, so it pays at least the excess_e cheapest — which is exactly
+  // what this dual charges on a disjoint instance (DESIGN.md §10.2).
+  std::vector<double> quantile(m, 0.0);
+  double best_single_value = 0.0;
+  EdgeId best_single_edge = 0;
+  double best_single_y = 0.0;
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::int64_t q = excess[e];
+    if (q <= 0) continue;
+    MINREJ_REQUIRE(
+        q <= static_cast<std::int64_t>(costs[e].size()),
+        "must_accept requests alone exceed an edge capacity — infeasible");
+    std::sort(costs[e].begin(), costs[e].end());
+    quantile[e] = costs[e][static_cast<std::size_t>(q - 1)];
+    // The single-edge dual {e: y = quantile} evaluates analytically to
+    // the sum of the q cheapest costs on e (requests elsewhere see y = 0).
+    double single = 0.0;
+    for (std::int64_t k = 0; k < q; ++k) {
+      single += costs[e][static_cast<std::size_t>(k)];
+    }
+    if (single > best_single_value) {
+      best_single_value = single;
+      best_single_edge = static_cast<EdgeId>(e);
+      best_single_y = quantile[e];
+    }
+  }
+
+  double best_value = 0.0;  // the empty dual: D = 0 ≤ OPT always holds
+  double best_scale = 0.0;
+  std::vector<double> scaled(m, 0.0);
+  for (const double t : kScales) {
+    for (std::size_t e = 0; e < m; ++e) scaled[e] = t * quantile[e];
+    const double value = dual_value(instance, scaled, excess);
+    if (value > best_value) {
+      best_value = value;
+      best_scale = t;
+    }
+  }
+
+  DualCertificate cert;
+  if (best_single_value > best_value) {
+    cert.edges.push_back(best_single_edge);
+    cert.y.push_back(best_single_y);
+    cert.claimed_value = best_single_value;
+    return cert;
+  }
+  for (std::size_t e = 0; e < m; ++e) {
+    if (quantile[e] > 0.0 && best_scale > 0.0) {
+      cert.edges.push_back(static_cast<EdgeId>(e));
+      cert.y.push_back(best_scale * quantile[e]);
+    }
+  }
+  cert.claimed_value = best_value;
+  return cert;
+}
+
+CertificateVerdict verify_certificate(const AdmissionInstance& instance,
+                                      const DualCertificate& certificate) {
+  CertificateVerdict verdict;
+  const std::size_t m = instance.graph().edge_count();
+  if (certificate.edges.size() != certificate.y.size()) {
+    verdict.error = "edge/y length mismatch";
+    return verdict;
+  }
+  std::vector<double> y_dense(m, 0.0);
+  std::vector<bool> seen(m, false);
+  for (std::size_t k = 0; k < certificate.edges.size(); ++k) {
+    const EdgeId e = certificate.edges[k];
+    const double y = certificate.y[k];
+    if (e >= m) {
+      verdict.error = "edge id out of range";
+      return verdict;
+    }
+    if (seen[e]) {
+      verdict.error = "duplicate edge in certificate";
+      return verdict;
+    }
+    if (!std::isfinite(y) || y < 0.0) {
+      verdict.error = "dual variable must be finite and non-negative";
+      return verdict;
+    }
+    seen[e] = true;
+    y_dense[e] = y;
+  }
+  verdict.feasible = true;
+  verdict.value =
+      dual_value(instance, y_dense, signed_excess(instance));
+  const double tolerance = 1e-9 * std::max(1.0, std::abs(verdict.value));
+  verdict.claim_ok = certificate.claimed_value <= verdict.value + tolerance;
+  if (!verdict.claim_ok) verdict.error = "claimed value overstates D(y)";
+  return verdict;
+}
+
+}  // namespace minrej

@@ -1,0 +1,69 @@
+// certificate.h — machine-checkable LP-duality lower bounds on admission
+// OPT.
+//
+// Every ratio BENCH_e17 reports divides by some notion of OPT.  On the
+// single-edge-disjoint scenarios the max-flow backend computes it exactly;
+// everywhere else the solver is either heuristic or unaffordable, so the
+// measurement ships a *witness* instead: a feasible dual of the covering
+// LP (lp/covering_lp.h) whose value D(y) provably lower-bounds OPT.  The
+// verifier recomputes D(y) from the instance in O(nnz) — it never trusts
+// the solver, the builder, or the claimed value.
+//
+// Weak duality, in the repo's LP conventions (rows only for overloaded
+// edges, must_accept requests pinned to rejection fraction 0): for ANY
+// y ≥ 0 over any edge subset,
+//
+//   D(y) = Σ_e y_e · excess_e − Σ_{i rejectable} (Σ_{e ∋ i} y_e − p_i)⁺
+//        ≤ LP-OPT ≤ OPT,
+//
+// where excess_e = |REQ_e| − c_e counts ALL requests (must_accept load
+// included) and may be negative for non-overloaded edges the certificate
+// chooses to carry (such entries only lower D, never break soundness).
+// Construction and the exactness proof on disjoint instances are in
+// DESIGN.md §10.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/request.h"
+
+namespace minrej {
+
+/// A dual solution: y[k] ≥ 0 paired with edges[k], plus the value the
+/// builder claims for it.  Sparse — edges not listed carry y = 0.
+struct DualCertificate {
+  std::vector<EdgeId> edges;
+  std::vector<double> y;
+  double claimed_value = 0.0;
+};
+
+/// verify_certificate's verdict.  `value` is the recomputed D(y) (valid
+/// whenever `feasible`); `claim_ok` additionally requires the claimed
+/// value not to overstate it.
+struct CertificateVerdict {
+  bool feasible = false;
+  bool claim_ok = false;
+  double value = 0.0;
+  std::string error;
+};
+
+/// Builds the best dual this module knows how to construct: the per-edge
+/// quantile dual (y_e = the excess_e-th smallest rejectable cost on e —
+/// exact on single-edge-disjoint instances), a geometric scale grid over
+/// it (overlapping requests can make a damped dual strictly better), and
+/// the best single-edge dual, keeping the candidate with the largest
+/// recomputed D(y).  claimed_value is set to that recomputed value, so
+/// verify_certificate always passes on a fresh certificate.  Throws
+/// InvalidArgument on infeasible instances (must_accept load over
+/// capacity).
+DualCertificate build_dual_certificate(const AdmissionInstance& instance);
+
+/// Checks the certificate against the instance: edge ids in range and
+/// unique, every y finite and ≥ 0 (else !feasible), then recomputes D(y)
+/// and checks claimed_value ≤ D(y) + tolerance.  Never throws on bad
+/// certificates — the verdict carries the reason.
+CertificateVerdict verify_certificate(const AdmissionInstance& instance,
+                                      const DualCertificate& certificate);
+
+}  // namespace minrej

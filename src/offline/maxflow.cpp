@@ -1,0 +1,149 @@
+#include "offline/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace minrej {
+
+namespace {
+constexpr std::uint32_t kNoLevel = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+MaxFlowNetwork::MaxFlowNetwork(std::size_t node_count)
+    : level_(node_count, kNoLevel), iter_(node_count, 0) {
+  MINREJ_REQUIRE(node_count >= 1, "flow network needs at least one node");
+  MINREJ_REQUIRE(node_count < kNoLevel, "flow network too large");
+}
+
+std::size_t MaxFlowNetwork::add_arc(std::size_t from, std::size_t to,
+                                    std::int64_t capacity) {
+  MINREJ_REQUIRE(from < node_count() && to < node_count(),
+                 "flow arc endpoint out of range");
+  MINREJ_REQUIRE(capacity >= 0, "flow arc capacity must be non-negative");
+  MINREJ_REQUIRE(!built_, "arcs must be added before solve()");
+  const std::size_t arc = to_.size();
+  to_.push_back(static_cast<std::uint32_t>(to));
+  tail_.push_back(static_cast<std::uint32_t>(from));
+  cap_.push_back(capacity);
+  initial_cap_.push_back(capacity);
+  // Residual twin at arc ^ 1.
+  to_.push_back(static_cast<std::uint32_t>(from));
+  tail_.push_back(static_cast<std::uint32_t>(to));
+  cap_.push_back(0);
+  initial_cap_.push_back(0);
+  return arc;
+}
+
+void MaxFlowNetwork::build_adjacency() {
+  // Counting sort of arc ids by tail into one flat CSR.
+  adj_offset_.assign(node_count() + 1, 0);
+  for (std::uint32_t t : tail_) ++adj_offset_[t + 1];
+  for (std::size_t v = 0; v < node_count(); ++v) {
+    adj_offset_[v + 1] += adj_offset_[v];
+  }
+  adj_arcs_.resize(tail_.size());
+  std::vector<std::size_t> cursor(adj_offset_.begin(),
+                                  adj_offset_.end() - 1);
+  for (std::size_t arc = 0; arc < tail_.size(); ++arc) {
+    adj_arcs_[cursor[tail_[arc]]++] = static_cast<std::uint32_t>(arc);
+  }
+  built_ = true;
+}
+
+bool MaxFlowNetwork::bfs_levels(std::size_t source, std::size_t sink) {
+  std::fill(level_.begin(), level_.end(), kNoLevel);
+  queue_.clear();
+  queue_.push_back(static_cast<std::uint32_t>(source));
+  level_[source] = 0;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const std::uint32_t v = queue_[head];
+    for (std::size_t k = adj_offset_[v]; k < adj_offset_[v + 1]; ++k) {
+      const std::uint32_t arc = adj_arcs_[k];
+      const std::uint32_t w = to_[arc];
+      if (cap_[arc] > 0 && level_[w] == kNoLevel) {
+        level_[w] = level_[v] + 1;
+        queue_.push_back(w);
+      }
+    }
+  }
+  return level_[sink] != kNoLevel;
+}
+
+/// One augmenting path in the current level graph, advancing the shared
+/// current-arc cursors (the standard Dinic amortization: an arc is
+/// abandoned at most once per phase).  Returns the bottleneck sent, 0 when
+/// the level graph is exhausted.
+std::int64_t MaxFlowNetwork::send_one_path(std::size_t source,
+                                           std::size_t sink) {
+  path_.clear();
+  std::size_t v = source;
+  while (true) {
+    if (v == sink) {
+      std::int64_t bottleneck = std::numeric_limits<std::int64_t>::max();
+      for (std::uint32_t arc : path_) {
+        bottleneck = std::min(bottleneck, cap_[arc]);
+      }
+      for (std::uint32_t arc : path_) {
+        cap_[arc] -= bottleneck;
+        cap_[arc ^ 1] += bottleneck;
+      }
+      ++augmentations_;
+      return bottleneck;
+    }
+    bool advanced = false;
+    for (; iter_[v] < adj_offset_[v + 1]; ++iter_[v]) {
+      const std::uint32_t arc = adj_arcs_[iter_[v]];
+      if (cap_[arc] > 0 && level_[to_[arc]] == level_[v] + 1) {
+        path_.push_back(arc);
+        v = to_[arc];
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) continue;
+    if (v == source) return 0;
+    // Dead end: retreat one arc and skip past it at the predecessor.
+    const std::uint32_t dead = path_.back();
+    path_.pop_back();
+    v = tail_[dead];
+    ++iter_[v];
+  }
+}
+
+std::int64_t MaxFlowNetwork::solve(std::size_t source, std::size_t sink) {
+  MINREJ_REQUIRE(source < node_count() && sink < node_count(),
+                 "flow terminal out of range");
+  MINREJ_REQUIRE(source != sink, "source and sink must differ");
+  MINREJ_REQUIRE(!solved_, "solve() may be called once per network");
+  if (!built_) build_adjacency();
+  std::int64_t total = 0;
+  while (bfs_levels(source, sink)) {
+    for (std::size_t v = 0; v < node_count(); ++v) iter_[v] = adj_offset_[v];
+    while (const std::int64_t sent = send_one_path(source, sink)) {
+      total += sent;
+    }
+  }
+  solved_ = true;
+  return total;
+}
+
+std::int64_t MaxFlowNetwork::flow_on(std::size_t arc) const {
+  MINREJ_REQUIRE(arc < to_.size(), "flow arc out of range");
+  MINREJ_REQUIRE(solved_, "flow_on() requires a solved network");
+  return initial_cap_[arc] - cap_[arc];
+}
+
+std::vector<bool> MaxFlowNetwork::min_cut_source_side() const {
+  MINREJ_REQUIRE(solved_, "min cut requires a solved network");
+  // The final BFS of solve() failed to reach the sink, so level_ holds the
+  // residual reachability that defines the cut.
+  std::vector<bool> side(node_count(), false);
+  for (std::size_t v = 0; v < node_count(); ++v) {
+    side[v] = level_[v] != kNoLevel;
+  }
+  return side;
+}
+
+}  // namespace minrej

@@ -1,0 +1,78 @@
+// maxflow.h — Dinic's max-flow on a flat CSR residual arena.
+//
+// The combinatorial workhorse behind the kMaxFlow admission-OPT backend
+// (admission_opt.h): at 10⁶-request scale the simplex/branch-and-bound
+// paths are hopeless, but the acceptance side of the single-edge-disjoint
+// admission problem is a bipartite b-matching, which Dinic solves in
+// near-linear time on unit-capacity left layers.
+//
+// Storage follows the house layout (DESIGN.md §7): arcs live in one flat
+// array, twinned by index (arc i's residual twin is i ^ 1), and adjacency
+// is a CSR built once after the last add_arc — no per-node vectors on the
+// solve path.  Levels and arc cursors are flat arrays reused across BFS
+// phases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace minrej {
+
+/// A directed flow network with integer capacities.  Usage: construct with
+/// the node count, add_arc() every arc, then solve() once.  Zero-capacity
+/// arcs are legal (they simply never carry flow) — callers like the
+/// admission reduction emit them rather than special-casing saturated
+/// resources.
+class MaxFlowNetwork {
+ public:
+  explicit MaxFlowNetwork(std::size_t node_count);
+
+  /// Adds arc from → to with capacity ≥ 0 and its residual twin (capacity
+  /// 0).  Returns the forward arc's index; the twin is index ^ 1.  Must be
+  /// called before solve().
+  std::size_t add_arc(std::size_t from, std::size_t to,
+                      std::int64_t capacity);
+
+  /// Runs Dinic from source to sink and returns the max-flow value.
+  /// Callable once per network.
+  std::int64_t solve(std::size_t source, std::size_t sink);
+
+  /// Flow carried by a forward arc after solve() (initial capacity minus
+  /// residual).
+  std::int64_t flow_on(std::size_t arc) const;
+
+  /// Augmenting paths sent (instrumentation, mirrors AdmissionOpt::nodes).
+  std::uint64_t augmentations() const noexcept { return augmentations_; }
+
+  std::size_t node_count() const noexcept { return level_.size(); }
+  std::size_t arc_count() const noexcept { return to_.size(); }
+
+  /// Indicator of the source side of a minimum cut (nodes reachable from
+  /// the source in the final residual graph).  Valid after solve().
+  std::vector<bool> min_cut_source_side() const;
+
+ private:
+  void build_adjacency();
+  bool bfs_levels(std::size_t source, std::size_t sink);
+  std::int64_t send_one_path(std::size_t source, std::size_t sink);
+
+  // Arcs, twinned by index: to_[i] is the head, tail_[i] the tail,
+  // cap_[i] the residual capacity, initial_cap_[i] the capacity at build.
+  std::vector<std::uint32_t> to_;
+  std::vector<std::uint32_t> tail_;
+  std::vector<std::int64_t> cap_;
+  std::vector<std::int64_t> initial_cap_;
+  // CSR over arcs keyed by tail, built once by build_adjacency().
+  std::vector<std::size_t> adj_offset_;
+  std::vector<std::uint32_t> adj_arcs_;
+  // Per-phase scratch: BFS levels and the current-arc cursors.
+  std::vector<std::uint32_t> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::uint32_t> queue_;
+  std::vector<std::uint32_t> path_;  // arc stack of the DFS walk
+  std::uint64_t augmentations_ = 0;
+  bool built_ = false;
+  bool solved_ = false;
+};
+
+}  // namespace minrej

@@ -296,6 +296,51 @@ AdmissionInstance make_multi_tenant_workload(std::size_t tenants,
   return AdmissionInstance(std::move(graph), std::move(requests));
 }
 
+AdmissionInstance make_adversarial_lower_bound(std::size_t blocks,
+                                               std::size_t rounds,
+                                               std::int64_t capacity,
+                                               std::size_t request_count) {
+  MINREJ_REQUIRE(capacity >= 1, "lower-bound construction needs capacity");
+  MINREJ_REQUIRE(blocks == 0 || rounds >= 1,
+                 "lower-bound blocks need at least one round");
+  const std::size_t per_round = static_cast<std::size_t>(capacity);
+  const std::size_t core = blocks * (1 + rounds * per_round);
+  MINREJ_REQUIRE(request_count >= core,
+                 "request budget below the block structure");
+  const std::size_t pad = request_count - core;
+
+  // blocks·rounds round edges at `capacity` plus one slack edge sized to
+  // absorb the padding without overloading.
+  std::vector<std::int64_t> capacities(blocks * rounds, capacity);
+  capacities.push_back(std::max<std::int64_t>(1, static_cast<std::int64_t>(pad)));
+  Graph graph = Graph::star(capacities);
+  const auto slack = static_cast<EdgeId>(blocks * rounds);
+
+  std::vector<Request> requests;
+  requests.reserve(request_count);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const auto base = static_cast<EdgeId>(b * rounds);
+    // The special arrives first, spanning every round edge of its block…
+    std::vector<EdgeId> span(rounds);
+    for (std::size_t t = 0; t < rounds; ++t) {
+      span[t] = base + static_cast<EdgeId>(t);
+    }
+    requests.emplace_back(std::move(span), 1.0);
+    // …then round t floods round-edge t with `capacity` decoys, pushing
+    // its load to capacity + 1 (excess exactly 1, round after round).
+    for (std::size_t t = 0; t < rounds; ++t) {
+      for (std::size_t k = 0; k < per_round; ++k) {
+        requests.emplace_back(
+            std::vector<EdgeId>{base + static_cast<EdgeId>(t)}, 1.0);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < pad; ++k) {
+    requests.emplace_back(std::vector<EdgeId>{slack}, 1.0);
+  }
+  return AdmissionInstance(std::move(graph), std::move(requests));
+}
+
 // ---------------------------------------------------------------------------
 // Scenario catalog
 // ---------------------------------------------------------------------------
@@ -316,6 +361,9 @@ constexpr ScenarioInfo kCatalog[] = {
      "rolling hotspot: 8 edge blocks take turns absorbing 80% of traffic"},
     {"adversarial_single_edge",
      "one edge, strictly escalating costs; maximal preemption churn"},
+    {"adversarial_lower_bound",
+     "Ω-style blocks: one spanning special vs ⌈log₂ n⌉-capacity decoy "
+     "rounds; measured ratio grows with n"},
     {"multi_tenant",
      "8 Zipf-popular tenants on disjoint edge blocks, multi-edge requests"},
     {"setcover_powerlaw",
@@ -429,6 +477,29 @@ AdmissionInstance make_scenario(const std::string& name,
         params.capacity,
         std::max<std::int64_t>(4, static_cast<std::int64_t>(requests) / 64));
     return make_adversarial_single_edge(cap, requests, 1024.0);
+  }
+  if (name == "adversarial_lower_bound") {
+    // Deterministic (rng unused).  Capacity grows ⌈log₂ n⌉ with the
+    // request budget: the online algorithm pays Θ(c·log c) per block
+    // before each special's weight saturates (workloads.h), so the knob
+    // that makes the measured ratio grow with the instance is capacity —
+    // rounds only needs to cover the ≈ log₂ c saturation horizon, with a
+    // little slack so the free tail is visible too.  OPT stays one
+    // rejection per block throughout — the shape the paper's lower bound
+    // is built from.
+    // `edges` is ignored: the construction dictates its own star
+    // (blocks·rounds round edges + a slack edge absorbing the padding).
+    const auto log_n = static_cast<std::int64_t>(
+        std::ceil(std::log2(std::max<double>(2.0, requests))));
+    const std::int64_t cap =
+        pick_capacity(params.capacity, std::clamp<std::int64_t>(log_n, 3, 31));
+    const auto per_round = static_cast<std::size_t>(cap);
+    auto rounds = static_cast<std::size_t>(
+        2 * std::ceil(std::log2(static_cast<double>(cap))) + 2);
+    while (rounds > 1 && 1 + rounds * per_round > requests) --rounds;
+    const std::size_t block = 1 + rounds * per_round;
+    const std::size_t blocks = requests / block;  // 0 → slack-edge only
+    return make_adversarial_lower_bound(blocks, rounds, cap, requests);
   }
   if (name == "setcover_powerlaw") {
     // Online set cover as service traffic, realized through the §4

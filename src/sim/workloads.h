@@ -167,6 +167,26 @@ AdmissionInstance make_multi_tenant_workload(std::size_t tenants,
                                              double tenant_exponent,
                                              const CostModel& costs, Rng& rng);
 
+/// The Ω-style lower-bound construction the paper's guarantee is tight
+/// against (unit costs, deterministic, no rng).  `blocks` independent
+/// blocks; each block is one "special" request spanning the block's
+/// `rounds` round-edges (capacity `capacity` each) followed by `rounds`
+/// rounds of `capacity` single-edge decoys on round-edge t.  Every round
+/// edge carries capacity + 1 requests — excess exactly 1 — and rejecting
+/// the special alone covers all of its block's rounds, so OPT = blocks,
+/// while the online algorithm pays the weight-floor mass of a whole round
+/// (capacity · 1/c ≥ threshold each) in every round until the special's
+/// weight saturates ≈ log₂(capacity) rounds later — Θ(c·log c) paid per
+/// block against OPT's 1, so the measured ratio grows with the capacity
+/// knob (DESIGN.md §10.3; the catalog entry ties capacity to ⌈log₂ n⌉).
+/// The last `request_count − blocks·(1 + rounds·capacity)` requests pad a
+/// slack edge sized to never overload, so the instance hits
+/// `request_count` exactly.
+AdmissionInstance make_adversarial_lower_bound(std::size_t blocks,
+                                               std::size_t rounds,
+                                               std::int64_t capacity,
+                                               std::size_t request_count);
+
 // ---------------------------------------------------------------------------
 // Scenario catalog — named, documented workload configurations selectable
 // by string from the CLI drivers and benches (docs/SCENARIOS.md is the
@@ -191,8 +211,9 @@ struct ScenarioInfo {
 
 /// All catalog scenarios, in stable order: dense_burst, power_law,
 /// diurnal, flash_crowd, cascading_failure, adversarial_single_edge,
-/// multi_tenant, setcover_powerlaw, setcover_reduction_replay,
-/// shared_sets_overlap.  The setcover_* and shared_sets_overlap entries
+/// adversarial_lower_bound, multi_tenant, setcover_powerlaw,
+/// setcover_reduction_replay, shared_sets_overlap.  The setcover_* and
+/// shared_sets_overlap entries
 /// realize online set cover as admission traffic through the §4 reduction
 /// (core/reduction.h), so every admission driver — the benches, the
 /// sharded service, minrej_serve — replays them end-to-end; flash_crowd

@@ -10,6 +10,8 @@
 #include "core/fractional_engine.h"
 #include "core/online_setcover.h"
 #include "core/randomized_admission.h"
+#include "offline/admission_opt.h"
+#include "offline/certificate.h"
 #include "setcover/generators.h"
 #include "sim/runner.h"
 #include "sim/workloads.h"
@@ -185,6 +187,80 @@ TEST_P(SeededProperty, BicriteriaChosenCountMatchesCost) {
   EXPECT_DOUBLE_EQ(alg.cost(), static_cast<double>(alg.chosen_count()));
   EXPECT_EQ(alg.chosen_count(),
             alg.threshold_additions() + alg.rounding_additions());
+}
+
+// ---------------------------------------------------------------------------
+// Offline ground-truth sandwich (DESIGN.md §10): for every catalog
+// scenario, certificate ≤ OPT ≤ online cost — the certificate is a sound
+// lower bound by weak duality, and the engine's final acceptance is
+// feasible, so its rejected cost can never undercut the optimum.
+// ---------------------------------------------------------------------------
+
+TEST_P(SeededProperty, CertificateOptAndEngineCostSandwichOnTheCatalog) {
+  for (const ScenarioInfo& info : scenario_catalog()) {
+    ScenarioParams params;
+    params.requests = 400;
+    params.edges = 16;
+    Rng rng(GetParam() + 9000);
+    const AdmissionInstance inst = make_scenario(info.name, params, rng);
+
+    const DualCertificate cert = build_dual_certificate(inst);
+    const CertificateVerdict verdict = verify_certificate(inst, cert);
+    ASSERT_TRUE(verdict.feasible) << info.name << ": " << verdict.error;
+    ASSERT_TRUE(verdict.claim_ok) << info.name << ": " << verdict.error;
+
+    RandomizedConfig cfg;
+    cfg.unit_costs = all_unit_costs(inst);
+    cfg.seed = GetParam() * 31 + 7;
+    RandomizedAdmission alg(inst.graph(), cfg);
+    const double cost = run_admission(alg, inst).rejected_cost;
+    const double slack = 1e-6 * (1.0 + cost);
+
+    EXPECT_LE(verdict.value, cost + slack) << info.name;
+    if (maxflow_solvable(inst)) {
+      const double opt =
+          solve_admission_opt(inst, OptBackend::kMaxFlow).rejected_cost;
+      EXPECT_LE(verdict.value, opt + slack) << info.name;
+      EXPECT_LE(opt, cost + slack) << info.name;
+    }
+  }
+}
+
+TEST_P(SeededProperty, CertificateVerifierRejectsPerturbedDuals) {
+  ScenarioParams params;
+  params.requests = 400;
+  params.edges = 16;
+  Rng rng(GetParam() + 10000);
+  const AdmissionInstance inst = make_scenario("dense_burst", params, rng);
+  const DualCertificate cert = build_dual_certificate(inst);
+  ASSERT_FALSE(cert.edges.empty());
+  const std::size_t victim = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(cert.edges.size()) - 1));
+
+  {  // A negative dual variable breaks feasibility outright.
+    DualCertificate bad = cert;
+    bad.y[victim] = -bad.y[victim] - 1.0;
+    const CertificateVerdict verdict = verify_certificate(inst, bad);
+    EXPECT_FALSE(verdict.feasible);
+    EXPECT_EQ(verdict.error, "dual variable must be finite and non-negative");
+  }
+  {  // A duplicated edge would double-count its dual mass.
+    DualCertificate bad = cert;
+    bad.edges.push_back(bad.edges[victim]);
+    bad.y.push_back(bad.y[victim]);
+    const CertificateVerdict verdict = verify_certificate(inst, bad);
+    EXPECT_FALSE(verdict.feasible);
+    EXPECT_EQ(verdict.error, "duplicate edge in certificate");
+  }
+  {  // Inflating the claim leaves y feasible but the claim unbacked: the
+    // verifier recomputes D(y) and refuses the overstated value.
+    DualCertificate bad = cert;
+    bad.claimed_value = bad.claimed_value * 1.1 + 1.0;
+    const CertificateVerdict verdict = verify_certificate(inst, bad);
+    EXPECT_TRUE(verdict.feasible);
+    EXPECT_FALSE(verdict.claim_ok);
+    EXPECT_EQ(verdict.error, "claimed value overstates D(y)");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,

@@ -263,7 +263,7 @@ TEST(Workloads, MultiTenantRequestsStayInsideTenantBlocks) {
 // ---------------------------------------------------------------------------
 
 TEST(ScenarioCatalog, EveryEntryBuildsAtRequestedSize) {
-  ASSERT_EQ(scenario_catalog().size(), 10u);
+  ASSERT_EQ(scenario_catalog().size(), 11u);
   ScenarioParams params;
   params.requests = 300;
   params.edges = 16;
@@ -329,6 +329,53 @@ TEST(ScenarioCatalog, SharedSetsOverlapIsWideAndShared) {
   for (std::size_t c : edge_rows) shared_edges += c >= 8 ? 1 : 0;
   // Essentially every element is a member of many sets.
   EXPECT_GT(shared_edges, inst.graph().edge_count() / 2);
+}
+
+TEST(ScenarioCatalog, AdversarialLowerBoundHasTheBlockStructure) {
+  // The Ω-style construction (DESIGN.md §10.3): each block is one special
+  // spanning its round edges plus capacity decoys per round, every round
+  // edge at excess exactly 1, and a never-overloaded slack edge absorbing
+  // the padding.  Deterministic, unit costs, exact request budget.
+  ScenarioParams params;
+  params.requests = 300;
+  Rng rng(39);
+  const AdmissionInstance inst =
+      make_scenario("adversarial_lower_bound", params, rng);
+  ASSERT_EQ(inst.request_count(), 300u);
+  EXPECT_TRUE(all_unit_costs(inst));
+  const Graph& g = inst.graph();
+  const std::size_t round_edges = g.edge_count() - 1;  // last edge = slack
+  ASSERT_GE(round_edges, 1u);
+  const std::int64_t cap = g.capacity(0);
+  for (std::size_t e = 0; e < round_edges; ++e) {
+    EXPECT_EQ(g.capacity(static_cast<EdgeId>(e)), cap);
+    // Excess exactly 1 on every round edge.
+    EXPECT_EQ(inst.edge_load()[e], cap + 1) << "round edge " << e;
+  }
+  // Slack edge never overloads.
+  EXPECT_LE(inst.edge_load()[round_edges],
+            g.capacity(static_cast<EdgeId>(round_edges)));
+  // Specials are the only multi-edge requests, one per block, each
+  // spanning a contiguous run of round edges.
+  std::size_t specials = 0;
+  std::size_t spanned = 0;
+  for (const Request& r : inst.requests()) {
+    if (r.edges.size() > 1) {
+      ++specials;
+      spanned += r.edges.size();
+      EXPECT_EQ(r.edges.back() - r.edges.front() + 1, r.edges.size());
+    }
+  }
+  EXPECT_GE(specials, 2u);  // several independent blocks at this size
+  EXPECT_EQ(spanned, round_edges);  // blocks partition the round edges
+  // Rejecting one special per block is feasible — OPT = #blocks.
+  std::vector<bool> accepted(inst.request_count(), true);
+  for (std::size_t i = 0; i < inst.request_count(); ++i) {
+    if (inst.request(static_cast<RequestId>(i)).edges.size() > 1) {
+      accepted[i] = false;
+    }
+  }
+  EXPECT_TRUE(is_feasible_acceptance(inst, accepted));
 }
 
 TEST(ScenarioCatalog, FlashCrowdConcentratesLoadInsideTheWindow) {

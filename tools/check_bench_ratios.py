@@ -1,22 +1,34 @@
 #!/usr/bin/env python3
-"""Gate the bench duels: fail if any speedup in BENCH_*.json is below a floor.
+"""Gate the bench artifacts: fail CI when a BENCH_*.json breaks its bounds.
 
-The engine/substrate benches (E10, E15) record head-to-head duels between
-the production flat stack and the retained naive/nested reference; each
-duel row carries a "speedup" field (flat throughput / reference
-throughput).  The project-level invariant is that no scenario runs the
-engine below parity *against the naive reference*, so CI runs this after
-the smoke benches with a floor of 0.95 — parity minus smoke-size noise
-margin — over the engine-vs-reference duel arrays
-("engine_head_to_head", "stack_duel").  Other speedup fields (e.g. the
-E15 storage duel, a pure-layout microbenchmark running byte-identical
-code over two allocations, bounded by host cache noise rather than
-engine work) are printed for the trajectory but gated only with --all.
+Two gating modes, selected per file:
+
+Schema-driven (preferred): a file with a top-level "gates" array declares
+its own invariants and the script just follows them.  Each gate names the
+row array to scan and the numeric field to check, bounded by a constant or
+by another field of the same row:
+
+    "gates": [
+      {"array": "engine_head_to_head", "field": "speedup", "min": 0.95},
+      {"array": "ratios", "field": "measured_ratio",
+       "max_field": "ratio_envelope"}
+    ]
+
+Supported bounds: "min" / "max" (constants) and "min_field" / "max_field"
+(per-row fields).  Rows missing the gated field are skipped; a gate whose
+array matches nothing is an error (a renamed array must not silently
+disarm its gate).
+
+Legacy fallback: files without "gates" get the original behavior — every
+"speedup" field under the engine-vs-reference duel arrays
+("engine_head_to_head", "stack_duel") must clear --min (default 0.95,
+parity minus smoke-size noise); other speedups are printed for the
+trajectory but gated only with --all.
 
 Usage: check_bench_ratios.py [--min 0.95] [--all] BENCH_e10.json ...
 
-Stdlib only; prints every speedup it finds so the CI log doubles as the
-perf trajectory at smoke sizes.
+Stdlib only; prints every value it inspects so the CI log doubles as the
+perf/ratio trajectory at smoke sizes.
 """
 
 import argparse
@@ -26,16 +38,65 @@ import sys
 GATED_ARRAYS = ("engine_head_to_head", "stack_duel")
 
 
+def row_label(row, fallback):
+    for key in ("workload", "scenario", "system"):
+        if row.get(key):
+            return str(row[key])
+    return fallback
+
+
+def check_gate(filename, data, gate, tag):
+    """Applies one schema gate; returns (inspected, failures)."""
+    array = gate.get("array")
+    field = gate.get("field")
+    rows = data.get(array)
+    if not isinstance(rows, list) or not isinstance(field, str):
+        return 0, [(filename, f"gate {array!r}/{field!r}", "malformed gate")]
+    inspected = 0
+    failures = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            continue
+        value = row.get(field)
+        if not isinstance(value, (int, float)):
+            continue
+        lo = gate.get("min")
+        hi = gate.get("max")
+        if isinstance(gate.get("min_field"), str):
+            lo = row.get(gate["min_field"])
+        if isinstance(gate.get("max_field"), str):
+            hi = row.get(gate["max_field"])
+        bad = (isinstance(lo, (int, float)) and value < lo) or (
+            isinstance(hi, (int, float)) and value > hi
+        )
+        label = row_label(row, f"{array}[{i}]")
+        bounds = []
+        if isinstance(lo, (int, float)):
+            bounds.append(f">= {lo:g}")
+        if isinstance(hi, (int, float)):
+            bounds.append(f"<= {hi:g}")
+        verdict = "FAIL" if bad else "ok"
+        print(
+            f"{verdict:4} {value:10.3f}  {filename} [{tag}]  "
+            f"{label}.{field} ({' and '.join(bounds) or 'unbounded'})"
+        )
+        inspected += 1
+        if bad:
+            failures.append(
+                (filename, f"{label}.{field}", f"{value:g} not {bounds}")
+            )
+    if inspected == 0:
+        failures.append(
+            (filename, f"gate {array!r}/{field!r}", "matched no rows")
+        )
+    return inspected, failures
+
+
 def iter_speedups(node, path, gated):
     """Yields (label, speedup, gated) for dicts with a numeric "speedup"."""
     if isinstance(node, dict):
         if isinstance(node.get("speedup"), (int, float)):
-            label = (
-                node.get("workload")
-                or node.get("scenario")
-                or node.get("system")
-                or path
-            )
+            label = row_label(node, path)
             yield str(label), float(node["speedup"]), gated
         for key, value in node.items():
             yield from iter_speedups(
@@ -54,13 +115,14 @@ def main():
         type=float,
         default=0.95,
         dest="floor",
-        help="minimum acceptable speedup (default 0.95)",
+        help="legacy-mode minimum acceptable speedup (default 0.95)",
     )
     parser.add_argument(
         "--all",
         action="store_true",
         dest="gate_all",
-        help="gate every speedup field, not just the vs-naive duel arrays",
+        help="legacy mode: gate every speedup field, not just the vs-naive "
+        "duel arrays",
     )
     args = parser.parse_args()
 
@@ -69,31 +131,36 @@ def main():
     for filename in args.files:
         with open(filename) as handle:
             data = json.load(handle)
-        isa = data.get("sweep_isa", "?")
-        build = data.get("build_type", "?")
+        tag = f"{data.get('build_type', '?')}/{data.get('sweep_isa', '?')}"
+        gates = data.get("gates")
+        if isinstance(gates, list):
+            for gate in gates:
+                inspected, bad = check_gate(filename, data, gate, tag)
+                total += inspected
+                failures.extend(bad)
+            continue
         for label, speedup, gated in iter_speedups(data, filename, False):
             gated = gated or args.gate_all
             total += 1
             below = speedup < args.floor
             verdict = "FAIL" if below and gated else "info" if not gated else "ok"
             print(
-                f"{verdict:4} {speedup:8.3f}x  {filename} [{build}/{isa}]  {label}"
+                f"{verdict:4} {speedup:8.3f}x  {filename} [{tag}]  {label}"
             )
             if below and gated:
-                failures.append((filename, label, speedup))
+                failures.append(
+                    (filename, label, f"{speedup:.3f}x < {args.floor}x")
+                )
 
     if total == 0:
-        print("error: no speedup fields found in the given files", file=sys.stderr)
+        print("error: no gated fields found in the given files", file=sys.stderr)
         return 2
     if failures:
-        print(
-            f"\n{len(failures)} duel(s) below the {args.floor}x floor:",
-            file=sys.stderr,
-        )
-        for filename, label, speedup in failures:
-            print(f"  {filename}: {label} = {speedup:.3f}x", file=sys.stderr)
+        print(f"\n{len(failures)} gate failure(s):", file=sys.stderr)
+        for filename, label, reason in failures:
+            print(f"  {filename}: {label} — {reason}", file=sys.stderr)
         return 1
-    print(f"\nno gated duel below {args.floor}x ({total} speedups inspected)")
+    print(f"\nall gates green ({total} values inspected)")
     return 0
 
 
