@@ -30,8 +30,12 @@ namespace minrej::bench {
 /// fields the perf trajectory needs to attribute a number: the bench slug,
 /// the git SHA and build type baked in at configure time, the sweep-kernel
 /// ISA the engines actually ran (scalar/avx2/avx512 — a scalar-fallback
-/// number must never be compared against a vector one), and the scenario
-/// the run measured ("mixed" when one file covers several).
+/// number must never be compared against a vector one), the host's
+/// hardware thread count and detected cache-line size (a wall-clock
+/// scaling number is meaningless without the machine that produced it —
+/// the gate tooling's skip_unless clauses key on hardware_concurrency),
+/// and the scenario the run measured ("mixed" when one file covers
+/// several).
 inline JsonObject bench_root(const std::string& bench,
                              const std::string& scenario) {
   JsonObject root;
@@ -39,6 +43,8 @@ inline JsonObject bench_root(const std::string& bench,
       .field("git_sha", build_git_sha())
       .field("build_type", build_type())
       .field("sweep_isa", sweep_isa())
+      .field("hardware_concurrency", hardware_concurrency())
+      .field("cache_line_bytes", cache_line_bytes())
       .field("scenario", scenario);
   return root;
 }

@@ -76,6 +76,7 @@
 #include "core/simd_sweep.h"
 #include "core/substrate_traits.h"
 #include "graph/types.h"
+#include "util/spsc_ring.h"  // CacheAlignedAllocator for the hot-row arena
 
 namespace minrej {
 
@@ -316,7 +317,11 @@ class FlatFractionalEngine {
   simd::SweepIsa kernel_;
 
   // -- request store: hot rows + cold SoA + CSR incidence arena -------------
-  std::vector<HotRow> hot_;
+  /// Cache-line-aligned arena: with one engine per service shard, the 32-
+  /// byte hot rows of different shards must never straddle a shared line
+  /// (the DESIGN.md §11.3 false-sharing audit), and an aligned base also
+  /// keeps the AVX-512 contiguous-8-block fast path on full-line loads.
+  std::vector<HotRow, CacheAlignedAllocator<HotRow>> hot_;
   std::vector<std::size_t> edge_begin_;  ///< per-request offset; size n+1
   std::vector<EdgeId> edge_pool_;        ///< flat arena of all edge lists
   std::vector<double> report_cost_;

@@ -9,6 +9,7 @@
 #include "core/randomized_admission.h"
 #include "core/run_budget.h"
 #include "io/snapshot.h"
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/fault_injector.h"
 #include "util/rng.h"
@@ -29,9 +30,8 @@ ShardAlgorithmFactory randomized_shard_factory(bool unit_costs,
 
 namespace {
 
-std::size_t pool_threads(const ServiceConfig& config) {
-  const std::size_t hw =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+std::size_t pump_workers(const ServiceConfig& config) {
+  const std::size_t hw = hardware_concurrency();
   const std::size_t want =
       config.threads > 0 ? config.threads : std::min(config.shards, hw);
   return std::max<std::size_t>(1, std::min(want, config.shards));
@@ -59,12 +59,14 @@ std::uint64_t capacity_fingerprint(const Graph& graph) noexcept {
 AdmissionService::AdmissionService(const Graph& graph,
                                    ShardAlgorithmFactory factory,
                                    ServiceConfig config)
-    : graph_(graph), factory_(std::move(factory)), config_(std::move(config)),
-      pool_(pool_threads(config_)) {
+    : graph_(graph), factory_(std::move(factory)), config_(std::move(config)) {
   MINREJ_REQUIRE(config_.shards >= 1, "service needs at least one shard");
   MINREJ_REQUIRE(config_.batch >= 1, "batch must be positive");
   MINREJ_REQUIRE(static_cast<bool>(factory_), "null algorithm factory");
   MINREJ_REQUIRE(graph_.edge_count() >= 1, "graph has no edges");
+  MINREJ_REQUIRE(!(config_.lca_reconcile && config_.fault_tolerance.enabled),
+                 "lca_reconcile is incompatible with fault tolerance: the "
+                 "reconcile lane has no committed log to rebuild from");
   if (config_.partition) {
     // A partition that maps any edge out of range would fail mid-pump on
     // the first request touching that edge; surface it at construction
@@ -88,6 +90,179 @@ AdmissionService::AdmissionService(const Graph& graph,
     MINREJ_REQUIRE(&shards_[s].algorithm->graph() == &graph_,
                    "shard algorithm must be built on the service graph");
   }
+  if (config_.lca_reconcile) {
+    // The reconcile lane is "shard K": its factory shard index is past the
+    // real shards, so seeded factories give it an independent stream.
+    lca_algorithm_ = factory_(graph_, config_.shards);
+    MINREJ_REQUIRE(lca_algorithm_ != nullptr,
+                   "factory returned a null algorithm");
+    MINREJ_REQUIRE(&lca_algorithm_->graph() == &graph_,
+                   "LCA lane algorithm must be built on the service graph");
+  }
+  if (config_.pump == PumpMode::kRings) {
+    const std::size_t capacity =
+        config_.ring_capacity > 0 ? config_.ring_capacity
+                                  : std::max<std::size_t>(1024, config_.batch);
+    lanes_.reserve(config_.shards);
+    for (std::size_t s = 0; s < config_.shards; ++s) {
+      lanes_.push_back(std::make_unique<Lane>(capacity));
+    }
+    start_workers();
+  } else {
+    pool_ = std::make_unique<ThreadPool>(pump_workers(config_));
+  }
+}
+
+AdmissionService::~AdmissionService() { stop_workers(); }
+
+std::size_t AdmissionService::worker_count() const noexcept {
+  return config_.pump == PumpMode::kRings
+             ? ring_workers_.size()
+             : (pool_ ? pool_->thread_count() : 0);
+}
+
+void AdmissionService::start_workers() {
+  const std::size_t workers = pump_workers(config_);
+  ring_workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    ring_workers_.emplace_back([this, w, workers] { worker_loop(w, workers); });
+  }
+}
+
+void AdmissionService::stop_workers() {
+  if (ring_workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    stop_workers_ = true;
+    ++wake_epoch_;
+  }
+  cv_wake_.notify_all();
+  // Legal only between batches (rings drained, job slots empty), so
+  // joining here never abandons work.
+  for (std::thread& t : ring_workers_) {
+    if (t.joinable()) t.join();
+  }
+  ring_workers_.clear();
+}
+
+void AdmissionService::kick_workers() {
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    ++wake_epoch_;
+  }
+  cv_wake_.notify_all();
+}
+
+void AdmissionService::wait_for_workers(const std::function<bool()>& pred) {
+  // Bounded spin first: on the pumping fast path the workers finish the
+  // batch within the spin window and no lock is ever taken.
+  for (int spin = 0; spin < 4096; ++spin) {
+    if (pred()) return;
+    std::this_thread::yield();
+  }
+  std::unique_lock<std::mutex> lock(pump_mu_);
+  while (!pred()) {
+    // Timed wait: workers notify cv_done_ locklessly after each chunk, so
+    // a notification racing past this thread costs one timeout, never a
+    // hang.
+    cv_done_.wait_for(lock, std::chrono::microseconds(200));
+  }
+}
+
+void AdmissionService::worker_loop(std::size_t worker,
+                                   std::size_t worker_total) {
+  // Persistent consumer: owns shards worker, worker+W, worker+2W, …  Spins
+  // over its lanes while work keeps arriving, yields through a bounded
+  // grace window when idle, then sleeps on cv_wake_ with a short timeout
+  // (the timeout caps the cost of a wakeup lost to the lock-free push
+  // path; kick_workers cuts the common-case latency).
+  constexpr int kIdleGracePolls = 256;
+  std::uint64_t seen_epoch = 0;
+  int idle_polls = 0;
+  for (;;) {
+    bool did_work = false;
+    for (std::size_t s = worker; s < shards_.size(); s += worker_total) {
+      if (run_lane_job(s)) did_work = true;
+      if (drain_lane(s)) did_work = true;
+    }
+    if (did_work) {
+      idle_polls = 0;
+      cv_done_.notify_all();
+      continue;
+    }
+    if (++idle_polls < kIdleGracePolls) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(pump_mu_);
+    if (stop_workers_) return;
+    cv_wake_.wait_for(lock, std::chrono::microseconds(500), [&] {
+      return stop_workers_ || wake_epoch_ != seen_epoch;
+    });
+    seen_epoch = wake_epoch_;
+    if (stop_workers_) return;
+    lock.unlock();
+    idle_polls = 0;
+  }
+}
+
+bool AdmissionService::drain_lane(std::size_t s) {
+  Lane& lane = *lanes_[s];
+  std::uint32_t idx;
+  if (!lane.ring.try_pop(idx)) return false;
+  // The successful pop's acquire pairs with the routing thread's release
+  // push: live_batch_ and the pre-batch shard state are visible from here.
+  Shard& shard = shards_[s];
+  const std::span<const Request> batch = live_batch_;
+  constexpr std::size_t kChunk = 256;
+  std::size_t consumed = 0;
+  Timer busy;
+  Timer arrival_timer;
+  do {
+    ++consumed;
+    if (shard.error) continue;  // poisoned: discard the rest, but count it
+    try {
+      if (config_.collect_latencies) arrival_timer.reset();
+      const ArrivalResult result = shard.algorithm->process(batch[idx]);
+      if (config_.collect_latencies) {
+        shard.latencies_s.push_back(arrival_timer.elapsed_s());
+      }
+      decisions_[idx] = result.accepted ? 1 : 0;
+      ++shard.arrivals;
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+  } while (consumed < kChunk && lane.ring.try_pop(idx));
+  shard.busy_seconds += busy.elapsed_s();
+  // One release per chunk, not per arrival: publishes every shard write
+  // above to the routing thread's acquire load in the completion wait.
+  lane.consumed.fetch_add(consumed, std::memory_order_release);
+  return true;
+}
+
+bool AdmissionService::run_lane_job(std::size_t s) {
+  Lane& lane = *lanes_[s];
+  const auto kind =
+      static_cast<JobKind>(lane.job.load(std::memory_order_acquire));
+  if (kind == JobKind::kNone) return false;
+  switch (kind) {
+    case JobKind::kFtAttempt:
+      run_shard_task_ft(s, live_batch_, lane.job_base, lane.job_attempt,
+                        lane.job_injector);
+      break;
+    case JobKind::kRebuild:
+      try {
+        rebuild_shard(s);
+      } catch (...) {
+        shards_[s].error = std::current_exception();
+      }
+      break;
+    case JobKind::kNone:
+      break;
+  }
+  lane.job.store(static_cast<std::uint8_t>(JobKind::kNone),
+                 std::memory_order_release);
+  return true;
 }
 
 std::size_t AdmissionService::hash_edge_to_shard(
@@ -116,11 +291,14 @@ std::size_t AdmissionService::shard_of_request(const Request& request) const {
 
 std::vector<bool> AdmissionService::submit_batch(
     std::span<const Request> batch) {
-  // One branch is the whole cost of the fault-tolerance layer when it is
-  // disabled: the code below is the pre-existing fast path, untouched.
+  // One branch each is the whole cost of the fault-tolerance layer and the
+  // rings pump when they are off: the code below is the pre-existing fast
+  // path, untouched.
   if (config_.fault_tolerance.enabled) return submit_batch_ft(batch);
+  if (config_.pump == PumpMode::kRings) return submit_batch_rings(batch);
   Timer wall;
   for (Shard& shard : shards_) shard.pending.clear();
+  lca_pending_.clear();
   const std::size_t base = placement_.size();
   placement_.reserve(base + batch.size());
 
@@ -128,6 +306,13 @@ std::vector<bool> AdmissionService::submit_batch(
   // fully determined before any worker runs, so it never races and the
   // shard-local id sequence is arrival-ordered by construction.
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (lca_algorithm_ && request_crosses_shards(batch[i])) {
+      // Cross-shard arrival: diverted to the reconcile lane; its placement
+      // is filled in by reconcile_lca_pending after the shard work drains.
+      lca_pending_.push_back(i);
+      placement_.emplace_back(kLcaShardMarker, kInvalidId);
+      continue;
+    }
     const std::size_t s = shard_of_request(batch[i]);
     const auto local = static_cast<RequestId>(shards_[s].algorithm->arrivals() +
                                               shards_[s].pending.size());
@@ -146,7 +331,7 @@ std::vector<bool> AdmissionService::submit_batch(
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (shards_[s].pending.empty()) continue;
     ++busy_shards;
-    pool_.submit([this, s, batch] {
+    pool_->submit([this, s, batch] {
       Shard& shard = shards_[s];
       try {
         Timer busy;
@@ -166,7 +351,8 @@ std::vector<bool> AdmissionService::submit_batch(
       }
     });
   }
-  if (busy_shards > 0) pool_.wait_idle();
+  if (busy_shards > 0) pool_->wait_idle();
+  if (!lca_pending_.empty()) reconcile_lca_pending(batch, base);
   pumped_seconds_ += wall.elapsed_s();
 
   std::exception_ptr first_error;
@@ -191,6 +377,121 @@ std::vector<bool> AdmissionService::submit_batch(
     accepted[i] = decisions_[i] != 0;
   }
   return accepted;
+}
+
+std::vector<bool> AdmissionService::submit_batch_rings(
+    std::span<const Request> batch) {
+  Timer wall;
+  for (Shard& shard : shards_) shard.pending.clear();
+  lca_pending_.clear();
+  const std::size_t base = placement_.size();
+  placement_.reserve(base + batch.size());
+  decisions_.assign(batch.size(), 0);
+
+  // Between batches the workers are quiescent (the previous completion
+  // wait saw every pushed index consumed), so these reads are stable.
+  // local_base snapshots each algorithm's arrival count *now*, because by
+  // the time a later arrival of this batch is routed the owning worker may
+  // already be advancing it — the count at batch start plus the number of
+  // already-routed arrivals reproduces the sequential pump's ids exactly.
+  std::vector<std::size_t> processed_before(shards_.size());
+  std::vector<std::size_t> local_base(shards_.size());
+  std::vector<std::uint64_t> target(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    processed_before[s] = shards_[s].arrivals;
+    local_base[s] = shards_[s].algorithm->arrivals();
+    target[s] = lanes_[s]->consumed.load(std::memory_order_relaxed);
+  }
+
+  // Publish the batch, then stream indices into the shard rings as they
+  // are routed: the ring push's release store is what makes live_batch_
+  // (and decisions_) visible to the consuming worker, and workers overlap
+  // with the rest of the routing loop.
+  live_batch_ = batch;
+  kick_workers();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (lca_algorithm_ && request_crosses_shards(batch[i])) {
+      lca_pending_.push_back(i);
+      placement_.emplace_back(kLcaShardMarker, kInvalidId);
+      continue;
+    }
+    const std::size_t s = shard_of_request(batch[i]);
+    Shard& shard = shards_[s];
+    const auto local =
+        static_cast<RequestId>(local_base[s] + shard.pending.size());
+    shard.pending.push_back(i);
+    placement_.emplace_back(static_cast<std::uint32_t>(s), local);
+    std::size_t spins = 0;
+    while (!lanes_[s]->ring.try_push(static_cast<std::uint32_t>(i))) {
+      // Ring full: the owning worker is behind.  Yield to it; kick
+      // periodically in case it reached its idle sleep before our first
+      // kick landed.
+      if ((++spins & 0x3FFu) == 0) kick_workers();
+      std::this_thread::yield();
+    }
+  }
+  kick_workers();
+  wait_for_workers([&] {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].pending.empty()) continue;
+      if (lanes_[s]->consumed.load(std::memory_order_acquire) <
+          target[s] + shards_[s].pending.size()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!lca_pending_.empty()) reconcile_lca_pending(batch, base);
+  pumped_seconds_ += wall.elapsed_s();
+
+  // Identical failure semantics to the kTasks pump: drain first, void the
+  // failing shard's unprocessed placements, rethrow the first error.
+  std::exception_ptr first_error;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    if (!shard.error) continue;
+    if (!first_error) first_error = shard.error;
+    shard.error = nullptr;
+    const std::size_t processed = shard.arrivals - processed_before[s];
+    for (std::size_t j = processed; j < shard.pending.size(); ++j) {
+      placement_[base + shard.pending[j]].second = kInvalidId;
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  std::vector<bool> accepted(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    accepted[i] = decisions_[i] != 0;
+  }
+  return accepted;
+}
+
+bool AdmissionService::request_crosses_shards(const Request& request) const {
+  if (request.edges.size() <= 1) return false;
+  const std::size_t first = shard_of_edge(request.edges.front());
+  for (std::size_t i = 1; i < request.edges.size(); ++i) {
+    if (shard_of_edge(request.edges[i]) != first) return true;
+  }
+  return false;
+}
+
+void AdmissionService::reconcile_lca_pending(std::span<const Request> batch,
+                                             std::size_t base) {
+  // Runs on the routing thread with the shard workers quiescent, so the
+  // speculative would_overflow probes read a stable (and worker-count
+  // independent) per-shard state: the one after this batch's shard-local
+  // traffic.  The reconcile engine is authoritative; the speculation is
+  // only scored, never trusted.
+  for (const std::size_t idx : lca_pending_) {
+    const Request& request = batch[idx];
+    const std::size_t owner = shard_of_request(request);
+    const bool speculative =
+        !shards_[owner].algorithm->would_overflow(request);
+    const auto local = static_cast<RequestId>(lca_algorithm_->arrivals());
+    const ArrivalResult result = lca_algorithm_->process(request);
+    decisions_[idx] = result.accepted ? 1 : 0;
+    placement_[base + idx] = {kLcaShardMarker, local};
+    if (speculative == result.accepted) ++lca_speculation_hits_;
+  }
 }
 
 bool AdmissionService::request_well_formed(
@@ -280,12 +581,15 @@ std::vector<bool> AdmissionService::submit_batch_ft(
       shard.error = nullptr;
       shard.mode_scratch.assign(shard.pending.size(), 0);
       shard.latency_scratch.clear();
-      pool_.submit([this, s, batch, base, attempt, injector] {
-        run_shard_task_ft(s, batch, base, attempt, injector);
-      });
     }
-    pool_.wait_idle();
+    dispatch_ft_attempts(to_run, batch, base, attempt, injector);
+    // Sort survivors from casualties first, then rebuild every casualty to
+    // its committed state in one dispatch — in kRings mode the rebuilds
+    // (factory + log replay) run as parallel lane jobs, so one shard's
+    // replay never blocks a sibling's (DESIGN.md §11.5).
     std::vector<std::size_t> retry_set;
+    std::vector<std::size_t> quarantine_set;
+    std::vector<std::size_t> rebuild_set;
     for (const std::size_t s : to_run) {
       Shard& shard = shards_[s];
       if (!shard.error) {
@@ -294,12 +598,27 @@ std::vector<bool> AdmissionService::submit_batch_ft(
       }
       shard.error = nullptr;
       ++shard.task_failures;
+      rebuild_set.push_back(s);
       if (attempt >= ft.retry.max_retries) {
-        quarantine_shard(s, base);
+        quarantine_set.push_back(s);
       } else {
-        rebuild_shard(s);
         ++shard.retries;
         retry_set.push_back(s);
+      }
+    }
+    dispatch_rebuilds(rebuild_set);
+    for (const std::size_t s : quarantine_set) {
+      // Exhausted retries: the shard is already rolled back to its last
+      // committed state (above); mark it quarantined and shed its share
+      // of this batch.
+      Shard& shard = shards_[s];
+      shard.quarantined = true;
+      for (const std::size_t idx : shard.pending) {
+        decisions_[idx] = 0;
+        placement_[base + idx].second = kInvalidId;
+        modes_[base + idx] =
+            static_cast<std::uint8_t>(DecisionMode::kQuarantineShed);
+        ++shard.shed;
       }
     }
     to_run = std::move(retry_set);
@@ -446,21 +765,77 @@ void AdmissionService::rebuild_shard(std::size_t shard_index) {
   ++shard.restores;
 }
 
-void AdmissionService::quarantine_shard(std::size_t shard_index,
-                                        std::size_t base) {
-  Shard& shard = shards_[shard_index];
-  // The failed attempt may have left the algorithm mid-trajectory; roll it
-  // back to the last committed state so stats read sane numbers while the
-  // shard refuses traffic.
-  rebuild_shard(shard_index);
-  shard.quarantined = true;
-  for (const std::size_t idx : shard.pending) {
-    decisions_[idx] = 0;
-    placement_[base + idx].second = kInvalidId;
-    modes_[base + idx] =
-        static_cast<std::uint8_t>(DecisionMode::kQuarantineShed);
-    ++shard.shed;
+void AdmissionService::dispatch_ft_attempts(
+    const std::vector<std::size_t>& to_run, std::span<const Request> batch,
+    std::size_t base, std::size_t attempt, const FaultInjector* injector) {
+  if (to_run.empty()) return;
+  if (config_.pump == PumpMode::kTasks) {
+    for (const std::size_t s : to_run) {
+      pool_->submit([this, s, batch, base, attempt, injector] {
+        run_shard_task_ft(s, batch, base, attempt, injector);
+      });
+    }
+    pool_->wait_idle();
+    return;
   }
+  // kRings: post one job per shard to its owning persistent worker.  The
+  // release store into the job slot publishes live_batch_ and the job
+  // parameters; the worker's acquire pairs with it, and its kNone release
+  // store publishes the attempt's results back to this thread's acquire.
+  live_batch_ = batch;
+  for (const std::size_t s : to_run) {
+    Lane& lane = *lanes_[s];
+    lane.job_base = base;
+    lane.job_attempt = attempt;
+    lane.job_injector = injector;
+    lane.job.store(static_cast<std::uint8_t>(JobKind::kFtAttempt),
+                   std::memory_order_release);
+  }
+  kick_workers();
+  wait_for_workers([&] {
+    for (const std::size_t s : to_run) {
+      if (lanes_[s]->job.load(std::memory_order_acquire) !=
+          static_cast<std::uint8_t>(JobKind::kNone)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void AdmissionService::dispatch_rebuilds(
+    const std::vector<std::size_t>& failed) {
+  if (failed.empty()) return;
+  if (config_.pump == PumpMode::kTasks || failed.size() == 1) {
+    // Serial: the kTasks contract keeps the factory on the caller thread,
+    // and a single rebuild has no siblings to block.
+    for (const std::size_t s : failed) rebuild_shard(s);
+    return;
+  }
+  for (const std::size_t s : failed) {
+    lanes_[s]->job.store(static_cast<std::uint8_t>(JobKind::kRebuild),
+                         std::memory_order_release);
+  }
+  kick_workers();
+  wait_for_workers([&] {
+    for (const std::size_t s : failed) {
+      if (lanes_[s]->job.load(std::memory_order_acquire) !=
+          static_cast<std::uint8_t>(JobKind::kNone)) {
+        return false;
+      }
+    }
+    return true;
+  });
+  // A rebuild that threw (corrupt checkpoint, factory failure) parked its
+  // exception in shard.error; surface the first one like the serial path
+  // would have.
+  std::exception_ptr first_error;
+  for (const std::size_t s : failed) {
+    if (!shards_[s].error) continue;
+    if (!first_error) first_error = shards_[s].error;
+    shards_[s].error = nullptr;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 DecisionMode AdmissionService::decision_mode(
@@ -511,6 +886,8 @@ void AdmissionService::restore_shard(std::size_t shard) {
 }
 
 std::vector<std::uint8_t> AdmissionService::snapshot() const {
+  MINREJ_REQUIRE(!config_.lca_reconcile,
+                 "snapshot() does not cover the LCA reconcile lane");
   for (const Shard& shard : shards_) {
     MINREJ_REQUIRE(shard.algorithm->snapshot_supported(),
                    "snapshot() requires every shard algorithm to support "
@@ -558,6 +935,8 @@ std::vector<std::uint8_t> AdmissionService::snapshot() const {
 void AdmissionService::restore(std::span<const std::uint8_t> blob) {
   MINREJ_REQUIRE(placement_.empty(),
                  "restore() requires a freshly constructed service");
+  MINREJ_REQUIRE(!config_.lca_reconcile,
+                 "restore() does not cover the LCA reconcile lane");
   SnapshotReader r(blob, kServiceSnapshotKind);
   MINREJ_REQUIRE(r.version() == kServiceSnapshotVersion,
                  "unsupported service snapshot version");
@@ -686,6 +1065,7 @@ bool AdmissionService::is_accepted(std::size_t arrival_index) const {
   const auto [shard, local] = placement(arrival_index);
   MINREJ_REQUIRE(local != kInvalidId,
                  "arrival was never processed (its shard failed mid-batch)");
+  if (shard == kLcaLane) return lca_algorithm_->is_accepted(local);
   return shards_[shard].algorithm->is_accepted(local);
 }
 
@@ -694,7 +1074,22 @@ std::pair<std::size_t, RequestId> AdmissionService::placement(
   MINREJ_REQUIRE(arrival_index < placement_.size(),
                  "arrival index out of range");
   const auto& [shard, local] = placement_[arrival_index];
+  if (shard == kLcaShardMarker) return {kLcaLane, local};
   return {static_cast<std::size_t>(shard), local};
+}
+
+const OnlineAdmissionAlgorithm& AdmissionService::lca_algorithm() const {
+  MINREJ_REQUIRE(lca_algorithm_ != nullptr,
+                 "lca_algorithm() requires ServiceConfig::lca_reconcile");
+  return *lca_algorithm_;
+}
+
+std::size_t AdmissionService::lca_arrivals() const noexcept {
+  return lca_algorithm_ ? lca_algorithm_->arrivals() : 0;
+}
+
+std::size_t AdmissionService::lca_speculation_hits() const noexcept {
+  return lca_speculation_hits_;
 }
 
 const OnlineAdmissionAlgorithm& AdmissionService::shard_algorithm(
@@ -762,7 +1157,22 @@ ServiceStats AdmissionService::aggregate() const {
     if (shard.quarantined) ++stats.quarantined_shards;
     if (shard.degraded) ++stats.degraded_shards;
   }
+  if (lca_algorithm_) {
+    // Fold the reconcile lane into the totals (it owns real arrivals) and
+    // report it separately too.
+    const std::size_t lane_arrivals = lca_algorithm_->arrivals();
+    const std::size_t lane_rejected = lca_algorithm_->rejected_count();
+    stats.arrivals += lane_arrivals;
+    stats.rejected += lane_rejected;
+    stats.accepted += lane_arrivals - lane_rejected;
+    stats.rejected_cost += lca_algorithm_->rejected_cost();
+    stats.augmentation_steps += lca_algorithm_->augmentation_steps();
+    stats.lca_arrivals = lane_arrivals;
+    stats.lca_speculation_hits = lca_speculation_hits_;
+  }
   if (!latencies.empty()) {
+    // Sorting the merged samples before taking quantiles makes the result
+    // invariant to shard merge order (§11.2).
     std::sort(latencies.begin(), latencies.end());
     stats.p50_arrival_s = quantile_sorted(latencies, 0.50);
     stats.p95_arrival_s = quantile_sorted(latencies, 0.95);

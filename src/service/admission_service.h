@@ -37,17 +37,22 @@
 // service with fault tolerance disabled runs the exact pre-existing code.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/online_admission.h"
 #include "graph/request.h"
+#include "util/spsc_ring.h"
 #include "util/thread_pool.h"
 
 namespace minrej {
@@ -113,9 +118,31 @@ struct FaultToleranceConfig {
 /// the graph it is given (the service's graph — shards share the topology;
 /// only the traffic is partitioned).  The shard index lets factories
 /// derive per-shard seeds.
+///
+/// With PumpMode::kRings the factory may additionally be invoked from
+/// worker threads (parallel committed-log rebuild after a shard failure),
+/// possibly for several shards at once — it must be thread-safe.  The
+/// stock factories (randomized_shard_factory and the test factories) are:
+/// they capture only values and construct fresh objects.
 using ShardAlgorithmFactory =
     std::function<std::unique_ptr<OnlineAdmissionAlgorithm>(
         const Graph& graph, std::size_t shard)>;
+
+/// How submit_batch distributes shard work (DESIGN.md §11).
+enum class PumpMode : std::uint8_t {
+  /// One sequential task per busy shard per batch on a util/thread_pool —
+  /// the original pump.  Per-batch cost: one queue lock + one
+  /// std::function allocation per busy shard, plus a full pool wake/idle
+  /// cycle per batch.
+  kTasks = 0,
+  /// Persistent per-shard workers fed by bounded lock-free SPSC rings
+  /// (util/spsc_ring.h): the routing thread is the single producer of
+  /// every ring, shard s is consumed by worker s mod W only.  Workers
+  /// outlive batches, so steady-state pumping touches no mutex and no
+  /// allocator.  Decision streams are bit-identical to kTasks for every
+  /// worker count (the §11.2 determinism contract).
+  kRings = 1,
+};
 
 /// Service knobs.
 struct ServiceConfig {
@@ -136,6 +163,23 @@ struct ServiceConfig {
   std::function<std::size_t(EdgeId)> partition;
   /// Fault-tolerance layer (DESIGN.md §9).  Off by default.
   FaultToleranceConfig fault_tolerance;
+  /// Pump implementation (DESIGN.md §11).  Decision streams are identical
+  /// across modes and worker counts; only the scheduling differs.
+  PumpMode pump = PumpMode::kTasks;
+  /// Ring capacity per shard in kRings mode, rounded up to a power of two
+  /// (0 selects max(1024, batch)).  The routing thread spin-yields on a
+  /// full ring, so this is purely a throughput knob, never a correctness
+  /// one.
+  std::size_t ring_capacity = 0;
+  /// Divert requests whose edges span multiple shards to a sequential
+  /// reconcile lane instead of their first-edge owner (DESIGN.md §11.4):
+  /// the owning shard answers speculatively from its local view
+  /// (would_overflow on the request's edges), then a dedicated reconcile
+  /// engine decides authoritatively in arrival order.  Removes the §6.1
+  /// cross-shard oversubscription relaxation at the price of serializing
+  /// cross-shard traffic.  Incompatible with fault_tolerance and
+  /// snapshot/restore (checked).
+  bool lca_reconcile = false;
 };
 
 /// Counters for one shard.  accepted/rejected/rejected_cost/augmentations
@@ -202,6 +246,13 @@ struct ServiceStats {
   std::size_t injected_delays = 0;
   std::size_t quarantined_shards = 0;
   std::size_t degraded_shards = 0;
+  /// LCA reconcile lane (ServiceConfig::lca_reconcile): cross-shard
+  /// arrivals diverted to the sequential reconcile engine, and how many of
+  /// them the owning shard's speculative local answer agreed with.  The
+  /// lane's arrivals/accepted/rejected/rejected_cost are already folded
+  /// into the totals above.
+  std::size_t lca_arrivals = 0;
+  std::size_t lca_speculation_hits = 0;
 
   double arrivals_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(arrivals) / seconds : 0.0;
@@ -232,6 +283,21 @@ class AdmissionService {
   /// be constructed on `graph` — checked) and spins up the worker pool.
   AdmissionService(const Graph& graph, ShardAlgorithmFactory factory,
                    ServiceConfig config = {});
+
+  /// Joins the persistent ring workers (PumpMode::kRings).  Legal only
+  /// between batches — like every other member, submit_batch must not be
+  /// in flight.
+  ~AdmissionService();
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  /// Worker threads actually pumping shards: persistent ring workers in
+  /// kRings mode, pool threads in kTasks mode.
+  std::size_t worker_count() const noexcept;
+
+  /// placement().first for arrivals handled by the LCA reconcile lane.
+  static constexpr std::size_t kLcaLane = static_cast<std::size_t>(-1);
 
   /// The default partition: splitmix64 hash of the edge id, mod K.
   static std::size_t hash_edge_to_shard(EdgeId e,
@@ -269,6 +335,16 @@ class AdmissionService {
   std::pair<std::size_t, RequestId> placement(std::size_t arrival_index) const;
 
   const OnlineAdmissionAlgorithm& shard_algorithm(std::size_t shard) const;
+
+  // --- LCA reconcile lane (ServiceConfig::lca_reconcile; DESIGN.md §11.4) ---
+
+  /// The reconcile-lane engine (requires lca_reconcile).
+  const OnlineAdmissionAlgorithm& lca_algorithm() const;
+  /// Cross-shard arrivals diverted to the reconcile lane so far.
+  std::size_t lca_arrivals() const noexcept;
+  /// How many diverted arrivals the owning shard's speculative local
+  /// answer (would_overflow on its own view) agreed with.
+  std::size_t lca_speculation_hits() const noexcept;
 
   /// Snapshot of one shard's counters.
   ShardStats shard_stats(std::size_t shard) const;
@@ -324,7 +400,11 @@ class AdmissionService {
     std::uint8_t mode = 0;  // DecisionMode::kEngine or kShed
   };
 
-  struct Shard {
+  /// alignas: in kRings mode a shard's fields (arrivals, busy time,
+  /// latencies, error) are written by its owning worker while sibling
+  /// workers write the neighbouring shards — cache-line alignment keeps
+  /// those writes from false-sharing one line (§11.3 audit).
+  struct alignas(kCacheLineBytes) Shard {
     std::unique_ptr<OnlineAdmissionAlgorithm> algorithm;
     std::size_t arrivals = 0;
     double busy_seconds = 0.0;
@@ -348,6 +428,71 @@ class AdmissionService {
     std::size_t injected_delays = 0;
   };
 
+  /// Per-shard ingest lane for the kRings pump (DESIGN.md §11.1).  The
+  /// hot cross-thread state: the routing thread produces batch indices
+  /// into `ring`, the owning worker consumes them and publishes progress
+  /// through `consumed`.  alignas on the struct plus per-field alignas
+  /// keeps producer-written, consumer-written and job state on disjoint
+  /// cache lines (§11.3).
+  struct alignas(kCacheLineBytes) Lane {
+    /// Batch indices of this shard's arrivals, produced in arrival order.
+    SpscRing<std::uint32_t> ring;
+    /// Cumulative fast-path arrivals consumed by the owning worker.  One
+    /// release fetch_add per processed chunk; the routing thread's acquire
+    /// load is the batch-completion barrier that publishes every shard
+    /// field the worker wrote (decisions, latencies, busy time, errors).
+    alignas(kCacheLineBytes) std::atomic<std::uint64_t> consumed{0};
+    /// Job slot for the fault-tolerant pump: the routing thread publishes
+    /// the parameters below with the release store into `job` (a JobKind);
+    /// the worker acquires, runs, and release-stores kNone when done.
+    alignas(kCacheLineBytes) std::atomic<std::uint8_t> job{0};
+    std::size_t job_base = 0;
+    std::size_t job_attempt = 0;
+    const FaultInjector* job_injector = nullptr;
+
+    explicit Lane(std::size_t capacity) : ring(capacity) {}
+  };
+
+  enum class JobKind : std::uint8_t { kNone = 0, kFtAttempt = 1, kRebuild = 2 };
+
+  // --- kRings pump internals (DESIGN.md §11) ---
+  std::vector<bool> submit_batch_rings(std::span<const Request> batch);
+  void start_workers();
+  void stop_workers();
+  void worker_loop(std::size_t worker, std::size_t worker_total);
+  /// Consumes up to one chunk from shard s's ring; returns true if it did
+  /// any work.  Runs on the owning worker only.
+  bool drain_lane(std::size_t s);
+  /// Runs shard s's posted job slot if any; returns true if it did.
+  bool run_lane_job(std::size_t s);
+  /// Bumps the wake epoch under the pump mutex so sleeping workers
+  /// re-poll.  The only lock the rings path takes, and only when a worker
+  /// may be asleep.
+  void kick_workers();
+  /// Blocks the routing thread until pred() holds: bounded spin-yield,
+  /// then timed condvar waits (workers notify cv_done_ after progress).
+  void wait_for_workers(const std::function<bool()>& pred);
+
+  // --- fault-tolerant dispatch, shared by both pump modes ---
+  /// Runs one FT attempt for every shard in `to_run`: pool tasks in
+  /// kTasks mode, lane jobs on the persistent workers in kRings mode.
+  void dispatch_ft_attempts(const std::vector<std::size_t>& to_run,
+                            std::span<const Request> batch, std::size_t base,
+                            std::size_t attempt, const FaultInjector* injector);
+  /// Rebuilds every listed shard to its committed state: serially on the
+  /// caller in kTasks mode, as parallel lane jobs in kRings mode — one
+  /// shard's log replay must not block its siblings (DESIGN.md §11.5).
+  void dispatch_rebuilds(const std::vector<std::size_t>& failed);
+
+  // --- LCA reconcile lane (DESIGN.md §11.4) ---
+  /// True when the request's edges span more than one shard.
+  bool request_crosses_shards(const Request& request) const;
+  /// Drains lca_pending_ through the reconcile engine in arrival order,
+  /// scoring each owning shard's speculative local answer.  Runs on the
+  /// routing thread after the batch's shard work has completed.
+  void reconcile_lca_pending(std::span<const Request> batch,
+                             std::size_t base);
+
   std::vector<bool> submit_batch_ft(std::span<const Request> batch);
   /// Body of one fault-tolerant shard task (runs on the pool).
   void run_shard_task_ft(std::size_t shard, std::span<const Request> batch,
@@ -361,17 +506,42 @@ class AdmissionService {
   /// factory instance, checkpoint load when available, log replay for the
   /// rest (re-deriving the budget latch deterministically).
   void rebuild_shard(std::size_t shard);
-  /// Exhausted retries: rebuild to committed state, mark quarantined, and
-  /// shed the shard's pending arrivals of this batch.
-  void quarantine_shard(std::size_t shard, std::size_t base);
   bool request_well_formed(const Request& request) const noexcept;
 
   const Graph& graph_;
   ShardAlgorithmFactory factory_;
   ServiceConfig config_;
   std::vector<Shard> shards_;
-  ThreadPool pool_;
-  /// arrival index → (shard, shard-local request id).
+  /// kTasks mode only; kRings never constructs a pool.
+  std::unique_ptr<ThreadPool> pool_;
+  /// kRings mode only: one lane per shard (unique_ptr — lanes hold atomics
+  /// and a ring, neither movable) and the persistent workers.  Shard s is
+  /// owned by worker s mod ring_workers_.size().
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> ring_workers_;
+  /// The batch currently being pumped.  Written by the routing thread
+  /// before any ring push / job post of the batch; workers read it only
+  /// after a successful pop / job acquire, so the ring's release/acquire
+  /// edge publishes it (§11.2 memory-order contract).
+  std::span<const Request> live_batch_;
+  /// Sleep/wake plumbing for the rings pump.  Workers spin-poll between
+  /// batches for a bounded grace period, then wait on cv_wake_ with a
+  /// short timeout; wake_epoch_ bumps (kick_workers) cut the latency of
+  /// the common case.  The timeout makes a lost wakeup cost microseconds,
+  /// never a deadlock.
+  std::mutex pump_mu_;
+  std::condition_variable cv_wake_;
+  std::condition_variable cv_done_;
+  std::uint64_t wake_epoch_ = 0;  // guarded by pump_mu_
+  bool stop_workers_ = false;     // guarded by pump_mu_
+  /// LCA reconcile lane (lca_reconcile only).
+  std::unique_ptr<OnlineAdmissionAlgorithm> lca_algorithm_;
+  std::vector<std::size_t> lca_pending_;  // batch indices, reused per batch
+  std::size_t lca_speculation_hits_ = 0;
+  /// arrival index → (shard, shard-local request id).  kLcaShardMarker in
+  /// the shard slot flags reconcile-lane arrivals (placement() maps it to
+  /// kLcaLane).
+  static constexpr std::uint32_t kLcaShardMarker = 0xFFFFFFFFu;
   std::vector<std::pair<std::uint32_t, RequestId>> placement_;
   /// arrival index → DecisionMode (only under fault tolerance).
   std::vector<std::uint8_t> modes_;

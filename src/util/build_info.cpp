@@ -12,6 +12,11 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace minrej {
 
@@ -46,6 +51,25 @@ const char* sweep_isa() noexcept {
   // Resolved once; getenv and cpuid are not hot-path material.
   static const char* const isa = resolve_sweep_isa();
   return isa;
+}
+
+std::size_t hardware_concurrency() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+std::size_t cache_line_bytes() noexcept {
+  static const std::size_t line = []() noexcept -> std::size_t {
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+    const long detected = ::sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+    // Sanity-clamp: sysconf reports 0 in some containers and VMs.
+    if (detected >= 16 && detected <= 4096) {
+      return static_cast<std::size_t>(detected);
+    }
+#endif
+    return 64;
+  }();
+  return line;
 }
 
 }  // namespace minrej

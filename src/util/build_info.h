@@ -9,6 +9,8 @@
 // configured at, which is exactly the binary's provenance.
 #pragma once
 
+#include <cstddef>
+
 namespace minrej {
 
 /// Short git SHA of the checkout the build was configured from, or
@@ -28,5 +30,19 @@ const char* build_type() noexcept;
 /// CPU detection.  Stamped into every BENCH_*.json next to the git SHA so
 /// a perf number is attributable to the kernel that produced it.
 const char* sweep_isa() noexcept;
+
+/// Hardware threads of the host this process runs on (>= 1; falls back to
+/// 1 when the runtime cannot tell).  Stamped into every BENCH_*.json: a
+/// wall-clock scaling curve is meaningless without the core count of the
+/// machine that produced it (BENCH_e16's gates skip their multi-core
+/// floors on small hosts based on this very field).
+std::size_t hardware_concurrency() noexcept;
+
+/// Detected L1 data-cache line size in bytes (sysconf on POSIX; 64 when
+/// detection is unavailable or reports nonsense).  The concurrent pump
+/// pads its per-shard hot state to util/spsc_ring.h's compile-time
+/// kCacheLineBytes; stamping the detected value records whether that
+/// padding actually matched the host.
+std::size_t cache_line_bytes() noexcept;
 
 }  // namespace minrej

@@ -17,13 +17,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // idempotent
     stop_ = true;
   }
   cv_task_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  // Workers only exit their loop once the queue is drained (see
+  // worker_loop), so joining here guarantees every task submitted before
+  // shutdown() ran to completion — the deterministic-drain contract.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::is_shutdown() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stop_;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -74,11 +87,16 @@ void ThreadPool::worker_loop() {
 
 void parallel_for_index(std::size_t count,
                         const std::function<void(std::size_t)>& body,
-                        std::size_t threads) {
+                        std::size_t threads, std::size_t grain) {
   if (count == 0) return;
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  grain = std::max<std::size_t>(1, grain);
+  // The grain caps the useful parallelism: never split the range into
+  // slices smaller than `grain`, so a tiny range runs on few threads (or
+  // inline) regardless of how wide the machine is.
+  threads = std::min(threads, (count + grain - 1) / grain);
   threads = std::min(threads, count);
   if (threads == 1) {
     for (std::size_t i = 0; i < count; ++i) body(i);
@@ -90,7 +108,8 @@ void parallel_for_index(std::size_t count,
   std::vector<std::thread> team;
   team.reserve(threads);
 
-  const std::size_t chunk = (count + threads - 1) / threads;
+  const std::size_t chunk =
+      std::max(grain, (count + threads - 1) / threads);
   for (std::size_t w = 0; w < threads; ++w) {
     const std::size_t begin = w * chunk;
     const std::size_t end = std::min(count, begin + chunk);

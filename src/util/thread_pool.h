@@ -33,10 +33,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Drains outstanding tasks, then joins all workers.
+  /// Equivalent to shutdown().
   ~ThreadPool();
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Deterministic shutdown: every task submitted before this call —
+  /// queued or in flight — runs to completion, then all workers join.
+  /// Idempotent; submit() after shutdown throws.  A task error captured
+  /// but never observed is dropped silently (same as destruction), but a
+  /// wait_idle() *before* shutdown still surfaces it — call wait_idle
+  /// first when failures matter.
+  void shutdown();
+
+  /// True once shutdown() (or the destructor) has begun.
+  bool is_shutdown() const noexcept;
 
   /// Enqueues a task.  A task that throws does not kill its worker: the
   /// first escaped exception is captured and rethrown by the next
@@ -53,7 +64,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> queue_;
@@ -72,8 +83,14 @@ class ThreadPool {
 /// first exception thrown by any body is rethrown in the caller.
 /// threads == 0 selects hardware concurrency; count == 0 is a no-op;
 /// with one available thread everything runs inline (no spawn).
+///
+/// `grain` is the minimum slice size: no thread is spawned for fewer than
+/// `grain` indices, so tiny ranges run inline instead of paying a thread
+/// spawn per handful of iterations.  The slice boundaries depend only on
+/// (count, threads, grain) — never on scheduling — so the
+/// workload-to-thread mapping stays deterministic at every grain.
 void parallel_for_index(std::size_t count,
                         const std::function<void(std::size_t)>& body,
-                        std::size_t threads = 0);
+                        std::size_t threads = 0, std::size_t grain = 1);
 
 }  // namespace minrej

@@ -568,5 +568,98 @@ TEST(FaultTolerantPump, DisabledFaultToleranceKeepsTheFastPath) {
   EXPECT_EQ(service.aggregate().budget_exceeded_shards, 0u);
 }
 
+TEST(FaultTolerantPump, KillAndHealUnderALiveMultiWorkerPump) {
+  // DESIGN.md §11.5: the fault-tolerant pump composes with the concurrent
+  // ring workers.  One shard is killed mid-run (scripted fault on every
+  // attempt → quarantine) while recoverable faults on three sibling shards
+  // land in the same batch, so their committed-log rebuilds run as
+  // parallel lane jobs.  restore_shard then heals the dead shard under
+  // the same live workers, and the whole run must be bit-identical to the
+  // sequential kTasks FT pump under the identical fault plan.
+  const AdmissionInstance inst = make_mixed_instance(400, 18);
+  ServiceConfig cfg;
+  cfg.shards = 4;
+  cfg.threads = 4;
+  cfg.batch = 50;
+  cfg.fault_tolerance.enabled = true;
+  cfg.fault_tolerance.retry.max_retries = 1;
+  cfg.fault_tolerance.retry.backoff_base_s = 0.0;
+  const ShardAlgorithmFactory factory = randomized_shard_factory(false, 44);
+
+  // Scripted faults are keyed by (shard, global arrival); discover the
+  // routing with a clean control run so the coordinates actually hit.
+  const auto owned_arrival_in = [&](std::size_t shard, std::size_t lo,
+                                    std::size_t hi) {
+    ServiceConfig probe_cfg = cfg;
+    probe_cfg.fault_tolerance.enabled = false;
+    AdmissionService control(inst.graph(), factory, probe_cfg);
+    pump(control, inst, 0, 400, probe_cfg.batch);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (control.placement(i).first == shard) return i;
+    }
+    ADD_FAILURE() << "no arrival for shard " << shard << " in [" << lo
+                  << ", " << hi << ")";
+    return lo;
+  };
+  FaultPlan plan;
+  ScriptedFault kill;  // shard 1, mid-run: fails every attempt
+  kill.shard = 1;
+  kill.arrival = owned_arrival_in(1, 200, 300);
+  kill.attempts = 100;
+  kill.action = FaultAction::kException;
+  plan.scripted.push_back(kill);
+  for (const std::size_t s : {0u, 2u, 3u}) {
+    ScriptedFault blip;  // first batch on every sibling shard: one
+    blip.shard = s;      // dispatch rebuilds all three in parallel
+    blip.arrival = owned_arrival_in(s, 0, 50);
+    blip.attempts = 1;   // the retry clears
+    blip.action = FaultAction::kException;
+    plan.scripted.push_back(blip);
+  }
+  cfg.fault_tolerance.injector = std::make_shared<FaultInjector>(plan);
+
+  const auto run = [&](PumpMode mode) {
+    ServiceConfig c = cfg;
+    c.pump = mode;
+    auto service =
+        std::make_unique<AdmissionService>(inst.graph(), factory, c);
+    pump(*service, inst, 0, 300, c.batch);
+    // The sibling blips recovered; the kill exhausted its retries.
+    EXPECT_FALSE(service->shard_quarantined(0));
+    EXPECT_TRUE(service->shard_quarantined(1));
+    EXPECT_EQ(service->shard_stats(1).task_failures, 2u);  // attempt + retry
+    EXPECT_EQ(service->shard_stats(1).retries, 1u);
+    for (const std::size_t s : {0u, 2u, 3u}) {
+      EXPECT_EQ(service->shard_stats(s).task_failures, 1u) << s;
+      EXPECT_EQ(service->shard_stats(s).retries, 1u) << s;
+    }
+    service->restore_shard(1);  // heal: rebuild from the committed log
+    EXPECT_FALSE(service->shard_quarantined(1));
+    pump(*service, inst, 300, 400, c.batch);
+    EXPECT_GT(service->shard_stats(1).shed, 0u);  // the dead window shed
+    return service;
+  };
+  const auto rings = run(PumpMode::kRings);
+  const auto tasks = run(PumpMode::kTasks);
+
+  ASSERT_EQ(rings->arrivals(), tasks->arrivals());
+  for (std::size_t i = 0; i < rings->arrivals(); ++i) {
+    ASSERT_EQ(rings->decision_mode(i), tasks->decision_mode(i)) << i;
+    if (rings->decision_mode(i) == DecisionMode::kEngine) {
+      ASSERT_EQ(rings->is_accepted(i), tasks->is_accepted(i)) << i;
+    }
+  }
+  for (std::size_t s = 0; s < cfg.shards; ++s) {
+    const ShardStats a = rings->shard_stats(s);
+    const ShardStats b = tasks->shard_stats(s);
+    EXPECT_EQ(a.arrivals, b.arrivals) << s;
+    EXPECT_EQ(a.shed, b.shed) << s;
+    EXPECT_EQ(a.rejected, b.rejected) << s;
+    EXPECT_DOUBLE_EQ(a.rejected_cost, b.rejected_cost) << s;
+  }
+  EXPECT_DOUBLE_EQ(rings->aggregate().rejected_cost,
+                   tasks->aggregate().rejected_cost);
+}
+
 }  // namespace
 }  // namespace minrej

@@ -98,6 +98,46 @@ TEST(ThreadPool, DestructorSwallowsAPendingTaskError) {
   SUCCEED();
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasksBeforeJoining) {
+  // The deterministic-drain contract: every task submitted before
+  // shutdown() runs to completion, even ones still queued when the stop
+  // flag goes up.  One worker + a slow head task guarantees a deep queue.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_TRUE(pool.is_shutdown());
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndSubmitAfterItThrows) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.is_shutdown());
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_TRUE(pool.is_shutdown());
+  EXPECT_THROW(pool.submit([] {}), std::exception);
+}
+
+TEST(ThreadPool, ShutdownRunsTasksThatFailWithoutTerminating) {
+  // A queued task that throws during the drain must be swallowed exactly
+  // like destructor-time errors, not terminate the process.
+  ThreadPool pool(1);
+  std::atomic<int> after{0};
+  pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  pool.submit([] { throw std::runtime_error("drain boom"); });
+  pool.submit([&after] { after.fetch_add(1); });
+  pool.shutdown();
+  EXPECT_EQ(after.load(), 1);
+}
+
 TEST(ParallelForIndex, CoversTheRangeAndPropagatesExceptions) {
   std::vector<std::atomic<int>> hits(64);
   parallel_for_index(64, [&hits](std::size_t i) { hits[i].fetch_add(1); }, 4);
@@ -109,6 +149,38 @@ TEST(ParallelForIndex, CoversTheRangeAndPropagatesExceptions) {
                    },
                    2),
                std::runtime_error);
+}
+
+TEST(ParallelForIndex, GrainCoversTheRangeAtEveryGranularity) {
+  // The grain knob changes slicing, never coverage: every index runs
+  // exactly once for any (threads, grain) combination, including grains
+  // larger than the range (which run inline).
+  for (const std::size_t grain : {1u, 3u, 16u, 64u, 1000u}) {
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      std::vector<std::atomic<int>> hits(100);
+      parallel_for_index(
+          100, [&hits](std::size_t i) { hits[i].fetch_add(1); }, threads,
+          grain);
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        ASSERT_EQ(hits[i].load(), 1)
+            << "i=" << i << " grain=" << grain << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForIndex, GrainBoundsWorkerFanOut) {
+  // grain >= count must run everything inline on the calling thread: no
+  // thread is ever spawned for fewer than `grain` indices.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> foreign{0};
+  parallel_for_index(
+      32,
+      [&](std::size_t) {
+        if (std::this_thread::get_id() != caller) foreign.fetch_add(1);
+      },
+      8, 32);
+  EXPECT_EQ(foreign.load(), 0);
 }
 
 }  // namespace

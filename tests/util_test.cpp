@@ -3,12 +3,16 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/rng.h"
+#include "util/spsc_ring.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -371,6 +375,80 @@ TEST(Cli, BooleanParsing) {
   EXPECT_TRUE(flags.get_bool("a", false));
   EXPECT_FALSE(flags.get_bool("b", true));
   EXPECT_THROW(flags.get_bool("c", false), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// SpscRing (util/spsc_ring.h) — the concurrent shard pump's ingest lane
+// ---------------------------------------------------------------------------
+
+TEST(SpscRing, SingleThreadedFifoAndCapacity) {
+  SpscRing<int> ring(5);  // rounds up to 8
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i)) << i;
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // empty again
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapsAroundWithoutLosingOrder) {
+  SpscRing<std::uint32_t> ring(4);
+  std::uint32_t next_push = 0, next_pop = 0, out = 0;
+  // Push/pop in ragged strides so head and tail lap the buffer many times.
+  for (int round = 0; round < 1000; ++round) {
+    for (int k = 0; k < 3 && ring.try_push(next_push); ++k) ++next_push;
+    for (int k = 0; k < 2 && ring.try_pop(out); ++k) {
+      ASSERT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  while (ring.try_pop(out)) {
+    ASSERT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, TransfersEverythingAcrossThreadsInOrder) {
+  // One producer, one consumer, a ring much smaller than the stream: both
+  // sides hit the full/empty paths constantly.  The consumer must see
+  // exactly 0..N-1 in order (the determinism contract the shard pump
+  // builds on).
+  constexpr std::uint64_t kItems = 200000;
+  SpscRing<std::uint64_t> ring(64);
+  std::atomic<bool> failed{false};
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    std::uint64_t out;
+    while (expect < kItems) {
+      if (!ring.try_pop(out)) {
+        std::this_thread::yield();
+        continue;
+      }
+      if (out != expect) {
+        failed.store(true);
+        return;
+      }
+      ++expect;
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    while (!ring.try_push(i)) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(CacheAlignedAllocator, AlignsToTheCacheLine) {
+  std::vector<std::uint8_t, CacheAlignedAllocator<std::uint8_t>> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes,
+            0u);
 }
 
 }  // namespace

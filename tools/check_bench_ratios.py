@@ -19,6 +19,19 @@ Supported bounds: "min" / "max" (constants) and "min_field" / "max_field"
 array matches nothing is an error (a renamed array must not silently
 disarm its gate).
 
+Two optional clauses refine a gate:
+
+    "where": {"field": "workers", "equals": 8}          — or a list of such
+    "skip_unless": {"field": "hardware_concurrency", "min": 4}
+
+"where" restricts the gate to rows whose field equals the given value
+(a list of clauses must all match); with a "where", an empty match is
+still an error.  "skip_unless" is a machine-capability clause checked
+against the file's TOP-LEVEL fields: when the producing host does not
+meet the minimum (e.g. a wall-clock multi-core scaling floor measured on
+a 1-core CI box), the gate is skipped with a printed note instead of
+failing — the bound is about the machine, not the code.
+
 Legacy fallback: files without "gates" get the original behavior — every
 "speedup" field under the engine-vs-reference duel arrays
 ("engine_head_to_head", "stack_duel") must clear --min (default 0.95,
@@ -45,6 +58,17 @@ def row_label(row, fallback):
     return fallback
 
 
+def row_matches(row, where):
+    """True when the row passes the gate's "where" clause(s)."""
+    clauses = where if isinstance(where, list) else [where]
+    for clause in clauses:
+        if not isinstance(clause, dict):
+            return False
+        if row.get(clause.get("field")) != clause.get("equals"):
+            return False
+    return True
+
+
 def check_gate(filename, data, gate, tag):
     """Applies one schema gate; returns (inspected, failures)."""
     array = gate.get("array")
@@ -52,10 +76,30 @@ def check_gate(filename, data, gate, tag):
     rows = data.get(array)
     if not isinstance(rows, list) or not isinstance(field, str):
         return 0, [(filename, f"gate {array!r}/{field!r}", "malformed gate")]
+    skip = gate.get("skip_unless")
+    if isinstance(skip, dict):
+        cap_field = skip.get("field")
+        needed = skip.get("min")
+        have = data.get(cap_field)
+        capable = isinstance(have, (int, float)) and (
+            not isinstance(needed, (int, float)) or have >= needed
+        )
+        if not capable:
+            print(
+                f"skip             {filename} [{tag}]  gate {array}.{field}: "
+                f"host {cap_field}={have} < required {needed} — "
+                "machine-capability floor not applicable"
+            )
+            # A capability skip is a deliberate outcome, not a disarmed
+            # gate: count it so an all-skipped file still reads as gated.
+            return 1, []
+    where = gate.get("where")
     inspected = 0
     failures = []
     for i, row in enumerate(rows):
         if not isinstance(row, dict):
+            continue
+        if where is not None and not row_matches(row, where):
             continue
         value = row.get(field)
         if not isinstance(value, (int, float)):

@@ -123,6 +123,8 @@ JsonObject provenance_json(const std::string& bench, const std::string& source,
       .field("git_sha", build_git_sha())
       .field("build_type", build_type())
       .field("sweep_isa", sweep_isa())
+      .field("hardware_concurrency", hardware_concurrency())
+      .field("cache_line_bytes", cache_line_bytes())
       .field("scenario", source)
       .field("algorithm", algorithm)
       .field("unit_costs", unit_costs)
@@ -319,7 +321,8 @@ int serve_main(int argc, char** argv) {
       {"list", "scenario", "instance", "requests", "edges", "capacity",
        "seed", "shards", "batch", "threads", "rate", "algorithm",
        "latencies", "dump", "json", "partition", "soak", "inject-faults",
-       "fault-rate", "fault-seed", "feedback", "epochs"});
+       "fault-rate", "fault-seed", "feedback", "epochs", "pump",
+       "ring-capacity"});
 
   if (flags.get_bool("list", false)) {
     std::cout << "scenario catalog (docs/SCENARIOS.md):\n";
@@ -389,6 +392,14 @@ int serve_main(int argc, char** argv) {
   config.collect_latencies = flags.get_bool("latencies", true);
   config.partition = make_partition(flags.get_string("partition", ""),
                                     instance.graph().edge_count(), shards);
+  // Concurrent-pump knobs (DESIGN.md §11): --pump rings selects the
+  // persistent ring workers, --ring-capacity sizes the per-shard lanes.
+  const std::string pump_name = flags.get_string("pump", "tasks");
+  MINREJ_REQUIRE(pump_name == "tasks" || pump_name == "rings",
+                 "--pump must be 'tasks' or 'rings'");
+  config.pump = pump_name == "rings" ? PumpMode::kRings : PumpMode::kTasks;
+  config.ring_capacity =
+      static_cast<std::size_t>(flags.get_int("ring-capacity", 0));
 
   // -- soak mode ------------------------------------------------------------
   if (flags.has("soak")) {
@@ -541,7 +552,9 @@ int serve_main(int argc, char** argv) {
 
   JsonObject root = provenance_json("serve", source, algorithm, unit_costs,
                                     seed, shards, batch);
-  root.field("rate", rate);
+  root.field("rate", rate)
+      .field("pump", pump_name)
+      .field("workers", service.worker_count());
   append_service_stats(root, stats);
   root.raw("shard_stats", json_array(shards_json));
   emit_json(flags, "serve", root.dump());
